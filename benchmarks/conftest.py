@@ -1,0 +1,40 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every figure/table benchmark needs full scenario runs; a session-scoped
+cache lets the Figure-1 summary (which needs *all* scenario × variant
+combinations) reuse the runs the per-figure benchmarks already produced,
+and lets each figure benchmark fetch its non-adaptive baseline without
+re-simulating it inside the timed region.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import RunResult, run_scenario, scenario
+
+_CACHE: dict[tuple[str, str, int], RunResult] = {}
+
+
+class ResultStore:
+    """Run-and-cache access to scenario results."""
+
+    def get(self, sid: str, variant: str, seed: int = 0) -> RunResult:
+        key = (sid, variant, seed)
+        if key not in _CACHE:
+            _CACHE[key] = run_scenario(scenario(sid), variant, seed)
+        return _CACHE[key]
+
+    def put(self, result: RunResult) -> RunResult:
+        _CACHE[(result.scenario_id, result.variant, result.seed)] = result
+        return result
+
+
+@pytest.fixture(scope="session")
+def results() -> ResultStore:
+    return ResultStore()
+
+
+def run_once(benchmark, fn):
+    """Time one full simulation run with pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

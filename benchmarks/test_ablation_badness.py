@@ -1,0 +1,93 @@
+"""ABL-1 — ablation: the badness heuristic's design choices.
+
+Two design decisions from DESIGN.md §6 are probed on scenario 4 (the
+throttled uplink):
+
+1. **whole-cluster eviction**: with the exceptional-ic rule disabled
+   (threshold 1.0), recovery must go through node-by-node ranking — the β
+   term still steers removals toward the badly connected cluster, but more
+   slowly and less cleanly;
+2. **β ≫ α**: with β = 0 (no bandwidth term) and homogeneous speeds, the
+   ranking loses its signal and evictions scatter across clusters.
+"""
+
+from dataclasses import replace
+
+from repro.core.badness import BadnessCoefficients
+from repro.core.policy import RemoveCluster, RemoveNodes
+from repro.experiments import improvement, run_scenario, scenario
+
+from .conftest import run_once
+
+
+def _removed_nodes(result):
+    return [
+        n
+        for _, d in result.decisions
+        if isinstance(d, (RemoveNodes, RemoveCluster))
+        for n in d.nodes
+    ]
+
+
+def test_ablation_no_cluster_rule(benchmark, results):
+    """Disable whole-cluster eviction; node ranking must carry scenario 4."""
+    spec = scenario("s4")
+    ablated_spec = replace(
+        spec,
+        id="s4-noclusterrule",
+        policy=replace(spec.policy, cluster_removal_ic_overhead=1.0),
+    )
+    ablated = run_once(benchmark, lambda: run_scenario(ablated_spec, "adapt", 0))
+    default = results.get("s4", "adapt")
+    none = results.get("s4", "none")
+
+    assert not any(isinstance(d, RemoveCluster) for _, d in ablated.decisions)
+    gain_default = improvement(none.runtime_seconds, default.runtime_seconds)
+    gain_ablated = improvement(none.runtime_seconds, ablated.runtime_seconds)
+    print(
+        f"\nscenario 4 gain with cluster rule: {gain_default:+.0%}; "
+        f"node-ranking only: {gain_ablated:+.0%}"
+    )
+    # node ranking alone still helps (β steers it to leiden) ...
+    assert gain_ablated > 0.0
+    # ... but the wholesale rule must not be worse than the ablation
+    assert default.runtime_seconds <= ablated.runtime_seconds * 1.15
+
+
+def test_ablation_beta_steers_eviction(benchmark):
+    """With β = 0 the ranking loses the bandwidth signal."""
+    spec = scenario("s4")
+
+    def run_with(coefficients, tag):
+        ablated = replace(
+            spec,
+            id=f"s4-{tag}",
+            policy=replace(
+                spec.policy,
+                cluster_removal_ic_overhead=1.0,  # force node ranking
+                coefficients=coefficients,
+            ),
+        )
+        return run_scenario(ablated, "adapt", 0)
+
+    with_beta = run_once(
+        benchmark, lambda: run_with(BadnessCoefficients(beta=100.0), "beta100")
+    )
+    without_beta = run_with(BadnessCoefficients(beta=0.0, gamma=0.0), "beta0")
+
+    def leiden_fraction(result):
+        removed = _removed_nodes(result)
+        if not removed:
+            return 0.0
+        return sum(n.startswith("leiden/") for n in removed) / len(removed)
+
+    f_with = leiden_fraction(with_beta)
+    f_without = leiden_fraction(without_beta)
+    print(
+        f"\nfraction of evictions hitting the throttled cluster: "
+        f"β=100: {f_with:.0%}, β=0: {f_without:.0%}"
+    )
+    assert f_with >= f_without, (
+        "the bandwidth term must steer evictions toward the bad cluster"
+    )
+    assert f_with >= 0.5

@@ -1,0 +1,82 @@
+"""ABL-8 — the blacklist limitation the paper concedes, and its fix.
+
+"Currently we use blacklisting ... This means, however, that we cannot
+use these resources even if the cause of the performance problem
+disappears, e.g. the bandwidth of a link might improve if the background
+traffic diminishes."
+
+Setup: a three-cluster grid with no spare clusters; one cluster's uplink
+is throttled early and *recovers* mid-run. With the permanent blacklist,
+the evicted cluster is lost for the rest of the run even though the link
+is healthy again; with a TTL blacklist the coordinator re-tries it after
+expiry and regains the capacity.
+"""
+
+from dataclasses import replace
+
+from repro.core.blacklist import DecayingBlacklist
+from repro.experiments import improvement, run_scenario, scenario
+from repro.experiments.runner import run_scenario as _run
+from repro.experiments.scenarios import DEFAULT_BH, ScenarioSpec, scaled_das2
+from repro.apps.barneshut import BarnesHutSimulation
+from repro.simgrid.events import BandwidthEvent
+
+from .conftest import run_once
+
+
+def recovery_spec() -> ScenarioSpec:
+    cfg = replace(DEFAULT_BH, n_iterations=40)
+    return ScenarioSpec(
+        id="s-recovery",
+        paper_ref="§3.4 limitation",
+        description="throttled uplink that recovers mid-run; no spare clusters",
+        grid=scaled_das2(nodes_per_cluster=6, clusters=3),
+        initial_layout=(("vu", 6), ("uva", 6), ("leiden", 6)),
+        events=(
+            BandwidthEvent(time=30.0, cluster="leiden", bandwidth=25e3),
+            BandwidthEvent(time=240.0, cluster="leiden", bandwidth=12.5e6),
+        ),
+        monitoring_period=60.0,
+        max_sim_time=3600.0,
+    )
+
+
+def run_with_blacklist(spec, decaying: bool):
+    """Run adaptively, optionally swapping in a TTL blacklist."""
+    import repro.core.coordinator as coord_mod
+
+    if not decaying:
+        return _run(spec, "adapt", 0)
+
+    original_init = coord_mod.AdaptationCoordinator.__init__
+
+    def patched(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        self.blacklist = DecayingBlacklist(self.env, ttl=180.0)
+
+    coord_mod.AdaptationCoordinator.__init__ = patched
+    try:
+        return _run(replace(spec, id=f"{spec.id}-decay"), "adapt", 0)
+    finally:
+        coord_mod.AdaptationCoordinator.__init__ = original_init
+
+
+def test_ablation_blacklist_decay(benchmark):
+    spec = recovery_spec()
+    decaying = run_once(benchmark, lambda: run_with_blacklist(spec, True))
+    permanent = run_with_blacklist(spec, False)
+
+    print(
+        f"\nlink recovers at t=240 s: permanent blacklist {permanent.runtime_seconds:.0f} s "
+        f"({len(permanent.final_workers)} final nodes), "
+        f"TTL blacklist {decaying.runtime_seconds:.0f} s "
+        f"({len(decaying.final_workers)} final nodes)"
+    )
+    assert permanent.completed and decaying.completed
+
+    # with the permanent blacklist, leiden never comes back ...
+    assert all(not w.startswith("leiden/") for w in permanent.final_workers)
+    # ... with the TTL blacklist it does, once the ban expires
+    assert any(w.startswith("leiden/") for w in decaying.final_workers)
+    # and the regained capacity does not hurt (usually helps)
+    assert decaying.runtime_seconds <= permanent.runtime_seconds * 1.10

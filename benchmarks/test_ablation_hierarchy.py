@@ -1,0 +1,117 @@
+"""ABL-4 — ablation: central vs hierarchical statistics collection.
+
+The paper's §7: a central coordinator "might become a bottleneck for
+applications running on very large numbers of nodes"; the proposed fix is
+one sub-coordinator per cluster. This benchmark measures the message
+traffic arriving at the coordinator under both schemes at two grid sizes
+and verifies the hierarchical scheme's fan-in reduction grows with the
+cluster size.
+"""
+
+from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.core import (
+    AdaptationCoordinator,
+    CoordinatorConfig,
+    HierarchicalStatsCollector,
+)
+from repro.registry import Registry
+from repro.satin import AppDriver, BenchmarkConfig, SatinRuntime, WorkerConfig
+from repro.simgrid import Environment, Network, RngStreams
+from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+from repro.zorilla import ResourcePool
+
+from .conftest import run_once
+
+PERIOD = 10.0
+
+
+def grid(clusters: int, nodes: int) -> GridSpec:
+    return GridSpec(
+        clusters=tuple(
+            ClusterSpec(
+                name=f"c{ci}",
+                nodes=tuple(
+                    NodeSpec(f"c{ci}/n{i:02d}", f"c{ci}") for i in range(nodes)
+                ),
+            )
+            for ci in range(clusters)
+        )
+    )
+
+
+def run_collection(clusters: int, nodes: int, hierarchical: bool):
+    env = Environment()
+    network = Network(env, grid(clusters, nodes))
+    runtime = SatinRuntime(
+        env=env,
+        network=network,
+        registry=Registry(env),
+        config=WorkerConfig(
+            monitoring_period=PERIOD,
+            collect_stats=True,
+            benchmark=BenchmarkConfig(work=0.1, max_overhead=0.03),
+        ),
+        rng=RngStreams(0),
+    )
+    pool = ResourcePool(network)
+    names = [h.name for h in network.hosts.values()]
+    pool.mark_allocated(names)
+    runtime.add_nodes(names)
+    coordinator = AdaptationCoordinator(
+        runtime=runtime,
+        pool=pool,
+        config=CoordinatorConfig(
+            monitoring_period=PERIOD,
+            decision_slack=1.5,
+            adaptation_enabled=False,
+        ),
+    )
+    coordinator.start()
+    collector = None
+    if hierarchical:
+        collector = HierarchicalStatsCollector(coordinator)
+        collector.install()
+    app = SyntheticIterativeApp(
+        balanced_tree(depth=8, fanout=2, leaf_work=0.05 * clusters * nodes / 8),
+        n_iterations=30,
+    )
+    driver = AppDriver(runtime, app)
+    done = driver.start()
+    env.run(until=done)
+    return coordinator, collector
+
+
+def test_ablation_hierarchical_coordination(benchmark):
+    coord_hier, collector = run_once(
+        benchmark, lambda: run_collection(4, 8, hierarchical=True)
+    )
+    coord_flat, _ = run_collection(4, 8, hierarchical=False)
+
+    print(
+        f"\n4 clusters x 8 nodes: coordinator received "
+        f"{coord_flat.messages_received} messages flat vs "
+        f"{coord_hier.messages_received} hierarchical"
+    )
+    assert coord_hier.messages_received < coord_flat.messages_received / 2
+    assert len(collector.subs) == 4
+    # the coordinator still ends up knowing every worker
+    assert len(coord_hier.latest) == len(coord_flat.latest) == 32
+
+
+def test_ablation_hierarchy_scales_with_cluster_size(benchmark):
+    """The fan-in reduction approaches the nodes-per-cluster factor."""
+    def sweep():
+        out = {}
+        for nodes in (4, 12):
+            coord_flat, _ = run_collection(3, nodes, hierarchical=False)
+            coord_hier, _ = run_collection(3, nodes, hierarchical=True)
+            out[nodes] = (
+                coord_flat.messages_received
+                / max(coord_hier.messages_received, 1)
+            )
+        return out
+
+    reductions = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nmessage-reduction factor by cluster size: "
+          f"{ {k: round(v, 1) for k, v in reductions.items()} }")
+    assert reductions[12] > reductions[4]

@@ -1,0 +1,98 @@
+"""ABL-3 — ablation: opportunistic migration in the dead band.
+
+The paper's scenario 5 ends with the application parked between E_min and
+E_max on partly slow nodes while faster nodes sit free — the base
+strategy's documented blind spot. This benchmark reproduces that end
+state and shows the :class:`~repro.core.OpportunisticPolicy` extension
+(the paper's future work) closing the gap.
+"""
+
+from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.core import (
+    AdaptationCoordinator,
+    AdaptationPolicy,
+    CoordinatorConfig,
+    OpportunisticPolicy,
+    PolicyConfig,
+)
+from repro.registry import Registry
+from repro.satin import AppDriver, BenchmarkConfig, SatinRuntime, WorkerConfig
+from repro.simgrid import Environment, Network, RngStreams
+from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+from repro.zorilla import ResourcePool
+
+from .conftest import run_once
+
+
+def dead_band_grid() -> GridSpec:
+    def cluster(name, speed):
+        return ClusterSpec(
+            name=name,
+            nodes=tuple(
+                NodeSpec(f"{name}/n{i}", name, base_speed=speed) for i in range(6)
+            ),
+        )
+
+    return GridSpec(clusters=(cluster("slow", 1.0), cluster("fast", 4.0)))
+
+
+def run_policy(opportunistic: bool, seed: int = 0) -> tuple[float, list[str]]:
+    env = Environment()
+    network = Network(env, dead_band_grid())
+    runtime = SatinRuntime(
+        env=env,
+        network=network,
+        registry=Registry(env),
+        config=WorkerConfig(
+            monitoring_period=30.0,
+            collect_stats=True,
+            benchmark=BenchmarkConfig(work=0.5, max_overhead=0.03),
+        ),
+        rng=RngStreams(seed),
+    )
+    pool = ResourcePool(network)
+    initial = [f"slow/n{i}" for i in range(6)]
+    pool.mark_allocated(initial)
+    runtime.add_nodes(initial)
+    coordinator = AdaptationCoordinator(
+        runtime=runtime,
+        pool=pool,
+        config=CoordinatorConfig(
+            monitoring_period=30.0, decision_slack=4.5, node_startup_delay=1.0
+        ),
+    )
+    policy_cfg = PolicyConfig(max_nodes=6)  # node count capped; quality varies
+    if opportunistic:
+        coordinator.policy = OpportunisticPolicy(
+            config=policy_cfg,
+            fastest_free_speed=lambda: pool.fastest_free_speed(
+                coordinator.blacklist.constraints()
+            ),
+            speed_advantage=2.0,
+        )
+    else:
+        coordinator.policy = AdaptationPolicy(policy_cfg)
+    coordinator.start()
+    app = SyntheticIterativeApp(
+        balanced_tree(depth=6, fanout=2, leaf_work=0.35), n_iterations=40
+    )
+    driver = AppDriver(runtime, app)
+    done = driver.start()
+    env.run(until=done)
+    return driver.runtime_seconds, runtime.alive_worker_names()
+
+
+def test_ablation_opportunistic_migration(benchmark):
+    opp_runtime, opp_nodes = run_once(benchmark, lambda: run_policy(True))
+    base_runtime, base_nodes = run_policy(False)
+    gain = (base_runtime - opp_runtime) / base_runtime
+    print(
+        f"\ndead-band workload: base {base_runtime:.0f} s on "
+        f"{sorted(base_nodes)};\nopportunistic {opp_runtime:.0f} s on "
+        f"{sorted(opp_nodes)} ({gain:+.0%})"
+    )
+    # the base policy is stuck on the slow cluster
+    assert all(n.startswith("slow/") for n in base_nodes)
+    # opportunistic migration pulled in fast nodes and beat it clearly
+    assert any(n.startswith("fast/") for n in opp_nodes)
+    assert gain > 0.25

@@ -1,0 +1,121 @@
+"""ABL-10 — ablation: scheduler-side benchmark probing (paper §3.4).
+
+"Currently we add any nodes the scheduler gives us. However, it would be
+more efficient to ask for the fastest processors among the available
+ones ... by passing a benchmark to the grid scheduler. An alternative
+approach would be ranking the processors based on parameters such as
+clock speed ... however it is less accurate than using an
+application-specific benchmark."
+
+Setup: an expanding application (scenario-2 shape) on a pool with three
+free clusters — nominally fast but *externally loaded* (clock-speed
+ranking's trap), nominally slow, and medium-and-idle. Three growth
+strategies: take-what-you-get, clock-speed ranking, and benchmark
+probing. Probing measures the loaded cluster as slow and expands onto
+the genuinely fastest resources.
+"""
+
+from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.core import (
+    AdaptationCoordinator,
+    AdaptationPolicy,
+    CoordinatorConfig,
+    PolicyConfig,
+)
+from repro.registry import Registry
+from repro.satin import AppDriver, BenchmarkConfig, SatinRuntime, WorkerConfig
+from repro.simgrid import Environment, Network, RngStreams
+from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+from repro.zorilla import ResourcePool
+
+from .conftest import run_once
+
+PERIOD = 20.0
+
+
+def pool_grid() -> GridSpec:
+    def cluster(name, speed, n=6):
+        return ClusterSpec(
+            name=name,
+            nodes=tuple(
+                NodeSpec(f"{name}/n{i}", name, base_speed=speed) for i in range(n)
+            ),
+        )
+
+    # the loaded cluster sorts first alphabetically, so the naive
+    # take-what-you-get allocator walks straight into it
+    return GridSpec(
+        clusters=(
+            cluster("home", 1.0, 4),     # the starting nodes
+            cluster("alpha", 3.0),       # nominally fastest but loaded
+            cluster("modest", 1.5),      # the actual best choice
+            cluster("zzz-old", 0.5),
+        )
+    )
+
+
+def run_growth(probe_work: float, seed: int = 0):
+    env = Environment()
+    network = Network(env, pool_grid())
+    # the nominally fast cluster is externally time-shared: 6x slowdown
+    for host in network.hosts_in_cluster("alpha"):
+        host.set_load(5.0)
+    runtime = SatinRuntime(
+        env=env,
+        network=network,
+        registry=Registry(env),
+        config=WorkerConfig(
+            monitoring_period=PERIOD,
+            collect_stats=True,
+            benchmark=BenchmarkConfig(work=0.5, max_overhead=0.03),
+        ),
+        rng=RngStreams(seed),
+    )
+    pool = ResourcePool(network)
+    initial = [f"home/n{i}" for i in range(4)]
+    pool.mark_allocated(initial)
+    runtime.add_nodes(initial)
+    coordinator = AdaptationCoordinator(
+        runtime=runtime,
+        pool=pool,
+        policy=AdaptationPolicy(PolicyConfig(max_nodes=10)),
+        config=CoordinatorConfig(
+            monitoring_period=PERIOD,
+            decision_slack=3.0,
+            node_startup_delay=1.0,
+            probe_benchmark_work=probe_work,
+        ),
+    )
+    coordinator.start()
+    app = SyntheticIterativeApp(
+        balanced_tree(depth=8, fanout=2, leaf_work=0.25), n_iterations=25
+    )
+    driver = AppDriver(runtime, app)
+    done = driver.start()
+    env.run(until=done)
+    clusters = sorted(
+        {runtime.worker(n).cluster for n in runtime.alive_worker_names()}
+    )
+    return driver.runtime_seconds, clusters, runtime.alive_worker_names()
+
+
+def test_ablation_scheduler_probing(benchmark):
+    probed_rt, probed_clusters, probed_nodes = run_once(
+        benchmark, lambda: run_growth(probe_work=1.0)
+    )
+    naive_rt, naive_clusters, naive_nodes = run_growth(probe_work=0.0)
+
+    print(
+        f"\ngrowth onto a pool with a loaded nominally-fast cluster:"
+        f"\n  take-what-you-get: {naive_rt:6.0f} s on clusters {naive_clusters}"
+        f"\n  benchmark probing: {probed_rt:6.0f} s on clusters {probed_clusters}"
+    )
+    # the naive allocator walked into the loaded cluster ...
+    assert any(n.startswith("alpha/") for n in naive_nodes), naive_nodes
+    # ... probing measured it as slow and expanded onto the genuinely
+    # fastest free cluster instead
+    new_probed = [n for n in probed_nodes if not n.startswith("home/")]
+    assert new_probed, "the application should have grown"
+    assert all(n.startswith("modest/") for n in new_probed), new_probed
+    # ... and informed growth wins
+    assert probed_rt < naive_rt

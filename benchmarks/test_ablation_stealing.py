@@ -1,0 +1,85 @@
+"""ABL-2 — ablation: Cluster-aware Random Stealing vs plain Random
+Stealing on a wide-area grid.
+
+The paper's precondition for model-free adaptation is an application
+"insensitive to wide-area latencies", achieved by Satin's CRS. This
+benchmark runs the same Barnes-Hut workload on a 3-cluster grid with a
+high-latency WAN under both stealing policies: RS blocks a thief for a
+full wide-area round trip per (often failed) attempt, while CRS overlaps
+the wide-area steal with synchronous local stealing.
+"""
+
+import pytest
+
+from repro.apps.barneshut import BarnesHutConfig, BarnesHutSimulation
+from repro.registry import Registry
+from repro.satin import (
+    AppDriver,
+    ClusterAwareRandomStealing,
+    RandomStealing,
+    SatinRuntime,
+    WorkerConfig,
+)
+from repro.simgrid import Environment, Network, RngStreams
+from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+
+from .conftest import run_once
+
+
+def wan_grid(uplink_latency: float) -> GridSpec:
+    clusters = tuple(
+        ClusterSpec(
+            name=name,
+            nodes=tuple(NodeSpec(f"{name}/n{i}", name) for i in range(6)),
+            uplink_latency=uplink_latency,
+        )
+        for name in ("a", "b", "c")
+    )
+    return GridSpec(clusters=clusters)
+
+
+def run_policy(policy, uplink_latency=0.030, seed=0) -> float:
+    env = Environment()
+    network = Network(env, wan_grid(uplink_latency))
+    runtime = SatinRuntime(
+        env=env,
+        network=network,
+        registry=Registry(env),
+        config=WorkerConfig(),
+        rng=RngStreams(seed),
+        policy=policy,
+    )
+    runtime.add_nodes([h.name for h in network.hosts.values()])
+    app = BarnesHutSimulation(
+        BarnesHutConfig(n_bodies=512, n_iterations=8, work_per_interaction=7e-4)
+    )
+    driver = AppDriver(runtime, app)
+    done = driver.start()
+    env.run(until=done)
+    return driver.runtime_seconds
+
+
+def test_ablation_crs_vs_rs(benchmark):
+    crs = run_once(benchmark, lambda: run_policy(ClusterAwareRandomStealing()))
+    rs = run_policy(RandomStealing())
+    print(f"\n60 ms WAN RTT: CRS {crs:.0f} s vs RS {rs:.0f} s "
+          f"({(rs - crs) / rs:+.0%} saved by CRS)")
+    assert crs < rs, "CRS must beat plain RS on a high-latency WAN"
+
+
+def test_ablation_rs_degrades_with_latency(benchmark):
+    """RS performance decays as WAN latency grows; CRS barely moves."""
+    rs_low = benchmark.pedantic(
+        lambda: run_policy(RandomStealing(), uplink_latency=0.002),
+        rounds=1, iterations=1,
+    )
+    rs_high = run_policy(RandomStealing(), uplink_latency=0.060)
+    crs_low = run_policy(ClusterAwareRandomStealing(), uplink_latency=0.002)
+    crs_high = run_policy(ClusterAwareRandomStealing(), uplink_latency=0.060)
+    rs_penalty = rs_high / rs_low
+    crs_penalty = crs_high / crs_low
+    print(f"\nlatency 2ms -> 60ms: RS slows {rs_penalty:.2f}x, "
+          f"CRS slows {crs_penalty:.2f}x")
+    assert rs_penalty > crs_penalty, (
+        "CRS must be less latency-sensitive than RS"
+    )

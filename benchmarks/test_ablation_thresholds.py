@@ -1,0 +1,55 @@
+"""ABL-7 — ablation: sensitivity of the E_min/E_max thresholds.
+
+The paper's E_max = 0.5 comes from Eager et al.'s theorem; E_min = 0.3
+is set from experience. This sweep shows the trade-off the thresholds
+navigate on scenario 2b (too few starting nodes): a lower E_max keeps
+growing into diminishing returns (more node-seconds billed for little
+runtime gain), a higher E_max stops early (cheaper, slower).
+"""
+
+from dataclasses import replace
+
+from repro.experiments import scenario
+from repro.experiments.sensitivity import (
+    format_sweep,
+    sweep_e_max,
+    sweep_monitoring_period,
+)
+
+from .conftest import run_once
+
+
+def test_threshold_sensitivity(benchmark):
+    spec = replace(scenario("s2b"), id="s2b-sweep")
+
+    def sweep():
+        return sweep_e_max(spec, [0.35, 0.50, 0.65])
+
+    points = run_once(benchmark, sweep)
+    print()
+    print(format_sweep(points))
+
+    by_value = {p.value: p for p in points}
+    assert all(p.completed for p in points)
+    # lower growth threshold -> grows longer -> at least as many nodes
+    assert by_value[0.35].final_workers >= by_value[0.50].final_workers
+    assert by_value[0.50].final_workers >= by_value[0.65].final_workers
+    # greedier growth buys runtime at a node-seconds price
+    assert by_value[0.35].runtime_seconds <= by_value[0.65].runtime_seconds * 1.05
+    assert by_value[0.35].node_seconds >= by_value[0.65].node_seconds * 0.95
+
+
+def test_monitoring_period_sensitivity(benchmark):
+    """Shorter periods react faster (scenario 3: mid-run CPU overload)."""
+    spec = replace(scenario("s3"), id="s3-sweep")
+
+    def sweep():
+        return sweep_monitoring_period(spec, [30.0, 60.0, 120.0])
+
+    points = run_once(benchmark, sweep)
+    print()
+    print(format_sweep(points))
+    assert all(p.completed for p in points)
+    by_value = {p.value: p for p in points}
+    # reacting at 30 s beats reacting at 120 s when trouble hits at t=60 s
+    assert by_value[30.0].runtime_seconds < by_value[120.0].runtime_seconds

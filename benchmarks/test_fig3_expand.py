@@ -1,0 +1,62 @@
+"""FIG3 — paper Figure 3: expanding to more nodes (scenario 2).
+
+The application is started on too few nodes (sub-scenarios a/b/c: 4, 8,
+and 12 nodes); the adaptive version must gradually expand the resource set
+and cut the iteration durations, with the gain largest when the starting
+set is smallest (a > b > c).
+"""
+
+import pytest
+
+from repro.experiments import format_iteration_series, improvement, run_scenario, scenario
+
+from .conftest import run_once
+
+
+@pytest.mark.parametrize("sub", ["a", "b", "c"])
+def test_fig3_expand(benchmark, results, sub):
+    sid = f"s2{sub}"
+    spec = scenario(sid)
+    adapt = results.put(run_once(benchmark, lambda: run_scenario(spec, "adapt", 0)))
+    none = results.get(sid, "none")
+
+    print()
+    print(format_iteration_series(
+        none, adapt,
+        figure="Figure 3" + f" (sub-scenario {sub})",
+        caption="iteration durations with/without adaptation, too few nodes",
+    ))
+
+    assert none.completed and adapt.completed
+    # the resource set must have grown beyond the starting allocation
+    assert len(adapt.final_workers) > len(spec.initial_nodes())
+    # adaptation must help, the more the smaller the starting set (the
+    # paper's c sub-scenario likewise shows the smallest improvement)
+    min_gain = {"a": 0.25, "b": 0.10, "c": 0.02}[sub]
+    gain = improvement(none.runtime_seconds, adapt.runtime_seconds)
+    assert gain > min_gain, f"expected > {min_gain:.0%}, got {gain:.0%}"
+    # iteration durations must come down: last quarter faster than first
+    q = max(1, len(adapt.iteration_durations) // 4)
+    early = adapt.iteration_durations[:q].mean()
+    late = adapt.iteration_durations[-q:].mean()
+    assert late < early
+
+
+def test_fig3_gain_ordering(benchmark, results):
+    """The fewer the starting nodes, the larger the adaptive gain."""
+    def assemble():
+        return {
+            sub: improvement(
+                results.get(f"s2{sub}", "none").runtime_seconds,
+                results.get(f"s2{sub}", "adapt").runtime_seconds,
+            )
+            for sub in ["a", "b", "c"]
+        }
+
+    gains = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    print(f"\nscenario-2 gains: " + ", ".join(
+        f"{k}: {v:.0%}" for k, v in gains.items()
+    ))
+    assert gains["a"] > gains["c"], (
+        "starting with 4 nodes must benefit more than starting with 12"
+    )

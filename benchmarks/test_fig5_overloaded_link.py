@@ -1,0 +1,62 @@
+"""FIG5 — paper Figure 5: overloaded network link (scenario 4).
+
+One cluster's uplink is throttled mid-run. Without adaptation the
+iteration durations show enormous variation; the adaptive version removes
+the badly connected cluster wholesale after the first full monitoring
+period, learns a minimum-bandwidth requirement from the observed transfer
+rates, re-expands on well-connected clusters, and returns to baseline
+durations.
+"""
+
+import numpy as np
+
+from repro.core.policy import RemoveCluster
+from repro.experiments import format_iteration_series, improvement, run_scenario, scenario
+
+from .conftest import run_once
+
+
+def test_fig5_overloaded_link(benchmark, results):
+    spec = scenario("s4")
+    adapt = results.put(run_once(benchmark, lambda: run_scenario(spec, "adapt", 0)))
+    none = results.get("s4", "none")
+
+    print()
+    print(format_iteration_series(
+        none, adapt,
+        figure="Figure 5",
+        caption="iteration durations with/without adaptation, "
+                "overloaded network link",
+    ))
+
+    assert none.completed and adapt.completed
+
+    # non-adaptive: durations become large and highly variable
+    post = none.iteration_durations[none.iteration_times > 90.0]
+    assert post.max() > 1.8 * none.iteration_durations[0]
+
+    # adaptive: the throttled cluster is evicted wholesale ...
+    cluster_removals = [
+        d for _, d in adapt.decisions if isinstance(d, RemoveCluster)
+    ]
+    assert cluster_removals, "expected a whole-cluster eviction"
+    assert cluster_removals[0].cluster == "leiden"
+    # ... promptly (the paper: after the first monitoring period)
+    t_removal = next(
+        t for t, d in adapt.decisions if isinstance(d, RemoveCluster)
+    )
+    assert t_removal < 3 * spec.monitoring_period
+
+    # the cluster is blacklisted and a bandwidth requirement was learned
+    assert "leiden" in adapt.blacklisted_clusters
+    assert adapt.learned_min_bandwidth is not None
+    assert adapt.learned_min_bandwidth < 100e3  # it was a starved link
+
+    # recovery: late adaptive iterations back near the pre-throttle level
+    q = max(1, len(adapt.iteration_durations) // 4)
+    late = float(np.mean(adapt.iteration_durations[-q:]))
+    assert late < 1.5 * adapt.iteration_durations[0]
+
+    gain = improvement(none.runtime_seconds, adapt.runtime_seconds)
+    print(f"total runtime reduction: {gain:.0%}")
+    assert gain > 0.20

@@ -1,0 +1,52 @@
+"""FIG6 — paper Figure 6: overloaded CPUs *and* an overloaded link
+(scenario 5).
+
+The throttled uplink plus lightly overloaded CPUs elsewhere. The adaptive
+version removes the badly connected cluster and (some of) the lightly
+overloaded nodes; afterwards the weighted average efficiency sits
+*between* E_min and E_max, so the base strategy takes no further action —
+the situation the paper uses to motivate opportunistic migration.
+"""
+
+import numpy as np
+
+from repro.core.policy import NoAction, RemoveCluster, RemoveNodes
+from repro.experiments import format_iteration_series, improvement, run_scenario, scenario
+
+from .conftest import run_once
+
+
+def test_fig6_link_and_cpus(benchmark, results):
+    spec = scenario("s5")
+    adapt = results.put(run_once(benchmark, lambda: run_scenario(spec, "adapt", 0)))
+    none = results.get("s5", "none")
+
+    print()
+    print(format_iteration_series(
+        none, adapt,
+        figure="Figure 6",
+        caption="iteration durations with/without adaptation, "
+                "overloaded CPUs and an overloaded link",
+    ))
+
+    assert none.completed and adapt.completed
+
+    # the badly connected cluster goes first
+    cluster_removals = [d for _, d in adapt.decisions if isinstance(d, RemoveCluster)]
+    assert cluster_removals and cluster_removals[0].cluster == "leiden"
+
+    # lightly overloaded nodes are also shed
+    node_removals = [d for _, d in adapt.decisions if isinstance(d, RemoveNodes)]
+    assert node_removals, "expected removals of lightly overloaded nodes"
+
+    # afterwards the run spends most decisions inside the dead band (the
+    # opportunistic-migration gap): count late NoAction decisions
+    late = [d for t, d in adapt.decisions if t > adapt.runtime_seconds / 2]
+    if late:
+        frac_idle = sum(isinstance(d, NoAction) for d in late) / len(late)
+        print(f"fraction of late decisions that were NoAction: {frac_idle:.0%}")
+        assert frac_idle >= 0.5
+
+    gain = improvement(none.runtime_seconds, adapt.runtime_seconds)
+    print(f"total runtime reduction: {gain:.0%}")
+    assert gain > 0.05

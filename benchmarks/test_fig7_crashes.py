@@ -1,0 +1,54 @@
+"""FIG7 — paper Figure 7: crashing nodes (scenario 6).
+
+Two of the three clusters crash at t=60 s. The iteration durations jump;
+the adaptive version detects the crash (registry), re-executes the lost
+subtrees, and the coordinator — seeing the survivors' efficiency shoot up
+— adds replacement nodes until the durations return to their original
+level.
+"""
+
+import numpy as np
+
+from repro.core.policy import AddNodes
+from repro.experiments import format_iteration_series, improvement, run_scenario, scenario
+
+from .conftest import run_once
+
+
+def test_fig7_crashes(benchmark, results):
+    spec = scenario("s6")
+    adapt = results.put(run_once(benchmark, lambda: run_scenario(spec, "adapt", 0)))
+    none = results.get("s6", "none")
+
+    print()
+    print(format_iteration_series(
+        none, adapt,
+        figure="Figure 7",
+        caption="iteration durations with/without adaptation, crashing CPUs",
+    ))
+
+    assert none.completed and adapt.completed
+
+    # both versions survive the crash (fault tolerance), but the
+    # non-adaptive version is stuck with 6 nodes
+    assert len(none.final_workers) == 6
+    assert len(adapt.final_workers) > 6
+
+    # the crash shows in the non-adaptive durations
+    pre = none.iteration_durations[none.iteration_times < 60.0]
+    post = none.iteration_durations[none.iteration_times > 120.0]
+    assert np.mean(post) > 1.4 * np.mean(pre)
+
+    # the coordinator added replacements after the crash
+    adds = [(t, d) for t, d in adapt.decisions if isinstance(d, AddNodes)]
+    assert adds and all(t > 60.0 for t, _ in adds)
+
+    # recovery: late adaptive iterations near the pre-crash level
+    q = max(1, len(adapt.iteration_durations) // 4)
+    late = float(np.mean(adapt.iteration_durations[-q:]))
+    pre_adapt = adapt.iteration_durations[adapt.iteration_times < 60.0]
+    assert late < 1.4 * float(np.mean(pre_adapt))
+
+    gain = improvement(none.runtime_seconds, adapt.runtime_seconds)
+    print(f"total runtime reduction: {gain:.0%}")
+    assert gain > 0.15

@@ -1,0 +1,119 @@
+"""TAB-S1 — paper §5.1 inline numbers: the cost of adaptivity support.
+
+Scenario 1 runs on a reasonable resource set with no grid problems, three
+times: plain, with full adaptation support, and with monitoring only.
+The paper reports a single-digit-percent overhead, almost all of it
+benchmarking, and notes it shrinks with longer monitoring periods.
+"""
+
+from dataclasses import replace
+
+from repro.experiments import (
+    format_scenario1_overhead,
+    improvement,
+    run_scenario,
+    scenario,
+)
+
+from .conftest import run_once
+
+
+def test_scenario1_overhead(benchmark, results):
+    spec = scenario("s1")
+    adapt = results.put(run_once(benchmark, lambda: run_scenario(spec, "adapt", 0)))
+    none = results.get("s1", "none")
+    monitor = results.get("s1", "monitor")
+
+    print()
+    print(format_scenario1_overhead(none, adapt, monitor))
+
+    assert none.completed and adapt.completed and monitor.completed
+    adapt_overhead = -improvement(none.runtime_seconds, adapt.runtime_seconds)
+    monitor_overhead = -improvement(none.runtime_seconds, monitor.runtime_seconds)
+
+    # single-digit-percent support overhead, as the paper reports
+    assert adapt_overhead < 0.10, f"adaptation overhead {adapt_overhead:.1%}"
+    assert monitor_overhead < 0.10
+    # benchmarking stays within its configured budget
+    assert adapt.bench_overhead_fraction() < 0.05
+    # in the ideal scenario the coordinator never acts
+    assert not adapt.blacklisted_nodes
+    assert len(adapt.final_workers) == len(spec.initial_nodes())
+
+
+def test_scenario1_load_aware_skipping(benchmark, results):
+    """Paper §5.1: 'combining benchmarking with monitoring processor load
+    ... would reduce the benchmarking overhead to almost zero, since the
+    processor load is not changing, the benchmarks would only need to be
+    run at the beginning of the computation.'"""
+    import repro.experiments.runner as runner_mod
+    from repro.satin.benchmarking import BenchmarkConfig
+    from repro.satin.worker import WorkerConfig
+    from repro.experiments.runner import run_scenario as _run
+
+    spec = scenario("s1")
+    none = results.get("s1", "none")
+    adapt_plain = results.get("s1", "adapt")
+
+    # monkey-patch the worker config factory to enable skipping
+    original = runner_mod._worker_config
+
+    def patched(spec_, variant):
+        cfg = original(spec_, variant)
+        if cfg.benchmark is None:
+            return cfg
+        return WorkerConfig(
+            monitoring_period=cfg.monitoring_period,
+            collect_stats=cfg.collect_stats,
+            benchmark=BenchmarkConfig(
+                work=cfg.benchmark.work,
+                max_overhead=cfg.benchmark.max_overhead,
+                noise=cfg.benchmark.noise,
+                skip_when_load_stable=True,
+            ),
+        )
+
+    runner_mod._worker_config = patched
+    try:
+        adapt_skip = benchmark.pedantic(
+            lambda: _run(replace(spec, id="s1-skip"), "adapt", 0),
+            rounds=1, iterations=1,
+        )
+    finally:
+        runner_mod._worker_config = original
+
+    plain_bench = adapt_plain.time_by_category.get("bench", 0.0)
+    skip_bench = adapt_skip.time_by_category.get("bench", 0.0)
+    print(
+        f"\nbench CPU time: periodic={plain_bench:.1f}s "
+        f"load-aware={skip_bench:.1f}s "
+        f"({1 - skip_bench / plain_bench:.0%} saved)"
+    )
+    # stable load: only the initial measurements remain
+    assert skip_bench < plain_bench / 3
+    assert adapt_skip.bench_overhead_fraction() < 0.01  # "almost zero"
+    # and the run is not slower than the periodic-benchmark one
+    assert adapt_skip.runtime_seconds <= adapt_plain.runtime_seconds * 1.05
+
+
+def test_scenario1_longer_period_reduces_overhead(benchmark, results):
+    """Paper: 'if the monitoring period is extended ... the overhead
+    drops' — the benchmark cadence follows the period."""
+    spec = scenario("s1")
+    none = results.get("s1", "none")
+    adapt_60 = results.get("s1", "adapt")
+
+    long_spec = replace(spec, id="s1-long", monitoring_period=120.0)
+    adapt_120 = benchmark.pedantic(
+        lambda: run_scenario(long_spec, "adapt", 0), rounds=1, iterations=1
+    )
+    print(
+        f"\nmonitoring period 60 s:  overhead "
+        f"{-improvement(none.runtime_seconds, adapt_60.runtime_seconds):+.1%}"
+        f"\nmonitoring period 120 s: overhead "
+        f"{-improvement(none.runtime_seconds, adapt_120.runtime_seconds):+.1%}"
+    )
+    # with fewer reports/decisions the overhead must not grow
+    over_60 = adapt_60.runtime_seconds - none.runtime_seconds
+    over_120 = adapt_120.runtime_seconds - none.runtime_seconds
+    assert over_120 <= over_60 * 1.5 + 10.0  # generous: both are tiny

@@ -1,0 +1,45 @@
+"""FIG1 — paper Figure 1: total runtimes of all scenarios × all variants.
+
+Assembles the full bar chart the paper leads its evaluation with: for
+every scenario, the runtime without support (runtime 1), with adaptation
+(runtime 2), and with monitoring but no adaptation (runtime 3).
+
+File name sorts after the per-figure benchmarks so their cached runs are
+reused; missing combinations are computed here.
+"""
+
+from repro.experiments import VARIANTS, format_fig1, improvement
+
+from .conftest import run_once
+
+ALL_SCENARIOS = ["s1", "s2a", "s2b", "s2c", "s3", "s4", "s5", "s6"]
+
+
+def test_fig1_runtimes(benchmark, results):
+    def assemble():
+        table = {}
+        for sid in ALL_SCENARIOS:
+            table[sid] = {v: results.get(sid, v) for v in VARIANTS}
+        return table
+
+    table = benchmark.pedantic(assemble, rounds=1, iterations=1)
+
+    print()
+    print(format_fig1(table))
+
+    # headline claim: adaptation yields significant improvements in every
+    # problem scenario, at single-digit overhead in the ideal one
+    gains = {
+        sid: improvement(
+            table[sid]["none"].runtime_seconds,
+            table[sid]["adapt"].runtime_seconds,
+        )
+        for sid in ALL_SCENARIOS
+    }
+    print("adaptive gains:", {k: f"{v:+.0%}" for k, v in gains.items()})
+
+    assert gains["s1"] > -0.10  # overhead-only scenario: small loss at most
+    for sid in ["s2a", "s2b", "s2c", "s3", "s4", "s5", "s6"]:
+        assert gains[sid] > 0.05, f"{sid}: expected a gain, got {gains[sid]:.0%}"
+    # the paper's range: improvements up to tens of percent
+    assert max(gains.values()) > 0.30

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Tutorial: running YOUR divide-and-conquer application adaptively.
+
+The library needs exactly two things from an application:
+
+1. a **spawn tree** per iteration — `repro.satin.TaskNode` objects whose
+   `work` fields carry the real task costs (here: the comparison counts
+   of a merge sort, computed from the actual recursion), and
+2. an object with a ``name`` attribute and an ``iterations()`` method
+   yielding `repro.satin.Iteration` objects.
+
+Everything else — work stealing, monitoring, speed benchmarking (here:
+auto-generated from the task graph, the paper's future-work idea), and
+the adaptation loop — comes from the library.
+
+Run:  python examples/custom_application.py
+"""
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core import AdaptationCoordinator, AdaptationPolicy, CoordinatorConfig, PolicyConfig
+from repro.registry import Registry
+from repro.satin import (
+    AppDriver,
+    Iteration,
+    SatinRuntime,
+    TaskNode,
+    WorkerConfig,
+    auto_benchmark_config,
+)
+from repro.simgrid import Environment, Network, RngStreams, das2_like_grid
+from repro.zorilla import ResourcePool
+
+
+# ----------------------------------------------------------------------
+# Step 1: your computation, with real costs.
+# A parallel merge sort over chunks of different sizes: sorting a chunk of
+# n elements costs ~n·log2(n) comparisons; merging two sorted runs costs
+# the sum of their lengths. We build the spawn tree straight from those
+# formulas, so the simulated task costs are the algorithm's true ones.
+# ----------------------------------------------------------------------
+COMPARISONS_PER_SECOND = 5e5  # one speed-1.0 grid node
+
+
+def mergesort_tree(n_elements: int, leaf_elements: int = 4096) -> TaskNode:
+    if n_elements <= leaf_elements:
+        comparisons = n_elements * max(np.log2(max(n_elements, 2)), 1.0)
+        return TaskNode(
+            work=comparisons / COMPARISONS_PER_SECOND,
+            data_in=n_elements * 8.0,
+            data_out=n_elements * 8.0,
+            tag=f"sort[{n_elements}]",
+        )
+    half = n_elements // 2
+    return TaskNode(
+        work=0.001,  # splitting is cheap
+        children=(mergesort_tree(half, leaf_elements),
+                  mergesort_tree(n_elements - half, leaf_elements)),
+        combine_work=n_elements / COMPARISONS_PER_SECOND,  # the merge
+        data_in=n_elements * 8.0,
+        data_out=n_elements * 8.0,
+        tag=f"split[{n_elements}]",
+    )
+
+
+class MergeSortApp:
+    """Sort a sequence of datasets of growing size."""
+
+    name = "mergesort"
+
+    def __init__(self, sizes: list[int]) -> None:
+        self.sizes = sizes
+
+    def iterations(self) -> Iterator[Iteration]:
+        for i, n in enumerate(self.sizes):
+            yield Iteration(tree=mergesort_tree(n), label=f"dataset{i}[{n}]")
+
+
+# ----------------------------------------------------------------------
+# Step 2: a grid, a runtime, the coordinator — and off it goes.
+# ----------------------------------------------------------------------
+def main() -> None:
+    env = Environment()
+    grid = das2_like_grid(large_cluster_nodes=8, small_cluster_nodes=6,
+                          small_clusters=2)
+    network = Network(env, grid)
+
+    # derive the speed benchmark automatically from the first dataset's
+    # task graph (no programmer-chosen problem size needed)
+    first_tree = mergesort_tree(2_000_000)
+    bench = auto_benchmark_config(
+        first_tree, np.random.default_rng(0), expected_nodes=8,
+        max_overhead=0.03,
+    )
+    print(f"auto-generated benchmark: {bench.work:.2f} work units per run")
+
+    runtime = SatinRuntime(
+        env=env,
+        network=network,
+        registry=Registry(env),
+        config=WorkerConfig(monitoring_period=30.0, collect_stats=True,
+                            benchmark=bench),
+        rng=RngStreams(0),
+    )
+    pool = ResourcePool(network)
+    initial = pool.allocate(4)
+    runtime.add_nodes(initial)
+
+    coordinator = AdaptationCoordinator(
+        runtime=runtime,
+        pool=pool,
+        policy=AdaptationPolicy(PolicyConfig(max_nodes=20)),
+        config=CoordinatorConfig(monitoring_period=30.0, decision_slack=4.5),
+    )
+    coordinator.start()
+
+    # datasets of growing size: the degree of parallelism changes during
+    # the run, and the node count follows it. (Keep the top-level merge —
+    # a sequential phase — small relative to the sort work: scale the
+    # dataset too far and the coordinator will correctly *shrink* the
+    # resource set, because a mostly-sequential application cannot use it.)
+    app = MergeSortApp(sizes=[1_000_000, 2_000_000, 4_000_000, 4_000_000,
+                              4_000_000, 4_000_000])
+    driver = AppDriver(runtime, app)
+    env.run(until=driver.start())
+
+    print(f"\nsorted {len(app.sizes)} datasets in "
+          f"{driver.runtime_seconds:.0f} simulated seconds")
+    print("dataset durations (s):",
+          " ".join(f"{d:.0f}"
+                   for d in runtime.trace.series("iteration_duration").values))
+    print("node count over time:",
+          " ".join(f"{int(v)}" for v in runtime.trace.series("nworkers").values))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Quickstart: run a self-adapting application on a simulated grid.
+
+Builds a small three-cluster grid, deliberately starts a Barnes-Hut
+simulation on too few nodes, attaches the adaptation coordinator, and
+watches it grow the resource set to a reasonable size — the paper's
+scenario 2 in miniature.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.barneshut import BarnesHutConfig, BarnesHutSimulation
+from repro.core import (
+    AdaptationCoordinator,
+    AdaptationPolicy,
+    CoordinatorConfig,
+    PolicyConfig,
+)
+from repro.registry import Registry
+from repro.satin import AppDriver, BenchmarkConfig, SatinRuntime, WorkerConfig
+from repro.simgrid import Environment, Network, RngStreams
+from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+from repro.zorilla import ResourcePool
+
+
+def build_grid() -> GridSpec:
+    """Three 8-node clusters joined by a WAN."""
+    clusters = tuple(
+        ClusterSpec(
+            name=name,
+            nodes=tuple(NodeSpec(f"{name}/n{i}", name) for i in range(8)),
+        )
+        for name in ("amsterdam", "leiden", "delft")
+    )
+    return GridSpec(clusters=clusters)
+
+
+def main() -> None:
+    env = Environment()
+    grid = build_grid()
+    network = Network(env, grid)
+    registry = Registry(env, detection_delay=5.0)
+
+    # Worker configuration: collect statistics every 60 simulated seconds,
+    # measure speed with a small application benchmark (<=3% overhead).
+    runtime = SatinRuntime(
+        env=env,
+        network=network,
+        registry=registry,
+        config=WorkerConfig(
+            monitoring_period=60.0,
+            collect_stats=True,
+            benchmark=BenchmarkConfig(work=1.5, max_overhead=0.03),
+        ),
+        rng=RngStreams(0),
+    )
+
+    # Start on just 4 nodes of one cluster — an "arbitrary set of
+    # resources", as the paper puts it.
+    pool = ResourcePool(network)
+    initial = [f"amsterdam/n{i}" for i in range(4)]
+    pool.mark_allocated(initial)
+    runtime.add_nodes(initial)
+
+    # The adaptation coordinator: keeps weighted average efficiency
+    # between E_min = 0.3 and E_max = 0.5 by adding/removing nodes.
+    coordinator = AdaptationCoordinator(
+        runtime=runtime,
+        pool=pool,
+        policy=AdaptationPolicy(PolicyConfig(max_nodes=24)),
+        config=CoordinatorConfig(monitoring_period=60.0, decision_slack=9.0),
+    )
+    coordinator.start()
+
+    # The application: a real Barnes-Hut N-body simulation whose
+    # per-iteration spawn trees carry exact interaction-count costs.
+    app = BarnesHutSimulation(
+        BarnesHutConfig(n_bodies=512, n_iterations=16, work_per_interaction=7e-4)
+    )
+    driver = AppDriver(runtime, app)
+    done = driver.start()
+    env.run(until=done)
+
+    print(f"application finished in {driver.runtime_seconds:.0f} simulated seconds")
+    print(f"final resource set: {len(runtime.alive_worker_names())} nodes "
+          f"(started with {len(initial)})")
+    print("\nweighted average efficiency per monitoring period:")
+    for t, wae in runtime.trace.series("wae"):
+        print(f"  t={t:6.0f}s  WAE={wae:.2f}")
+    print("\nadaptation decisions:")
+    for t, decision in coordinator.decisions:
+        print(f"  t={t:6.0f}s  {type(decision).__name__:<13} {decision.reason}")
+    durations = runtime.trace.series("iteration_duration").values
+    print("\niteration durations (s):",
+          " ".join(f"{d:.0f}" for d in durations))
+
+
+if __name__ == "__main__":
+    main()

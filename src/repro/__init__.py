@@ -1,0 +1,3 @@
+"""repro: reproduction of "Self-adaptive applications on the grid" (PPoPP 2007)."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,48 @@
+"""Applications: workloads that run on the Satin runtime.
+
+:mod:`.barneshut` is the paper's evaluation application (real octree,
+cost-exact force tasks); :mod:`.dctree` provides synthetic spawn trees;
+:mod:`.fib`, :mod:`.nqueens`, :mod:`.integrate`, and :mod:`.tsp` are
+classic divide-and-conquer applications with real sequential solvers and
+cost-faithful spawn trees.
+"""
+
+from .barneshut import BarnesHutConfig, BarnesHutSimulation
+from .dctree import SyntheticIterativeApp, balanced_tree, irregular_tree, skewed_tree
+from .fib import FibApp, fib, fib_spawn_tree
+from .integrate import IntegrateApp, adaptive_simpson, integration_spawn_tree
+from .matmul import MatMulApp, dc_matmul, matmul_spawn_tree
+from .nqueens import NQueensApp, count_solutions, nqueens_spawn_tree
+from .sat import SatApp, dpll, random_3sat, sat_spawn_tree
+from .sweep import ParameterSweepApp, sweep_tree
+from .tsp import TspApp, solve_tsp, tsp_spawn_tree
+
+__all__ = [
+    "BarnesHutConfig",
+    "BarnesHutSimulation",
+    "FibApp",
+    "IntegrateApp",
+    "MatMulApp",
+    "NQueensApp",
+    "ParameterSweepApp",
+    "SatApp",
+    "SyntheticIterativeApp",
+    "TspApp",
+    "adaptive_simpson",
+    "balanced_tree",
+    "count_solutions",
+    "dc_matmul",
+    "dpll",
+    "fib",
+    "fib_spawn_tree",
+    "integration_spawn_tree",
+    "irregular_tree",
+    "matmul_spawn_tree",
+    "nqueens_spawn_tree",
+    "random_3sat",
+    "sat_spawn_tree",
+    "skewed_tree",
+    "solve_tsp",
+    "sweep_tree",
+    "tsp_spawn_tree",
+]

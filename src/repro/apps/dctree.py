@@ -1,0 +1,170 @@
+"""Synthetic divide-and-conquer spawn trees.
+
+Generators for the tree shapes used by tests, examples, and ablation
+benchmarks:
+
+* :func:`balanced_tree` — a perfect ``fanout``-ary tree with equal leaf
+  work: the best case for work stealing;
+* :func:`skewed_tree` — each divide splits the remaining work unevenly
+  (ratio ``skew``), producing a deep, unbalanced tree;
+* :func:`irregular_tree` — random fanout, depth, and leaf costs spanning
+  orders of magnitude: the structure the paper ascribes to real
+  divide-and-conquer applications ("the sizes of tasks can vary by many
+  orders of magnitude"), which is why task counting cannot replace
+  benchmarking for speed measurement;
+* :func:`iterative_workload` — a fixed-shape tree repeated for *n*
+  iterations, for adaptation experiments that need a steady per-iteration
+  load.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..satin.app import Iteration
+from ..satin.task import TaskNode
+
+__all__ = [
+    "balanced_tree",
+    "skewed_tree",
+    "irregular_tree",
+    "SyntheticIterativeApp",
+]
+
+
+def balanced_tree(
+    depth: int,
+    fanout: int = 2,
+    leaf_work: float = 1.0,
+    divide_work: float = 0.01,
+    combine_work: float = 0.01,
+    data_in: float = 1024.0,
+    data_out: float = 1024.0,
+) -> TaskNode:
+    """A perfect ``fanout``-ary tree of the given ``depth``.
+
+    ``depth=0`` is a single leaf. Total leaves: ``fanout ** depth``.
+    """
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    if fanout < 2:
+        raise ValueError("fanout must be >= 2")
+    if depth == 0:
+        return TaskNode(work=leaf_work, data_in=data_in, data_out=data_out)
+    child = balanced_tree(
+        depth - 1, fanout, leaf_work, divide_work, combine_work, data_in, data_out
+    )
+    return TaskNode(
+        work=divide_work,
+        children=(child,) * fanout,
+        combine_work=combine_work,
+        data_in=data_in,
+        data_out=data_out,
+    )
+
+
+def skewed_tree(
+    total_work: float,
+    min_leaf_work: float,
+    skew: float = 0.7,
+    divide_work: float = 0.01,
+    combine_work: float = 0.01,
+    data_in: float = 1024.0,
+    data_out: float = 1024.0,
+) -> TaskNode:
+    """Binary tree splitting work ``skew : (1 - skew)`` until leaves.
+
+    A subtree with work below ``min_leaf_work`` becomes a leaf, so the
+    tree's depth along the heavy spine is roughly
+    ``log(total/min) / log(1/skew)``.
+    """
+    if not 0.5 <= skew < 1.0:
+        raise ValueError("skew must be in [0.5, 1)")
+    if min_leaf_work <= 0 or total_work <= 0:
+        raise ValueError("work amounts must be > 0")
+    if total_work <= min_leaf_work:
+        return TaskNode(work=total_work, data_in=data_in, data_out=data_out)
+    heavy = skewed_tree(
+        total_work * skew, min_leaf_work, skew, divide_work, combine_work,
+        data_in, data_out,
+    )
+    light = skewed_tree(
+        total_work * (1 - skew), min_leaf_work, skew, divide_work, combine_work,
+        data_in, data_out,
+    )
+    return TaskNode(
+        work=divide_work,
+        children=(heavy, light),
+        combine_work=combine_work,
+        data_in=data_in,
+        data_out=data_out,
+    )
+
+
+def irregular_tree(
+    rng: np.random.Generator,
+    depth: int = 5,
+    max_fanout: int = 4,
+    leaf_work_range: tuple[float, float] = (0.01, 10.0),
+    divide_work: float = 0.01,
+    combine_work: float = 0.01,
+    data_in: float = 1024.0,
+    data_out: float = 1024.0,
+) -> TaskNode:
+    """Random tree with log-uniform leaf costs (orders-of-magnitude spread)."""
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    lo, hi = leaf_work_range
+    if not 0 < lo <= hi:
+        raise ValueError("invalid leaf work range")
+    if depth == 0 or rng.random() < 0.15:  # occasional early leaf
+        work = float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+        return TaskNode(work=work, data_in=data_in, data_out=data_out)
+    fanout = int(rng.integers(2, max_fanout + 1))
+    children = tuple(
+        irregular_tree(
+            rng, depth - 1, max_fanout, leaf_work_range, divide_work,
+            combine_work, data_in, data_out,
+        )
+        for _ in range(fanout)
+    )
+    return TaskNode(
+        work=divide_work,
+        children=children,
+        combine_work=combine_work,
+        data_in=data_in,
+        data_out=data_out,
+    )
+
+
+class SyntheticIterativeApp:
+    """A fixed spawn tree repeated ``n_iterations`` times.
+
+    The simplest iterative application: useful wherever an experiment needs
+    a constant per-iteration load (every unit test of the adaptation loop,
+    and the ablation benchmarks).
+    """
+
+    def __init__(
+        self,
+        tree: TaskNode,
+        n_iterations: int,
+        broadcast_bytes: float = 0.0,
+        name: str = "synthetic",
+    ) -> None:
+        if n_iterations < 1:
+            raise ValueError("need at least one iteration")
+        self.tree = tree
+        self.n_iterations = n_iterations
+        self.broadcast_bytes = broadcast_bytes
+        self.name = name
+
+    def iterations(self) -> Iterator[Iteration]:
+        for i in range(self.n_iterations):
+            yield Iteration(
+                tree=self.tree,
+                broadcast_bytes=self.broadcast_bytes,
+                label=f"iter{i}",
+            )

@@ -1,0 +1,199 @@
+"""Adaptive quadrature — numerical divide-and-conquer over a real function.
+
+Adaptive Simpson integration: an interval whose Simpson estimate is not
+yet accurate enough splits in half and recurses. The recursion tree is
+data-dependent — oscillatory or peaked regions split deeply while smooth
+regions finish immediately — giving the orders-of-magnitude task-size
+spread the paper attributes to divide-and-conquer applications.
+
+The module both *computes the integral* (so tests can verify against
+closed forms / SciPy) and records the recursion as a spawn tree with one
+function-evaluation-weighted cost per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from ..satin.app import Iteration
+from ..satin.task import TaskNode
+
+__all__ = [
+    "adaptive_simpson",
+    "IntegrationResult",
+    "integration_spawn_tree",
+    "IntegrateApp",
+    "oscillatory",
+    "peaked",
+]
+
+
+def oscillatory(x: float) -> float:
+    """sin(50x)·exp(-x²): needs deep recursion near the origin."""
+    import math
+
+    return math.sin(50.0 * x) * math.exp(-x * x)
+
+
+def peaked(x: float) -> float:
+    """A narrow Lorentzian peak at x=0.3: splits concentrate around it."""
+    eps = 1e-3
+    return eps / ((x - 0.3) ** 2 + eps * eps)
+
+
+@dataclass
+class IntegrationResult:
+    value: float
+    evaluations: int
+    max_depth: int
+    tree: Optional[TaskNode]
+
+
+def _simpson(f, a, fa, b, fb, m, fm) -> float:
+    return (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+
+
+def adaptive_simpson(
+    f: Callable[[float], float],
+    a: float,
+    b: float,
+    tol: float = 1e-8,
+    max_depth: int = 30,
+    build_tree: bool = False,
+    work_per_eval: float = 1e-5,
+    min_task_depth: int = 3,
+) -> IntegrationResult:
+    """Adaptive Simpson with optional spawn-tree recording.
+
+    ``min_task_depth`` controls spawn-tree granularity: recursion below
+    that depth is folded into its parent leaf task (a real implementation
+    would likewise stop spawning once tasks get small).
+    """
+    if b <= a:
+        raise ValueError("need a < b")
+    if tol <= 0:
+        raise ValueError("tol must be > 0")
+    state = {"evals": 0, "max_depth": 0}
+
+    def feval(x: float) -> float:
+        state["evals"] += 1
+        return f(x)
+
+    def recurse(
+        a: float, fa: float, b: float, fb: float, m: float, fm: float,
+        whole: float, tol: float, depth: int,
+    ) -> tuple[float, int]:
+        """Returns (integral, evaluations in this subtree)."""
+        state["max_depth"] = max(state["max_depth"], depth)
+        lm = (a + m) / 2.0
+        rm = (m + b) / 2.0
+        flm, frm = feval(lm), feval(rm)
+        evals = 2
+        left = _simpson(f, a, fa, m, fm, lm, flm)
+        right = _simpson(f, m, fm, b, fb, rm, frm)
+        if depth >= max_depth or abs(left + right - whole) <= 15.0 * tol:
+            return left + right + (left + right - whole) / 15.0, evals
+        lv, le = recurse(a, fa, m, fm, lm, flm, left, tol / 2.0, depth + 1)
+        rv, re_ = recurse(m, fm, b, fb, rm, frm, right, tol / 2.0, depth + 1)
+        return lv + rv, evals + le + re_
+
+    # The spawn tree mirrors the recursion but is built by a second pass
+    # that records per-subtree evaluation counts.
+    def recurse_tree(
+        a: float, fa: float, b: float, fb: float, m: float, fm: float,
+        whole: float, tol: float, depth: int,
+    ) -> tuple[float, int, Optional[TaskNode]]:
+        lm = (a + m) / 2.0
+        rm = (m + b) / 2.0
+        flm, frm = feval(lm), feval(rm)
+        evals = 2
+        left = _simpson(f, a, fa, m, fm, lm, flm)
+        right = _simpson(f, m, fm, b, fb, rm, frm)
+        if depth >= max_depth or abs(left + right - whole) <= 15.0 * tol:
+            value = left + right + (left + right - whole) / 15.0
+            return value, evals, TaskNode(
+                work=evals * work_per_eval, tag=f"quad-leaf[{a:.3g},{b:.3g}]"
+            )
+        lv, le, lt = recurse_tree(a, fa, m, fm, lm, flm, left, tol / 2.0, depth + 1)
+        rv, re_, rt = recurse_tree(m, fm, b, fb, rm, frm, right, tol / 2.0, depth + 1)
+        total_evals = evals + le + re_
+        if depth < min_task_depth:
+            node = TaskNode(
+                work=evals * work_per_eval,
+                children=(lt, rt),
+                combine_work=work_per_eval,
+                tag=f"quad-node[{a:.3g},{b:.3g}]",
+            )
+        else:
+            # fold fine-grained recursion into one leaf task
+            node = TaskNode(
+                work=total_evals * work_per_eval,
+                tag=f"quad-fold[{a:.3g},{b:.3g}]",
+            )
+        return lv + rv, total_evals, node
+
+    fa, fb = feval(a), feval(b)
+    m = (a + b) / 2.0
+    fm = feval(m)
+    whole = _simpson(f, a, fa, b, fb, m, fm)
+    if build_tree:
+        value, _, tree = recurse_tree(a, fa, b, fb, m, fm, whole, tol, 1)
+    else:
+        value, _ = recurse(a, fa, b, fb, m, fm, whole, tol, 1)
+        tree = None
+    return IntegrationResult(
+        value=value,
+        evaluations=state["evals"],
+        max_depth=state["max_depth"],
+        tree=tree,
+    )
+
+
+def integration_spawn_tree(
+    f: Callable[[float], float],
+    a: float,
+    b: float,
+    tol: float = 1e-8,
+    work_per_eval: float = 1e-5,
+    min_task_depth: int = 4,
+) -> TaskNode:
+    """Spawn tree of the adaptive integration (costs = evaluation counts)."""
+    result = adaptive_simpson(
+        f, a, b, tol,
+        build_tree=True,
+        work_per_eval=work_per_eval,
+        min_task_depth=min_task_depth,
+    )
+    assert result.tree is not None
+    return result.tree
+
+
+class IntegrateApp:
+    """IterativeApplication adapter: one iteration per integrand."""
+
+    name = "integrate"
+
+    def __init__(
+        self,
+        integrands: Optional[list[tuple[Callable[[float], float], float, float]]] = None,
+        tol: float = 1e-8,
+        work_per_eval: float = 1e-4,
+    ) -> None:
+        # asymmetric oscillatory range: over a symmetric interval the odd
+        # integrand self-cancels and the recursion terminates immediately
+        self.integrands = integrands or [
+            (oscillatory, -1.0, 2.0),
+            (peaked, 0.0, 1.0),
+        ]
+        self.tol = tol
+        self.work_per_eval = work_per_eval
+
+    def iterations(self) -> Iterator[Iteration]:
+        for i, (f, a, b) in enumerate(self.integrands):
+            yield Iteration(
+                tree=integration_spawn_tree(
+                    f, a, b, self.tol, self.work_per_eval
+                ),
+                label=f"integral{i}",
+            )

@@ -1,0 +1,113 @@
+"""Cache-oblivious divide-and-conquer matrix multiplication.
+
+The *regular* end of the divide-and-conquer spectrum: an 8-way recursive
+matrix multiply whose spawn tree is perfectly balanced and whose leaf
+costs are exact flop counts (``2·b³`` per ``b×b`` block product). It
+complements the irregular search applications — on this workload the
+task-rate speed estimator is accurate, stealing is easy, and any
+measured inefficiency comes from the grid, not from the application.
+
+A real NumPy reference implementation of the same recursion validates
+that the decomposition computes the right product.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..satin.app import Iteration
+from ..satin.task import TaskNode
+
+__all__ = ["dc_matmul", "matmul_spawn_tree", "MatMulApp"]
+
+
+def dc_matmul(a: np.ndarray, b: np.ndarray, block: int = 64) -> np.ndarray:
+    """Recursive 8-way block multiply (must equal ``a @ b``)."""
+    n = a.shape[0]
+    if a.shape != (n, n) or b.shape != (n, n):
+        raise ValueError("need square matrices of equal size")
+    if n & (n - 1):
+        raise ValueError("size must be a power of two")
+    if n <= block:
+        return a @ b
+    h = n // 2
+    a11, a12, a21, a22 = a[:h, :h], a[:h, h:], a[h:, :h], a[h:, h:]
+    b11, b12, b21, b22 = b[:h, :h], b[:h, h:], b[h:, :h], b[h:, h:]
+    out = np.empty_like(a)
+    out[:h, :h] = dc_matmul(a11, b11, block) + dc_matmul(a12, b21, block)
+    out[:h, h:] = dc_matmul(a11, b12, block) + dc_matmul(a12, b22, block)
+    out[h:, :h] = dc_matmul(a21, b11, block) + dc_matmul(a22, b21, block)
+    out[h:, h:] = dc_matmul(a21, b12, block) + dc_matmul(a22, b22, block)
+    return out
+
+
+def matmul_spawn_tree(
+    n: int,
+    block: int = 64,
+    flops_per_second: float = 1e9,
+    bytes_per_element: float = 8.0,
+) -> TaskNode:
+    """Spawn tree of the 8-way recursion with exact flop-count costs.
+
+    Each internal node spawns the 8 half-size products; the four additions
+    of partial results form its combine phase (``n²`` flops per addition
+    pair at that level). Data sizes are the blocks shipped to a thief
+    (two input blocks) and returned (one output block).
+    """
+    if n < 1 or n & (n - 1):
+        raise ValueError("size must be a positive power of two")
+    if block < 1 or block & (block - 1):
+        raise ValueError("block must be a positive power of two")
+    if flops_per_second <= 0:
+        raise ValueError("flops_per_second must be > 0")
+
+    def build(size: int) -> TaskNode:
+        in_bytes = 2 * size * size * bytes_per_element
+        out_bytes = size * size * bytes_per_element
+        if size <= block:
+            return TaskNode(
+                work=2.0 * size**3 / flops_per_second,
+                data_in=in_bytes,
+                data_out=out_bytes,
+                tag=f"mm-leaf[{size}]",
+            )
+        half = size // 2
+        children = tuple(build(half) for _ in range(8))
+        combine_flops = 4 * half * half  # four block additions
+        return TaskNode(
+            work=1e-6,  # partitioning is index arithmetic
+            children=children,
+            combine_work=combine_flops / flops_per_second,
+            data_in=in_bytes,
+            data_out=out_bytes,
+            tag=f"mm-node[{size}]",
+        )
+
+    return build(n)
+
+
+class MatMulApp:
+    """IterativeApplication: a sequence of same-size multiplications."""
+
+    name = "matmul"
+
+    def __init__(
+        self,
+        n: int = 2048,
+        block: int = 128,
+        n_multiplies: int = 4,
+        flops_per_second: float = 1e9,
+    ) -> None:
+        if n_multiplies < 1:
+            raise ValueError("need at least one multiply")
+        self.n = n
+        self.block = block
+        self.n_multiplies = n_multiplies
+        self.flops_per_second = flops_per_second
+
+    def iterations(self) -> Iterator[Iteration]:
+        tree = matmul_spawn_tree(self.n, self.block, self.flops_per_second)
+        for i in range(self.n_multiplies):
+            yield Iteration(tree=tree, label=f"matmul{i}")

@@ -1,0 +1,142 @@
+"""N-queens — an irregular divide-and-conquer search application.
+
+N-queens is one of the applications the Satin line of work uses to show
+divide-and-conquer handles *irregular* search problems (the paper notes
+performance-degradation detection based on iteration counting "cannot be
+used for irregular computations such as search and optimization
+problems").
+
+The real solver counts all placements with bitboard backtracking. The
+spawn tree branches on the first ``branch_depth`` rows: each consistent
+prefix becomes a task whose leaf work is the **measured** number of
+search nodes explored below that prefix — so the spawn tree's cost
+profile is the genuinely irregular one (some prefixes die immediately,
+others carry most of the search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..satin.app import Iteration
+from ..satin.task import TaskNode
+
+__all__ = ["solve_nqueens", "count_solutions", "nqueens_spawn_tree", "NQueensApp"]
+
+#: solution counts for validation (OEIS A000170)
+KNOWN_COUNTS = {1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724}
+
+
+@dataclass
+class _SearchResult:
+    solutions: int
+    nodes: int
+
+
+def _search(n: int, cols: int, diag1: int, diag2: int) -> _SearchResult:
+    """Bitboard backtracking below the given partial placement."""
+    full = (1 << n) - 1
+    if cols == full:
+        return _SearchResult(solutions=1, nodes=1)
+    solutions = 0
+    nodes = 1
+    free = full & ~(cols | diag1 | diag2)
+    while free:
+        bit = free & -free
+        free ^= bit
+        sub = _search(
+            n, cols | bit, ((diag1 | bit) << 1) & full, (diag2 | bit) >> 1
+        )
+        solutions += sub.solutions
+        nodes += sub.nodes
+    return _SearchResult(solutions, nodes)
+
+
+def count_solutions(n: int) -> int:
+    """Number of N-queens solutions (exact)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return _search(n, 0, 0, 0).solutions
+
+
+def solve_nqueens(n: int) -> _SearchResult:
+    """Solutions and explored-node count."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return _search(n, 0, 0, 0)
+
+
+def nqueens_spawn_tree(
+    n: int,
+    branch_depth: int = 2,
+    work_per_node: float = 1e-6,
+    spawn_bytes: float = 64.0,
+) -> TaskNode:
+    """Spawn tree branching on the first ``branch_depth`` rows.
+
+    Leaf work equals the exact number of backtracking nodes below the
+    prefix (measured by running the real search), making the cost profile
+    faithfully irregular.
+    """
+    if branch_depth < 1 or branch_depth > n:
+        raise ValueError("branch_depth must be in [1, n]")
+    full = (1 << n) - 1
+
+    def build(depth: int, cols: int, diag1: int, diag2: int) -> TaskNode | None:
+        if depth == branch_depth:
+            result = _search(n, cols, diag1, diag2)
+            return TaskNode(
+                work=max(result.nodes, 1) * work_per_node,
+                data_in=spawn_bytes,
+                data_out=spawn_bytes,
+                tag=f"nq-leaf[{result.nodes}]",
+            )
+        children = []
+        free = full & ~(cols | diag1 | diag2)
+        while free:
+            bit = free & -free
+            free ^= bit
+            child = build(
+                depth + 1,
+                cols | bit,
+                ((diag1 | bit) << 1) & full,
+                (diag2 | bit) >> 1,
+            )
+            if child is not None:
+                children.append(child)
+        if not children:
+            return None  # dead prefix: pruned from the spawn tree
+        return TaskNode(
+            work=work_per_node,
+            children=tuple(children),
+            combine_work=work_per_node,
+            data_in=spawn_bytes,
+            data_out=spawn_bytes,
+            tag=f"nq-node[d{depth}]",
+        )
+
+    tree = build(0, 0, 0, 0)
+    if tree is None:
+        # No consistent prefix at all (n = 2, 3): a single trivial leaf.
+        return TaskNode(work=work_per_node, tag="nq-empty")
+    return tree
+
+
+class NQueensApp:
+    """IterativeApplication adapter: one iteration solving N-queens."""
+
+    name = "nqueens"
+
+    def __init__(
+        self, n: int = 13, branch_depth: int = 2, work_per_node: float = 1e-6
+    ) -> None:
+        self.n = n
+        self.branch_depth = branch_depth
+        self.work_per_node = work_per_node
+
+    def iterations(self) -> Iterator[Iteration]:
+        yield Iteration(
+            tree=nqueens_spawn_tree(self.n, self.branch_depth, self.work_per_node),
+            label=f"nqueens({self.n})",
+        )

@@ -1,0 +1,222 @@
+"""DPLL SAT solving — GridSAT-style irregular search on the grid.
+
+The paper cites GridSAT ("a chaff-based distributed SAT solver for the
+grid") as the kind of application whose irregular, unpredictable search
+makes iteration-based performance indicators useless — exactly the class
+the model-free adaptation approach targets.
+
+This module implements a real DPLL solver (unit propagation + branching
+on the most frequent open variable) and, like the other search apps,
+derives the spawn tree from the actual search: the tree branches on the
+first ``branch_depth`` decision variables, and each branch's leaf cost is
+the *measured* number of DPLL nodes below that assignment prefix. Some
+prefixes refute instantly, others carry nearly the whole search — task
+sizes spread over orders of magnitude.
+
+Instances: uniform random 3-SAT at a configurable clause/variable ratio
+(4.26 is the classic hardness peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..satin.app import Iteration
+from ..satin.task import TaskNode
+
+__all__ = [
+    "random_3sat",
+    "brute_force_satisfiable",
+    "dpll",
+    "DpllResult",
+    "sat_spawn_tree",
+    "SatApp",
+]
+
+Clause = tuple[int, ...]  # DIMACS-style literals: ±(var+1)
+
+
+def random_3sat(
+    n_vars: int, n_clauses: int, rng: np.random.Generator
+) -> list[Clause]:
+    """Uniform random 3-SAT: distinct variables per clause, random signs."""
+    if n_vars < 3:
+        raise ValueError("need at least 3 variables")
+    clauses = []
+    for _ in range(n_clauses):
+        vars_ = rng.choice(n_vars, size=3, replace=False)
+        signs = rng.integers(0, 2, size=3) * 2 - 1
+        clauses.append(tuple(int(s * (v + 1)) for s, v in zip(signs, vars_)))
+    return clauses
+
+
+def brute_force_satisfiable(n_vars: int, clauses: Sequence[Clause]) -> bool:
+    """Exhaustive check (validation only; n_vars <= ~20)."""
+    for bits in product([False, True], repeat=n_vars):
+        if all(
+            any((lit > 0) == bits[abs(lit) - 1] for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+@dataclass
+class DpllResult:
+    satisfiable: bool
+    nodes: int
+    assignment: Optional[dict[int, bool]]  # 1-based var -> value (if SAT)
+
+
+def _unit_propagate(
+    clauses: list[Clause], assignment: dict[int, bool]
+) -> Optional[list[Clause]]:
+    """Simplify under ``assignment`` with unit propagation; None = conflict."""
+    changed = True
+    clauses = list(clauses)
+    while changed:
+        changed = False
+        next_clauses: list[Clause] = []
+        for clause in clauses:
+            out: list[int] = []
+            satisfied = False
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if (lit > 0) == assignment[var]:
+                        satisfied = True
+                        break
+                else:
+                    out.append(lit)
+            if satisfied:
+                continue
+            if not out:
+                return None  # empty clause: conflict
+            if len(out) == 1:
+                lit = out[0]
+                assignment[abs(lit)] = lit > 0
+                changed = True
+            else:
+                next_clauses.append(tuple(out))
+        clauses = next_clauses
+    return clauses
+
+
+def _choose_branch_var(clauses: list[Clause]) -> int:
+    """Most frequent open variable (a cheap MOM-style heuristic)."""
+    counts: dict[int, int] = {}
+    for clause in clauses:
+        for lit in clause:
+            counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+    return max(counts, key=lambda v: (counts[v], -v))
+
+
+def dpll(
+    clauses: Sequence[Clause], assignment: Optional[dict[int, bool]] = None
+) -> DpllResult:
+    """DPLL with unit propagation; counts decision nodes explored."""
+    assignment = dict(assignment or {})
+    simplified = _unit_propagate(list(clauses), assignment)
+    if simplified is None:
+        return DpllResult(False, 1, None)
+    if not simplified:
+        return DpllResult(True, 1, assignment)
+    var = _choose_branch_var(simplified)
+    nodes = 1
+    for value in (True, False):
+        sub = dpll(simplified, {**assignment, var: value})
+        nodes += sub.nodes
+        if sub.satisfiable:
+            return DpllResult(True, nodes, sub.assignment)
+    return DpllResult(False, nodes, None)
+
+
+def verify_assignment(clauses: Sequence[Clause], assignment: dict[int, bool]) -> bool:
+    """Check a model against the clauses (free variables may be absent —
+    a clause must then be satisfied by an assigned literal)."""
+    return all(
+        any(
+            abs(lit) in assignment and (lit > 0) == assignment[abs(lit)]
+            for lit in clause
+        )
+        for clause in clauses
+    )
+
+
+def sat_spawn_tree(
+    clauses: Sequence[Clause],
+    branch_depth: int = 3,
+    work_per_node: float = 1e-4,
+    spawn_bytes: float = 512.0,
+) -> TaskNode:
+    """Spawn tree branching on the first ``branch_depth`` decision vars.
+
+    Mirrors a distributed guiding-path decomposition (GridSAT's scheme):
+    each prefix assignment becomes an independent task; leaf costs are the
+    measured DPLL node counts under that prefix. Prefixes refuted by unit
+    propagation become cheap leaves (cost 1 node).
+    """
+    if branch_depth < 1:
+        raise ValueError("branch_depth must be >= 1")
+
+    def build(assignment: dict[int, bool], depth: int) -> TaskNode:
+        simplified = _unit_propagate(list(clauses), dict(assignment))
+        if simplified is None or not simplified or depth == branch_depth:
+            result = dpll(clauses, assignment)
+            return TaskNode(
+                work=result.nodes * work_per_node,
+                data_in=spawn_bytes,
+                data_out=spawn_bytes,
+                tag=f"sat-leaf[{result.nodes}]",
+            )
+        var = _choose_branch_var(simplified)
+        children = tuple(
+            build({**assignment, var: value}, depth + 1)
+            for value in (True, False)
+        )
+        return TaskNode(
+            work=work_per_node,
+            children=children,
+            combine_work=work_per_node,
+            data_in=spawn_bytes,
+            data_out=spawn_bytes,
+            tag=f"sat-node[x{var}]",
+        )
+
+    return build({}, 0)
+
+
+class SatApp:
+    """IterativeApplication: one iteration per SAT instance."""
+
+    name = "sat"
+
+    def __init__(
+        self,
+        n_vars: int = 60,
+        ratio: float = 4.26,
+        n_instances: int = 1,
+        seed: int = 0,
+        branch_depth: int = 3,
+        work_per_node: float = 1e-4,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.instances = [
+            random_3sat(n_vars, int(round(n_vars * ratio)), rng)
+            for _ in range(n_instances)
+        ]
+        self.branch_depth = branch_depth
+        self.work_per_node = work_per_node
+
+    def iterations(self) -> Iterator[Iteration]:
+        for i, clauses in enumerate(self.instances):
+            yield Iteration(
+                tree=sat_spawn_tree(
+                    clauses, self.branch_depth, self.work_per_node
+                ),
+                label=f"sat{i}",
+            )

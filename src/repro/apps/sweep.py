@@ -1,0 +1,121 @@
+"""Parameter-sweep workload — the regular, master-worker-shaped case.
+
+The paper's related work (APST, MW, Heymann et al.) centres on
+master-worker and parameter-sweep applications: large bags of independent
+tasks of equal or similar size. Expressed as a one-level spawn tree they
+run unchanged on the divide-and-conquer runtime, and their *regularity*
+is exactly what makes the paper's task-counting speed measurement
+(:mod:`repro.satin.taskrate`) valid — unlike Barnes-Hut's
+orders-of-magnitude task spread.
+
+``task_cv`` (coefficient of variation) dials the workload continuously
+from perfectly regular (0) to heavy-tailed (≫1, lognormal), which the
+task-rate tests use to show where counting breaks down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..satin.app import Iteration
+from ..satin.task import TaskNode
+
+__all__ = ["sweep_tree", "ParameterSweepApp"]
+
+
+def sweep_tree(
+    n_tasks: int,
+    task_work: float,
+    task_cv: float = 0.0,
+    rng: np.random.Generator | None = None,
+    fanout: int = 16,
+    data_bytes: float = 512.0,
+    divide_work: float = 0.001,
+) -> TaskNode:
+    """A bag of ``n_tasks`` independent tasks with mean cost ``task_work``.
+
+    ``task_cv`` is the coefficient of variation of the per-task cost:
+    0 = identical tasks; >0 draws lognormal costs with that CV (mean
+    preserved). The bag is arranged as a ``fanout``-ary distribution tree
+    so work stealing can move chunks efficiently.
+    """
+    if n_tasks < 1:
+        raise ValueError("need at least one task")
+    if task_work <= 0:
+        raise ValueError("task_work must be > 0")
+    if task_cv < 0:
+        raise ValueError("task_cv must be >= 0")
+    if task_cv > 0 and rng is None:
+        raise ValueError("task_cv > 0 requires an rng")
+
+    if task_cv == 0:
+        costs = np.full(n_tasks, task_work)
+    else:
+        sigma2 = np.log(1.0 + task_cv * task_cv)
+        mu = np.log(task_work) - sigma2 / 2.0
+        costs = rng.lognormal(mean=mu, sigma=np.sqrt(sigma2), size=n_tasks)
+
+    def build(lo: int, hi: int) -> TaskNode:
+        if hi - lo <= 1:
+            return TaskNode(
+                work=float(costs[lo]),
+                data_in=data_bytes,
+                data_out=data_bytes,
+                tag=f"sweep-task{lo}",
+            )
+        if hi - lo <= fanout:
+            children = tuple(build(i, i + 1) for i in range(lo, hi))
+        else:
+            step = max((hi - lo + fanout - 1) // fanout, 1)
+            children = tuple(
+                build(i, min(i + step, hi)) for i in range(lo, hi, step)
+            )
+        return TaskNode(
+            work=divide_work,
+            children=children,
+            combine_work=divide_work,
+            data_in=data_bytes,
+            data_out=data_bytes,
+            tag=f"sweep-group[{lo}:{hi}]",
+        )
+
+    return build(0, n_tasks)
+
+
+class ParameterSweepApp:
+    """IterativeApplication: batches of independent tasks."""
+
+    name = "parameter-sweep"
+
+    def __init__(
+        self,
+        n_tasks: int = 256,
+        task_work: float = 1.0,
+        task_cv: float = 0.0,
+        n_batches: int = 1,
+        seed: int = 0,
+        broadcast_bytes: float = 0.0,
+    ) -> None:
+        if n_batches < 1:
+            raise ValueError("need at least one batch")
+        self.n_tasks = n_tasks
+        self.task_work = task_work
+        self.task_cv = task_cv
+        self.n_batches = n_batches
+        self.broadcast_bytes = broadcast_bytes
+        self._rng = np.random.default_rng(seed)
+
+    def iterations(self) -> Iterator[Iteration]:
+        for batch in range(self.n_batches):
+            yield Iteration(
+                tree=sweep_tree(
+                    self.n_tasks,
+                    self.task_work,
+                    self.task_cv,
+                    rng=self._rng,
+                ),
+                broadcast_bytes=self.broadcast_bytes,
+                label=f"batch{batch}",
+            )

@@ -1,0 +1,220 @@
+"""Command-line interface: run and inspect the paper's experiments.
+
+Usage (after installing the package)::
+
+    python -m repro list
+    python -m repro run s4 --variant adapt
+    python -m repro compare s4
+    python -m repro fig1 --scenarios s1,s4
+    python -m repro run s3 --json out.json
+
+``run`` executes one scenario under one variant and prints the run
+summary (plus the full measurement record as JSON if requested);
+``compare`` runs the non-adaptive and adaptive variants and prints the
+paper-figure iteration series; ``fig1`` assembles the runtime table
+across scenarios and variants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .experiments import (
+    SCENARIOS,
+    VARIANTS,
+    RunResult,
+    format_fig1,
+    format_iteration_series,
+    improvement,
+    run_scenario,
+    scenario,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser (exposed for shell-completion tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Self-adaptive applications on the grid' "
+            "(PPoPP 2007): run the paper's scenarios on the simulated grid."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available scenarios")
+
+    p_run = sub.add_parser("run", help="run one scenario under one variant")
+    p_run.add_argument("scenario", help="scenario id, e.g. s4")
+    p_run.add_argument(
+        "--variant", choices=VARIANTS, default="adapt",
+        help="none = plain run, monitor = statistics only, adapt = full",
+    )
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the full measurement record as JSON",
+    )
+
+    p_cmp = sub.add_parser(
+        "compare", help="run none vs adapt and print the figure series"
+    )
+    p_cmp.add_argument("scenario", help="scenario id, e.g. s4")
+    p_cmp.add_argument("--seed", type=int, default=0)
+
+    p_fig1 = sub.add_parser("fig1", help="assemble the Figure-1 runtime table")
+    p_fig1.add_argument(
+        "--scenarios", default=",".join(sorted(SCENARIOS)),
+        help="comma-separated scenario ids (default: all)",
+    )
+    p_fig1.add_argument("--seed", type=int, default=0)
+
+    p_exp = sub.add_parser(
+        "export", help="run scenarios and export tidy CSVs for plotting"
+    )
+    p_exp.add_argument("scenarios", help="comma-separated scenario ids")
+    p_exp.add_argument("--variants", default="none,adapt",
+                       help="comma-separated variants (default none,adapt)")
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--out", default="results", help="output directory")
+    return parser
+
+
+def _result_to_dict(result: RunResult) -> dict:
+    return {
+        "scenario": result.scenario_id,
+        "variant": result.variant,
+        "seed": result.seed,
+        "completed": result.completed,
+        "runtime_seconds": result.runtime_seconds,
+        "iterations_done": result.iterations_done,
+        "iteration_times": result.iteration_times.tolist(),
+        "iteration_durations": result.iteration_durations.tolist(),
+        "wae": {
+            "times": result.wae.times.tolist(),
+            "values": result.wae.values.tolist(),
+        },
+        "nworkers": {
+            "times": result.nworkers.times.tolist(),
+            "values": result.nworkers.values.tolist(),
+        },
+        "decisions": [
+            {"time": t, "kind": type(d).__name__, "wae": d.wae,
+             "reason": d.reason,
+             "nodes": list(getattr(d, "nodes", ())),
+             "count": getattr(d, "count", None),
+             "cluster": getattr(d, "cluster", None)}
+            for t, d in result.decisions
+        ],
+        "final_workers": result.final_workers,
+        "executed_leaves": result.executed_leaves,
+        "time_by_category": result.time_by_category,
+        "blacklisted_nodes": sorted(result.blacklisted_nodes),
+        "blacklisted_clusters": sorted(result.blacklisted_clusters),
+        "learned_min_bandwidth": result.learned_min_bandwidth,
+    }
+
+
+def _print_run_summary(result: RunResult) -> None:
+    status = "completed" if result.completed else "HIT TIME GUARD"
+    print(f"{result.scenario_id}/{result.variant} (seed {result.seed}): {status}")
+    print(f"  runtime:        {result.runtime_seconds:.1f} s "
+          f"({result.iterations_done} iterations)")
+    print(f"  mean iteration: {result.mean_iteration_duration:.1f} s")
+    print(f"  final workers:  {len(result.final_workers)}")
+    if len(result.wae):
+        print("  wae:            "
+              + " ".join(f"{v:.2f}" for v in result.wae.values))
+    for t, d in result.decisions:
+        kind = type(d).__name__
+        if kind == "NoAction":
+            continue
+        print(f"  t={t:6.0f}s {kind:<14} {d.reason}")
+    if result.blacklisted_clusters:
+        print(f"  blacklisted clusters: {sorted(result.blacklisted_clusters)}")
+    if result.learned_min_bandwidth is not None:
+        print(f"  learned min bandwidth: {result.learned_min_bandwidth:.0f} B/s")
+
+
+def _cmd_list() -> int:
+    for sid in sorted(SCENARIOS):
+        spec = SCENARIOS[sid]
+        print(f"{sid:<5} [{spec.paper_ref}]")
+        print(f"      {spec.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = scenario(args.scenario)
+    result = run_scenario(spec, args.variant, seed=args.seed)
+    _print_run_summary(result)
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(_result_to_dict(result), fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    spec = scenario(args.scenario)
+    none = run_scenario(spec, "none", seed=args.seed)
+    adapt = run_scenario(spec, "adapt", seed=args.seed)
+    print(format_iteration_series(
+        none, adapt,
+        figure=f"scenario {spec.id}",
+        caption=spec.description,
+    ))
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    sids = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    table = {}
+    for sid in sids:
+        spec = scenario(sid)
+        table[sid] = {v: run_scenario(spec, v, seed=args.seed) for v in VARIANTS}
+    print(format_fig1(table))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .experiments.export import export_runs
+
+    sids = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    variants = [v.strip() for v in args.variants.split(",") if v.strip()]
+    for v in variants:
+        if v not in VARIANTS:
+            raise SystemExit(f"unknown variant {v!r}; choose from {VARIANTS}")
+    runs = [
+        run_scenario(scenario(sid), v, seed=args.seed)
+        for sid in sids
+        for v in variants
+    ]
+    for path in export_runs(runs, args.out):
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "fig1":
+        return _cmd_fig1(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

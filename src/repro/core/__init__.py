@@ -1,0 +1,74 @@
+"""The paper's contribution: model-free adaptive resource selection.
+
+Weighted average efficiency (:mod:`.efficiency`), badness heuristics
+(:mod:`.badness`), the threshold policy (:mod:`.policy`), blacklisting and
+learned requirements (:mod:`.blacklist`), and the adaptation coordinator
+process (:mod:`.coordinator`). The paper's future-work extensions live in
+:mod:`.opportunistic`, :mod:`.hierarchy`, and :mod:`.feedback`.
+"""
+
+from .badness import (
+    BadnessCoefficients,
+    cluster_badness,
+    node_badness,
+    rank_clusters,
+    rank_nodes,
+    worst_cluster,
+)
+from .blacklist import Blacklist, DecayingBlacklist
+from .bwestimator import BandwidthEstimator
+from .coordinator import AdaptationCoordinator, CoordinatorConfig
+from .feedback import BadnessTuner, TuningEvent
+from .hierarchy import ClusterAggregate, HierarchicalStatsCollector, SubCoordinator
+from .opportunistic import Migrate, OpportunisticPolicy
+from .efficiency import (
+    EAGER_EFFICIENCY_BOUND,
+    efficiency,
+    normalize_speeds,
+    weighted_average_efficiency,
+)
+from .policy import (
+    AdaptationPolicy,
+    AddNodes,
+    Decision,
+    GridSnapshot,
+    NoAction,
+    NodeView,
+    PolicyConfig,
+    RemoveCluster,
+    RemoveNodes,
+)
+
+__all__ = [
+    "AdaptationCoordinator",
+    "BadnessTuner",
+    "ClusterAggregate",
+    "HierarchicalStatsCollector",
+    "Migrate",
+    "OpportunisticPolicy",
+    "SubCoordinator",
+    "TuningEvent",
+    "AdaptationPolicy",
+    "AddNodes",
+    "BadnessCoefficients",
+    "Blacklist",
+    "DecayingBlacklist",
+    "BandwidthEstimator",
+    "CoordinatorConfig",
+    "Decision",
+    "EAGER_EFFICIENCY_BOUND",
+    "GridSnapshot",
+    "NoAction",
+    "NodeView",
+    "PolicyConfig",
+    "RemoveCluster",
+    "RemoveNodes",
+    "cluster_badness",
+    "efficiency",
+    "node_badness",
+    "normalize_speeds",
+    "rank_clusters",
+    "rank_nodes",
+    "weighted_average_efficiency",
+    "worst_cluster",
+]

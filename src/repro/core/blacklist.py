@@ -1,0 +1,152 @@
+"""Blacklisting and learned resource requirements (paper Sections 3.3–3.4).
+
+When the coordinator removes resources because they caused performance
+problems it must not get them straight back from the scheduler: "currently
+we use blacklisting — we simply do not allow adding resources we removed
+before". The paper notes the limitation that a blacklisted resource stays
+unusable even if the underlying problem (e.g. background traffic) goes
+away; :meth:`Blacklist.forgive` exposes the hook a future time-decay
+policy would use.
+
+The coordinator also *learns application requirements* to pass to the
+scheduler: each time a cluster with high inter-cluster overhead is
+removed, the observed bandwidth to that cluster becomes a lower bound on
+the application's minimum bandwidth requirement ("the lower bound on
+minimal required bandwidth is tightened each time a cluster ... is
+removed").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simgrid.engine import Environment
+from ..zorilla.scheduler import AllocationConstraints
+
+__all__ = ["Blacklist", "DecayingBlacklist"]
+
+
+class Blacklist:
+    """Removal memory + learned minimum-bandwidth requirement."""
+
+    def __init__(self) -> None:
+        self._nodes: set[str] = set()
+        self._clusters: set[str] = set()
+        self._min_bandwidth: Optional[float] = None
+        #: log of (what, name, detail) for reports
+        self.history: list[tuple[str, str, Optional[float]]] = []
+
+    # -- recording -------------------------------------------------------
+    def ban_node(self, node: str) -> None:
+        self._nodes.add(node)
+        self.history.append(("node", node, None))
+
+    def ban_cluster(self, cluster: str, observed_bandwidth: Optional[float] = None) -> None:
+        """Ban a cluster; tighten the bandwidth requirement if we measured
+        the (insufficient) bandwidth we were getting from it."""
+        self._clusters.add(cluster)
+        if observed_bandwidth is not None and observed_bandwidth > 0:
+            if self._min_bandwidth is None:
+                self._min_bandwidth = observed_bandwidth
+            else:
+                self._min_bandwidth = max(self._min_bandwidth, observed_bandwidth)
+        self.history.append(("cluster", cluster, observed_bandwidth))
+
+    def forgive(self, node: Optional[str] = None, cluster: Optional[str] = None) -> None:
+        """Un-ban a resource (hook for time-decayed blacklists)."""
+        if node is not None:
+            self._nodes.discard(node)
+        if cluster is not None:
+            self._clusters.discard(cluster)
+
+    # -- queries ---------------------------------------------------------
+    def is_banned_node(self, node: str) -> bool:
+        return node in self._nodes
+
+    def is_banned_cluster(self, cluster: str) -> bool:
+        return cluster in self._clusters
+
+    @property
+    def banned_nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    @property
+    def banned_clusters(self) -> frozenset[str]:
+        return frozenset(self._clusters)
+
+    @property
+    def min_bandwidth(self) -> Optional[float]:
+        """Learned minimum acceptable uplink bandwidth (bytes/s)."""
+        return self._min_bandwidth
+
+    def constraints(self) -> AllocationConstraints:
+        """The scheduler-facing form of everything learned so far."""
+        return AllocationConstraints(
+            blacklisted_nodes=frozenset(self._nodes),
+            blacklisted_clusters=frozenset(self._clusters),
+            min_uplink_bandwidth=self._min_bandwidth,
+        )
+
+
+class DecayingBlacklist(Blacklist):
+    """A blacklist whose entries expire — the fix for the limitation the
+    paper itself points out.
+
+    "This means, however, that we cannot use these resources even if the
+    cause of the performance problem disappears (e.g. the bandwidth of a
+    link might improve if the background traffic diminishes)." A
+    time-to-live per entry lets the coordinator *re-try* a resource after
+    ``ttl`` simulated seconds: if the problem persists, the next bad
+    monitoring period evicts (and re-bans) it; if the problem is gone, the
+    resource rejoins for good. The learned minimum-bandwidth requirement
+    does NOT decay — it is a property of the application, not of a
+    resource.
+
+    ABL-8 (`benchmarks/test_ablation_blacklist_decay.py`) quantifies the
+    difference on a link that recovers mid-run.
+    """
+
+    def __init__(self, env: Environment, ttl: float = 300.0) -> None:
+        super().__init__()
+        if ttl <= 0:
+            raise ValueError("ttl must be > 0")
+        self.env = env
+        self.ttl = ttl
+        self._node_expiry: dict[str, float] = {}
+        self._cluster_expiry: dict[str, float] = {}
+
+    # -- recording ---------------------------------------------------------
+    def ban_node(self, node: str) -> None:
+        super().ban_node(node)
+        self._node_expiry[node] = self.env.now + self.ttl
+
+    def ban_cluster(
+        self, cluster: str, observed_bandwidth: Optional[float] = None
+    ) -> None:
+        super().ban_cluster(cluster, observed_bandwidth)
+        self._cluster_expiry[cluster] = self.env.now + self.ttl
+
+    # -- expiry -------------------------------------------------------------
+    def _prune(self) -> None:
+        now = self.env.now
+        for node, expiry in list(self._node_expiry.items()):
+            if now >= expiry:
+                del self._node_expiry[node]
+                self.forgive(node=node)
+        for cluster, expiry in list(self._cluster_expiry.items()):
+            if now >= expiry:
+                del self._cluster_expiry[cluster]
+                self.forgive(cluster=cluster)
+
+    # -- queries (all prune first) ------------------------------------------
+    def is_banned_node(self, node: str) -> bool:
+        self._prune()
+        return super().is_banned_node(node)
+
+    def is_banned_cluster(self, cluster: str) -> bool:
+        self._prune()
+        return super().is_banned_cluster(cluster)
+
+    def constraints(self) -> AllocationConstraints:
+        self._prune()
+        return super().constraints()

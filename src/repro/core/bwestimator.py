@@ -1,0 +1,95 @@
+"""Windowed inter-cluster bandwidth estimation (paper §3.3).
+
+"The bandwidth between each pair of clusters is estimated during the
+computation by measuring data transfer times, and the bandwidth to the
+removed cluster is set as a minimum."
+
+The :class:`~repro.simgrid.network.Network` keeps whole-run byte/second
+totals; that is fine for a link that was broken from the start, but a
+link throttled *mid-run* would have its pre-throttle traffic averaged in,
+overstating the bandwidth the application was actually getting when it
+decided to leave. :class:`BandwidthEstimator` therefore keeps a sliding
+window of individual transfer observations and reports the achieved
+bytes/second over the recent window only.
+
+Wire it to a network via :meth:`attach`; the adaptation coordinator
+prefers a windowed estimate over the whole-run average when one is
+available.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..simgrid.network import Network
+
+__all__ = ["BandwidthEstimator"]
+
+
+class BandwidthEstimator:
+    """Sliding-window achieved-bandwidth estimates per cluster pair."""
+
+    def __init__(self, window_seconds: float = 120.0, max_samples: int = 4096) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window must be > 0")
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self.window_seconds = window_seconds
+        self.max_samples = max_samples
+        #: (src, dst) -> deque of (t, nbytes, elapsed)
+        self._samples: dict[tuple[str, str], deque] = {}
+        self._now = 0.0
+
+    # -- feeding -----------------------------------------------------------
+    def observe(
+        self, src_cluster: str, dst_cluster: str, nbytes: float, elapsed: float, t: float
+    ) -> None:
+        """Record one completed inter-cluster transfer."""
+        if elapsed <= 0:
+            return
+        key = (src_cluster, dst_cluster)
+        buf = self._samples.get(key)
+        if buf is None:
+            buf = deque(maxlen=self.max_samples)
+            self._samples[key] = buf
+        buf.append((t, nbytes, elapsed))
+        self._now = max(self._now, t)
+
+    def attach(self, network: Network) -> None:
+        """Subscribe to a network's transfer completions."""
+        network.transfer_observer = self.observe
+
+    # -- queries -------------------------------------------------------------
+    def estimate(
+        self, src_cluster: str, dst_cluster: str, now: Optional[float] = None
+    ) -> Optional[float]:
+        """Achieved bytes/second over the recent window (None = no data)."""
+        key = (src_cluster, dst_cluster)
+        buf = self._samples.get(key)
+        if not buf:
+            return None
+        horizon = (now if now is not None else self._now) - self.window_seconds
+        nbytes = secs = 0.0
+        for t, b, e in buf:
+            if t >= horizon:
+                nbytes += b
+                secs += e
+        if secs <= 0:
+            return None
+        return nbytes / secs
+
+    def estimate_to_cluster(
+        self, cluster: str, now: Optional[float] = None
+    ) -> Optional[float]:
+        """Worst-direction recent bandwidth involving ``cluster``."""
+        candidates = [
+            self.estimate(s, d, now)
+            for (s, d) in self._samples
+            if s == cluster or d == cluster
+        ]
+        candidates = [c for c in candidates if c is not None]
+        return min(candidates) if candidates else None
+
+    def sample_count(self, src_cluster: str, dst_cluster: str) -> int:
+        return len(self._samples.get((src_cluster, dst_cluster), ()))

@@ -1,0 +1,85 @@
+"""Efficiency metrics (paper Section 3.1).
+
+Classical parallel *efficiency* is the mean utilisation of the processors:
+
+    efficiency = (1/n) * Σ_i (1 − overhead_i)
+
+where ``overhead_i`` is the fraction of time processor *i* spends idle or
+communicating. Eager, Zahorjan & Lazowska ("Speedup versus efficiency in
+parallel systems", IEEE ToC 1989) proved that at the processor count
+maximising the efficiency × speedup ratio, efficiency is **at least 0.5**
+— so adding processors while efficiency ≤ 0.5 cannot pay off. This bound
+is where the paper's E_max threshold comes from.
+
+For heterogeneous resources the paper introduces the **weighted average
+efficiency**:
+
+    WAE = (1/n) * Σ_i speed_i * (1 − overhead_i)
+
+with ``speed_i`` the processor's measured speed *relative to the fastest
+processor* (the fastest has speed 1). A slow processor is thus modelled as
+a fast one that spends most of its time idle, so adding slow processors
+correctly yields a smaller WAE gain than adding fast ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "EAGER_EFFICIENCY_BOUND",
+    "efficiency",
+    "normalize_speeds",
+    "weighted_average_efficiency",
+]
+
+#: Eager et al.: efficiency at the optimal processor count is at least 1/2.
+EAGER_EFFICIENCY_BOUND = 0.5
+
+
+def _validate_fractions(values: np.ndarray, what: str) -> None:
+    if values.size == 0:
+        raise ValueError(f"{what}: need at least one processor")
+    if np.any(values < 0.0) or np.any(values > 1.0):
+        raise ValueError(f"{what} must lie in [0, 1], got {values!r}")
+
+
+def efficiency(overheads: Sequence[float]) -> float:
+    """Classical homogeneous efficiency: mean of ``1 - overhead_i``."""
+    o = np.asarray(list(overheads), dtype=float)
+    _validate_fractions(o, "overheads")
+    return float(np.mean(1.0 - o))
+
+
+def normalize_speeds(speeds: Sequence[float]) -> np.ndarray:
+    """Scale measured speeds so the fastest processor has speed 1.
+
+    All speeds must be positive (a zero-speed processor cannot have been
+    measured by a benchmark that terminated).
+    """
+    s = np.asarray(list(speeds), dtype=float)
+    if s.size == 0:
+        raise ValueError("need at least one speed")
+    if np.any(s <= 0.0):
+        raise ValueError(f"speeds must be > 0, got {s!r}")
+    return s / s.max()
+
+
+def weighted_average_efficiency(
+    speeds: Sequence[float], overheads: Sequence[float]
+) -> float:
+    """The paper's WAE: mean of ``speed_norm_i * (1 - overhead_i)``.
+
+    ``speeds`` are raw measured speeds (any consistent unit); they are
+    normalised to the fastest here. Result lies in (0, 1].
+    """
+    s = normalize_speeds(speeds)
+    o = np.asarray(list(overheads), dtype=float)
+    _validate_fractions(o, "overheads")
+    if s.shape != o.shape:
+        raise ValueError(
+            f"speeds and overheads differ in length: {s.size} vs {o.size}"
+        )
+    return float(np.mean(s * (1.0 - o)))

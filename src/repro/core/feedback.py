@@ -1,0 +1,136 @@
+"""Feedback control of the badness coefficients (paper future work, §7).
+
+"Another line of research ... is using feedback control to refine the
+adaptation strategy during the application run: for example, the node
+badness formula could be refined at runtime based on the effectiveness of
+the previous adaptation decisions."
+
+:class:`BadnessTuner` implements a minimal version of that idea:
+
+* when the coordinator removes nodes, the tuner records the WAE at
+  decision time and which badness term dominated the victims' scores
+  (the speed term α/speed or the bandwidth term β·ic_overhead);
+* when the next WAE observation arrives, the removal's *effect* is the
+  WAE change;
+* an ineffective removal (WAE gain below ``min_gain``) shifts weight away
+  from the term that drove it — multiplying the other term's coefficient
+  by ``adjust_factor`` (bounded) — so the next ranking distrusts the
+  signal that just failed;
+* an effective removal slowly decays the coefficients back toward their
+  configured baseline, so a transient mis-adjustment does not stick.
+
+This is deliberately a small, observable controller rather than a learned
+model: the point (as in the paper's sketch) is closing the loop between
+decisions and their measured effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .badness import BadnessCoefficients
+from .policy import Decision, GridSnapshot, RemoveNodes
+
+__all__ = ["BadnessTuner", "TuningEvent"]
+
+
+@dataclass(frozen=True)
+class TuningEvent:
+    """One adjustment made by the tuner (for reports and tests)."""
+
+    time: float
+    wae_before: float
+    wae_after: float
+    dominant_term: str
+    effective: bool
+    coefficients: BadnessCoefficients
+
+
+class BadnessTuner:
+    """Adjusts α/β based on whether removals actually improved WAE."""
+
+    def __init__(
+        self,
+        baseline: Optional[BadnessCoefficients] = None,
+        min_gain: float = 0.05,
+        adjust_factor: float = 1.5,
+        max_drift: float = 8.0,
+        decay: float = 0.5,
+    ) -> None:
+        if adjust_factor <= 1.0:
+            raise ValueError("adjust_factor must be > 1")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if max_drift < 1.0:
+            raise ValueError("max_drift must be >= 1")
+        self.baseline = baseline if baseline is not None else BadnessCoefficients()
+        self.current = self.baseline
+        self.min_gain = min_gain
+        self.adjust_factor = adjust_factor
+        self.max_drift = max_drift
+        self.decay = decay
+        self._pending: Optional[tuple[float, float, str]] = None
+        self.events: list[TuningEvent] = []
+
+    # -- observation hooks ---------------------------------------------------
+    def on_decision(
+        self, time: float, decision: Decision, snapshot: GridSnapshot
+    ) -> None:
+        """Record a removal so its effect can be judged next period."""
+        if not isinstance(decision, RemoveNodes) or not decision.nodes:
+            return
+        victims = {n for n in decision.nodes}
+        speed_term = 0.0
+        ic_term = 0.0
+        fastest = max(v.speed for v in snapshot.nodes)
+        for view in snapshot.nodes:
+            if view.name in victims:
+                speed_term += self.current.alpha / max(view.speed / fastest, 1e-9)
+                ic_term += self.current.beta * view.ic_overhead
+        dominant = "speed" if speed_term >= ic_term else "bandwidth"
+        self._pending = (time, decision.wae, dominant)
+
+    def on_wae(self, time: float, wae: float) -> Optional[TuningEvent]:
+        """Judge the pending removal against the newly observed WAE."""
+        if self._pending is None:
+            return None
+        t0, wae_before, dominant = self._pending
+        self._pending = None
+        effective = (wae - wae_before) >= self.min_gain
+        if effective:
+            self.current = self._toward_baseline(self.current)
+        else:
+            self.current = self._shift_away_from(dominant)
+        event = TuningEvent(
+            time=time,
+            wae_before=wae_before,
+            wae_after=wae,
+            dominant_term=dominant,
+            effective=effective,
+            coefficients=self.current,
+        )
+        self.events.append(event)
+        return event
+
+    # -- adjustment ---------------------------------------------------------
+    def _shift_away_from(self, dominant: str) -> BadnessCoefficients:
+        cur, base = self.current, self.baseline
+        if dominant == "speed":
+            # the speed signal failed: trust bandwidth more
+            beta = min(cur.beta * self.adjust_factor, base.beta * self.max_drift)
+            return replace(cur, beta=beta)
+        alpha = min(cur.alpha * self.adjust_factor, base.alpha * self.max_drift)
+        return replace(cur, alpha=alpha)
+
+    def _toward_baseline(self, cur: BadnessCoefficients) -> BadnessCoefficients:
+        base = self.baseline
+
+        def blend(c: float, b: float) -> float:
+            return c + (b - c) * self.decay
+
+        return BadnessCoefficients(
+            alpha=blend(cur.alpha, base.alpha),
+            beta=blend(cur.beta, base.beta),
+            gamma=blend(cur.gamma, base.gamma),
+        )

@@ -1,0 +1,156 @@
+"""Hierarchical coordinators (the paper's future work, §7).
+
+"The centralized implementation of the adaptation coordinator might become
+a bottleneck for applications which are running on very large numbers of
+nodes (hundreds or thousands). This problem can be solved by implementing
+a hierarchy of coordinators: one sub-coordinator per cluster which
+collects and processes statistics from its cluster and one main
+coordinator which collects the information from the sub-coordinators."
+
+:class:`HierarchicalStatsCollector` implements exactly that shape on top
+of the existing machinery:
+
+* one :class:`SubCoordinator` per cluster, living on a node of that
+  cluster, receives its cluster's per-worker reports over the LAN;
+* once per monitoring period each sub-coordinator forwards a single
+  aggregate message to the main coordinator's mailbox (the per-node
+  details ride along, compressed, so the main coordinator's policy input
+  is unchanged — what changes is the *message and byte count* arriving at
+  the coordinator's uplink);
+* the main coordinator's collector unpacks aggregates transparently.
+
+The ABL-4 benchmark compares wide-area messages/bytes into the
+coordinator host under the flat vs the hierarchical scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..satin.accounting import NodeReport
+from ..satin.runtime import SatinRuntime
+from ..simgrid.engine import Event
+from ..simgrid.queues import Store
+from .coordinator import AdaptationCoordinator
+
+__all__ = ["ClusterAggregate", "SubCoordinator", "HierarchicalStatsCollector"]
+
+#: wire size of one aggregate: a fixed header plus a compact per-node row
+AGGREGATE_HEADER_BYTES = 256.0
+AGGREGATE_ROW_BYTES = 64.0
+
+
+@dataclass(frozen=True)
+class ClusterAggregate:
+    """One cluster's statistics for one forwarding round."""
+
+    cluster: str
+    sub_coordinator: str
+    sent_at: float
+    reports: tuple[NodeReport, ...]
+
+    @property
+    def wire_bytes(self) -> float:
+        return AGGREGATE_HEADER_BYTES + AGGREGATE_ROW_BYTES * len(self.reports)
+
+
+class SubCoordinator:
+    """Per-cluster collector: LAN-local fan-in, one WAN message per period."""
+
+    def __init__(
+        self,
+        runtime: SatinRuntime,
+        cluster: str,
+        home: str,
+        main_mailbox: Store,
+        period: float,
+    ) -> None:
+        self.runtime = runtime
+        self.env = runtime.env
+        self.cluster = cluster
+        self.home = home
+        self.main_mailbox = main_mailbox
+        self.period = period
+        self.mailbox: Store = Store(self.env, owner=home)
+        self._latest: dict[str, NodeReport] = {}
+        self.forwarded = 0
+        self.env.process(self._collect(), name=f"subcoord:{cluster}:collect")
+        self.env.process(self._forward(), name=f"subcoord:{cluster}:forward")
+
+    def _collect(self) -> Generator[Event, Any, None]:
+        while True:
+            report = yield self.mailbox.get()
+            self._latest[report.worker] = report
+
+    def _forward(self) -> Generator[Event, Any, None]:
+        # offset forwarding slightly after the workers' period boundary
+        yield self.env.timeout(self.period * 1.05)
+        while True:
+            if self._latest:
+                aggregate = ClusterAggregate(
+                    cluster=self.cluster,
+                    sub_coordinator=self.home,
+                    sent_at=self.env.now,
+                    reports=tuple(self._latest.values()),
+                )
+                if self.runtime.network.host(self.home).alive:
+                    self.runtime.network.send(
+                        self.home,
+                        self.main_mailbox,
+                        aggregate.wire_bytes,
+                        aggregate,
+                    )
+                    self.forwarded += 1
+            yield self.env.timeout(self.period)
+
+
+class HierarchicalStatsCollector:
+    """Plugs the sub-coordinator tree into a coordinator + runtime pair.
+
+    Usage: create the coordinator as usual, then
+    ``HierarchicalStatsCollector(coordinator).install()`` *after*
+    ``coordinator.start()``. Workers' reports are then routed to their
+    cluster's sub-coordinator; the main mailbox receives aggregates, which
+    the patched collector unpacks into ``coordinator.latest``.
+    """
+
+    def __init__(self, coordinator: AdaptationCoordinator) -> None:
+        self.coordinator = coordinator
+        self.runtime = coordinator.runtime
+        self.env = coordinator.env
+        self.subs: dict[str, SubCoordinator] = {}
+
+    def install(self) -> None:
+        if self.coordinator.mailbox is None:
+            raise RuntimeError("install() after coordinator.start()")
+        self.runtime.stats_router = self._route
+
+    @property
+    def aggregates_forwarded(self) -> int:
+        """Total aggregate messages the sub-coordinators have sent upward."""
+        return sum(sub.forwarded for sub in self.subs.values())
+
+    # -- routing -----------------------------------------------------------
+    def _route(self, worker: str) -> Optional[Store]:
+        cluster = self.runtime.worker(worker).cluster
+        sub = self.subs.get(cluster)
+        if sub is None or not self.runtime.network.host(sub.home).alive:
+            home = self._pick_home(cluster)
+            if home is None:
+                return None  # fall back to the main mailbox
+            sub = SubCoordinator(
+                runtime=self.runtime,
+                cluster=cluster,
+                home=home,
+                main_mailbox=self.coordinator.mailbox,
+                period=self.coordinator.config.monitoring_period,
+            )
+            self.subs[cluster] = sub
+        return sub.mailbox
+
+    def _pick_home(self, cluster: str) -> Optional[str]:
+        for name in self.runtime.alive_worker_names():
+            if self.runtime.worker(name).cluster == cluster:
+                return name
+        return None

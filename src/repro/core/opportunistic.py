@@ -1,0 +1,104 @@
+"""Opportunistic migration (the paper's future work, §3.3/§7).
+
+The base strategy has a blind spot the paper demonstrates with scenario 5:
+when WAE sits between E_min and E_max, "the adaptation component will not
+undertake any action even if better resources become available". Enabling
+opportunistic migration requires being able to ask the scheduler what
+*better* means — faster nodes, minimum bandwidth — and that is exactly
+what our Zorilla pool can answer (clock-speed ranking, as the paper
+suggests real schedulers could).
+
+:class:`OpportunisticPolicy` extends the base policy: inside the dead
+band, it compares the *measured* speeds of the current nodes with the
+nominal speed of the fastest free eligible node. If free nodes are at
+least ``speed_advantage`` times faster than some current nodes, it emits a
+:class:`Migrate` decision: add that many fast nodes and release the slow
+ones. The coordinator performs the addition with ``prefer_fast`` and
+removes the named victims once the newcomers are in.
+
+The comparison mixes a measured quantity (current effective speed) with a
+nominal one (free nodes' clock speed) — the paper notes clock-speed
+ranking "is less accurate than using an application-specific benchmark",
+and that inaccuracy is faithfully present here: a free node advertised
+fast but externally loaded would disappoint, and only the next benchmark
+round would reveal it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from .policy import (
+    AdaptationPolicy,
+    Decision,
+    GridSnapshot,
+    NoAction,
+    PolicyConfig,
+)
+
+__all__ = ["Migrate", "OpportunisticPolicy"]
+
+
+@dataclass(frozen=True)
+class Migrate(Decision):
+    """Swap slow current nodes for faster free ones."""
+
+    count: int = 0
+    nodes: tuple[str, ...] = ()  # the slow nodes to release
+
+
+class OpportunisticPolicy(AdaptationPolicy):
+    """Base policy + dead-band migration toward faster free nodes."""
+
+    def __init__(
+        self,
+        config: Optional[PolicyConfig] = None,
+        fastest_free_speed: Optional[Callable[[], Optional[float]]] = None,
+        speed_advantage: float = 1.5,
+        max_swap_per_decision: int = 4,
+    ) -> None:
+        super().__init__(config)
+        if fastest_free_speed is None:
+            raise ValueError(
+                "OpportunisticPolicy needs a fastest_free_speed probe "
+                "(e.g. pool.fastest_free_speed with the blacklist constraints)"
+            )
+        if speed_advantage <= 1.0:
+            raise ValueError("speed_advantage must be > 1")
+        if max_swap_per_decision < 1:
+            raise ValueError("max_swap_per_decision must be >= 1")
+        self._fastest_free = fastest_free_speed
+        self.speed_advantage = speed_advantage
+        self.max_swap = max_swap_per_decision
+
+    def decide(
+        self, snapshot: GridSnapshot, protected: Sequence[str] = ()
+    ) -> Decision:
+        base = super().decide(snapshot, protected)
+        if not isinstance(base, NoAction) or not snapshot.nodes:
+            return base
+        fastest = self._fastest_free()
+        if fastest is None:
+            return base
+        victims = sorted(
+            (
+                v
+                for v in snapshot.nodes
+                if v.name not in set(protected)
+                and v.speed * self.speed_advantage <= fastest
+            ),
+            key=lambda v: v.speed,
+        )[: self.max_swap]
+        if not victims:
+            return base
+        return Migrate(
+            wae=base.wae,
+            count=len(victims),
+            nodes=tuple(v.name for v in victims),
+            reason=(
+                f"free nodes at nominal speed {fastest:.2f} vs current slow "
+                f"nodes at {victims[0].speed:.2f} (advantage >= "
+                f"{self.speed_advantage}x): opportunistic migration"
+            ),
+        )

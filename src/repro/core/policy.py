@@ -1,0 +1,315 @@
+"""The adaptation strategy (paper Section 3.3, Figure 2).
+
+The coordinator keeps the weighted average efficiency between ``E_min``
+and ``E_max``:
+
+* **WAE > E_max** — request new processors; "the higher the efficiency,
+  the more processors are requested". We request
+  ``ceil(n · (WAE − E_max) / (1 − E_max))`` (at WAE→1 the resource set
+  roughly doubles, near E_max a single node is requested);
+* **WAE < E_min** — remove the worst processors; "the lower the
+  efficiency, the more nodes are removed": ``ceil(n · (E_min − WAE) /
+  E_min)``, capped so at least one worker (and always the protected
+  master) remains. Before ranking individual nodes, a cluster whose
+  inter-cluster overhead is *exceptionally high* (above
+  ``cluster_removal_ic_overhead``) is removed wholesale — its uplink
+  bandwidth is insufficient for the application;
+* otherwise — no action (the dead band; the paper's opportunistic
+  migration, which would act here, is the :mod:`.opportunistic`
+  extension).
+
+E_max defaults to 0.5 — the Eager et al. bound: if efficiency is ≤ 0.5,
+adding processors only decreases utilisation without significant gains.
+E_min defaults to 0.3: "an efficiency of [that] or lower might indicate
+performance problems such as low bandwidth or overloaded processors",
+where removing bad processors helps, and if the cause is merely too many
+processors, removal does not hurt.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .badness import BadnessCoefficients, rank_nodes, worst_cluster
+from .efficiency import EAGER_EFFICIENCY_BOUND, weighted_average_efficiency
+
+__all__ = [
+    "NodeView",
+    "GridSnapshot",
+    "PolicyConfig",
+    "Decision",
+    "NoAction",
+    "AddNodes",
+    "RemoveNodes",
+    "RemoveCluster",
+    "AdaptationPolicy",
+]
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """One node's most recent statistics, as the coordinator sees them."""
+
+    name: str
+    cluster: str
+    speed: float          # measured absolute speed (work units/s)
+    overhead: float       # fraction of time not doing useful work, [0, 1]
+    ic_overhead: float    # inter-cluster communication fraction, [0, 1]
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"node {self.name!r}: speed must be > 0")
+        if not 0 <= self.overhead <= 1 or not 0 <= self.ic_overhead <= 1:
+            raise ValueError(f"node {self.name!r}: fractions must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class GridSnapshot:
+    """The coordinator's view of the resource set at decision time."""
+
+    time: float
+    nodes: tuple[NodeView, ...]
+
+    def __post_init__(self) -> None:
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate node names in snapshot")
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def wae(self) -> float:
+        """Weighted average efficiency over the snapshot."""
+        if not self.nodes:
+            raise ValueError("empty snapshot has no WAE")
+        return weighted_average_efficiency(
+            [n.speed for n in self.nodes], [n.overhead for n in self.nodes]
+        )
+
+    def unweighted_efficiency(self) -> float:
+        """Classical efficiency, ignoring speeds.
+
+        The homogeneous-world metric the paper's WAE replaces: a slow
+        processor that is never idle looks perfectly efficient here. Used
+        by the ABL-9 ablation to show why the weighting matters.
+        """
+        if not self.nodes:
+            raise ValueError("empty snapshot has no efficiency")
+        from .efficiency import efficiency
+
+        return efficiency([n.overhead for n in self.nodes])
+
+    def clusters(self) -> list[str]:
+        return sorted({n.cluster for n in self.nodes})
+
+    def cluster_speeds(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for n in self.nodes:
+            out[n.cluster] = out.get(n.cluster, 0.0) + n.speed
+        return out
+
+    def cluster_ic_overheads(self) -> dict[str, float]:
+        sums: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for n in self.nodes:
+            sums[n.cluster] = sums.get(n.cluster, 0.0) + n.ic_overhead
+            counts[n.cluster] = counts.get(n.cluster, 0) + 1
+        return {c: sums[c] / counts[c] for c in sums}
+
+    def nodes_in_cluster(self, cluster: str) -> list[str]:
+        return sorted(n.name for n in self.nodes if n.cluster == cluster)
+
+
+# ------------------------------------------------------------------ decisions
+@dataclass(frozen=True)
+class Decision:
+    """Base class for the coordinator's verdicts."""
+
+    wae: float
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class NoAction(Decision):
+    pass
+
+
+@dataclass(frozen=True)
+class AddNodes(Decision):
+    count: int = 0
+
+
+@dataclass(frozen=True)
+class RemoveNodes(Decision):
+    nodes: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RemoveCluster(Decision):
+    cluster: str = ""
+    nodes: tuple[str, ...] = ()
+
+
+# -------------------------------------------------------------------- config
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Thresholds and scaling of the adaptation strategy (DESIGN.md §5)."""
+
+    e_min: float = 0.30
+    e_max: float = EAGER_EFFICIENCY_BOUND  # 0.5
+    #: a cluster whose mean inter-cluster overhead exceeds this is removed
+    #: wholesale ("exceptionally high inter-cluster overhead").
+    cluster_removal_ic_overhead: float = 0.25
+    #: ... provided it is also a clear outlier: at least this factor above
+    #: the second-worst cluster. A starved uplink splashes inter-cluster
+    #: overhead onto *other* clusters too (their result returns cross the
+    #: same thin pipe), so "exceptional" must mean "distinctly worst", not
+    #: merely "above a floor" — otherwise an innocent cluster whose nodes
+    #: happen to talk to the broken one can be evicted first.
+    cluster_outlier_factor: float = 3.0
+    #: hard bounds on the resource set size.
+    min_nodes: int = 1
+    max_nodes: Optional[int] = None
+    #: safety caps on one decision's add/remove volume.
+    max_add_per_decision: Optional[int] = None
+    max_remove_per_decision: Optional[int] = None
+    #: False replaces the weighted average efficiency with the classical
+    #: unweighted efficiency — the ablation knob for the paper's central
+    #: metric (never disable this in production: on heterogeneous nodes
+    #: the unweighted metric mistakes busy-but-slow for efficient).
+    weighted: bool = True
+    coefficients: BadnessCoefficients = field(default_factory=BadnessCoefficients)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.e_min < self.e_max <= 1:
+            raise ValueError(
+                f"need 0 < e_min < e_max <= 1, got {self.e_min}, {self.e_max}"
+            )
+        if not 0 < self.cluster_removal_ic_overhead <= 1:
+            raise ValueError("cluster_removal_ic_overhead must be in (0, 1]")
+        if self.min_nodes < 1:
+            raise ValueError("min_nodes must be >= 1")
+
+
+# -------------------------------------------------------------------- policy
+class AdaptationPolicy:
+    """Pure decision function: snapshot in, decision out (no side effects)."""
+
+    def __init__(self, config: Optional[PolicyConfig] = None) -> None:
+        self.config = config if config is not None else PolicyConfig()
+
+    def decide(
+        self, snapshot: GridSnapshot, protected: Sequence[str] = ()
+    ) -> Decision:
+        """The paper's Figure-2 strategy.
+
+        ``protected`` nodes (the master, which hosts the root frame and the
+        coordinator connection) are never selected for removal.
+        """
+        cfg = self.config
+        if not snapshot.nodes:
+            return NoAction(wae=0.0, reason="no statistics yet")
+        wae = snapshot.wae() if cfg.weighted else snapshot.unweighted_efficiency()
+
+        if wae > cfg.e_max:
+            return self._grow(snapshot, wae)
+        # Not in the growth regime: an exceptionally badly-connected
+        # cluster is evicted as soon as it is detected ("the adaptive
+        # version removed the badly connected cluster after the first
+        # monitoring period") — waiting for WAE to sink below E_min would
+        # let starvation decay the inter-cluster-overhead signal first.
+        cluster_eviction = self._exceptional_cluster(snapshot, wae, set(protected))
+        if cluster_eviction is not None:
+            return cluster_eviction
+        if wae < cfg.e_min:
+            return self._shrink(snapshot, wae, set(protected))
+        return NoAction(wae=wae, reason="within [e_min, e_max] dead band")
+
+    # -- growth ----------------------------------------------------------
+    def _grow(self, snapshot: GridSnapshot, wae: float) -> Decision:
+        cfg = self.config
+        n = snapshot.size
+        count = max(1, math.ceil(n * (wae - cfg.e_max) / (1.0 - cfg.e_max)))
+        if cfg.max_add_per_decision is not None:
+            count = min(count, cfg.max_add_per_decision)
+        if cfg.max_nodes is not None:
+            count = min(count, cfg.max_nodes - n)
+        if count <= 0:
+            return NoAction(wae=wae, reason="at max_nodes")
+        return AddNodes(
+            wae=wae, count=count, reason=f"WAE {wae:.3f} > E_max {cfg.e_max}"
+        )
+
+    # -- whole-cluster eviction -------------------------------------------
+    def _exceptional_cluster(
+        self, snapshot: GridSnapshot, wae: float, protected: set[str]
+    ) -> Decision | None:
+        """RemoveCluster if one cluster's ic_overhead is exceptionally high."""
+        cfg = self.config
+        ic_by_cluster = snapshot.cluster_ic_overheads()
+        if len(ic_by_cluster) <= 1:
+            return None
+        bad = [
+            c
+            for c, ic in ic_by_cluster.items()
+            if ic > cfg.cluster_removal_ic_overhead
+        ]
+        if not bad:
+            return None
+        # worst of the offending clusters by ic_overhead
+        cluster = max(bad, key=lambda c: (ic_by_cluster[c], c))
+        others = [ic for c, ic in ic_by_cluster.items() if c != cluster]
+        second_worst = max(others) if others else 0.0
+        if (
+            second_worst > 0.0
+            and ic_by_cluster[cluster] < cfg.cluster_outlier_factor * second_worst
+        ):
+            return None  # not a clear outlier; let node ranking handle it
+        nodes = [
+            n for n in snapshot.nodes_in_cluster(cluster) if n not in protected
+        ]
+        remaining = snapshot.size - len(nodes)
+        if not nodes or remaining < cfg.min_nodes:
+            return None
+        return RemoveCluster(
+            wae=wae,
+            cluster=cluster,
+            nodes=tuple(nodes),
+            reason=(
+                f"cluster ic_overhead {ic_by_cluster[cluster]:.3f} > "
+                f"{cfg.cluster_removal_ic_overhead} (insufficient uplink)"
+            ),
+        )
+
+    # -- shrink ----------------------------------------------------------
+    def _shrink(
+        self, snapshot: GridSnapshot, wae: float, protected: set[str]
+    ) -> Decision:
+        cfg = self.config
+        # Rank nodes by badness and evict the worst.
+        n = snapshot.size
+        count = max(1, math.ceil(n * (cfg.e_min - wae) / cfg.e_min))
+        if cfg.max_remove_per_decision is not None:
+            count = min(count, cfg.max_remove_per_decision)
+        count = min(count, n - max(cfg.min_nodes, len(protected & {
+            v.name for v in snapshot.nodes
+        })))
+        if count <= 0:
+            return NoAction(wae=wae, reason="at min_nodes")
+        ranking = rank_nodes(
+            {v.name: v.speed for v in snapshot.nodes},
+            {v.name: v.ic_overhead for v in snapshot.nodes},
+            {v.name: v.cluster for v in snapshot.nodes},
+            cfg.coefficients,
+        )
+        victims = [name for name, _ in ranking if name not in protected][:count]
+        if not victims:
+            return NoAction(wae=wae, reason="all nodes protected")
+        return RemoveNodes(
+            wae=wae,
+            nodes=tuple(victims),
+            reason=f"WAE {wae:.3f} < E_min {cfg.e_min}",
+        )

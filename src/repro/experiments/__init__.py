@@ -1,0 +1,28 @@
+"""The paper's evaluation, as code: scenarios, runner, and reports."""
+
+from .export import export_runs
+from .report import (
+    ascii_series,
+    format_fig1,
+    format_iteration_series,
+    format_scenario1_overhead,
+    improvement,
+)
+from .runner import RunResult, VARIANTS, run_scenario
+from .scenarios import SCENARIOS, ScenarioSpec, scaled_das2, scenario
+
+__all__ = [
+    "RunResult",
+    "ascii_series",
+    "format_fig1",
+    "format_iteration_series",
+    "format_scenario1_overhead",
+    "improvement",
+    "export_runs",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "VARIANTS",
+    "run_scenario",
+    "scaled_das2",
+    "scenario",
+]

@@ -1,0 +1,128 @@
+"""CSV export of run measurements (for external plotting).
+
+Writes one tidy CSV per measurement kind so any plotting tool can
+regenerate the paper-style figures:
+
+* ``<prefix>_iterations.csv`` — iteration index, barrier time, duration,
+  per run (Figures 3–7's series);
+* ``<prefix>_wae.csv`` — WAE per decision time, per run;
+* ``<prefix>_nworkers.csv`` — resource-set size over time, per run;
+* ``<prefix>_decisions.csv`` — every adaptation decision with its kind,
+  WAE, and affected nodes;
+* ``<prefix>_summary.csv`` — one row per run (Figure 1's table).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from ..core.policy import AddNodes, RemoveCluster, RemoveNodes
+from .runner import RunResult
+
+__all__ = ["export_runs"]
+
+
+def _write(path: Path, header: list[str], rows: Iterable[list]) -> None:
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_runs(results: Iterable[RunResult], directory: str, prefix: str = "runs") -> list[str]:
+    """Write the CSV set for ``results``; returns the written paths."""
+    results = list(results)
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[str] = []
+
+    def key(r: RunResult) -> tuple[str, str, int]:
+        return (r.scenario_id, r.variant, r.seed)
+
+    path = out_dir / f"{prefix}_iterations.csv"
+    _write(
+        path,
+        ["scenario", "variant", "seed", "iteration", "time_s", "duration_s"],
+        (
+            [*key(r), i, float(t), float(d)]
+            for r in results
+            for i, (t, d) in enumerate(zip(r.iteration_times, r.iteration_durations))
+        ),
+    )
+    written.append(str(path))
+
+    path = out_dir / f"{prefix}_wae.csv"
+    _write(
+        path,
+        ["scenario", "variant", "seed", "time_s", "wae"],
+        (
+            [*key(r), float(t), float(v)]
+            for r in results
+            for t, v in zip(r.wae.times, r.wae.values)
+        ),
+    )
+    written.append(str(path))
+
+    path = out_dir / f"{prefix}_nworkers.csv"
+    _write(
+        path,
+        ["scenario", "variant", "seed", "time_s", "nworkers"],
+        (
+            [*key(r), float(t), int(v)]
+            for r in results
+            for t, v in zip(r.nworkers.times, r.nworkers.values)
+        ),
+    )
+    written.append(str(path))
+
+    path = out_dir / f"{prefix}_decisions.csv"
+
+    def decision_rows():
+        for r in results:
+            for t, d in r.decisions:
+                kind = type(d).__name__
+                nodes = ";".join(getattr(d, "nodes", ()))
+                count = getattr(d, "count", "")
+                cluster = getattr(d, "cluster", "")
+                yield [*key(r), float(t), kind, f"{d.wae:.4f}", count, cluster, nodes]
+
+    _write(
+        path,
+        ["scenario", "variant", "seed", "time_s", "kind", "wae", "count",
+         "cluster", "nodes"],
+        decision_rows(),
+    )
+    written.append(str(path))
+
+    path = out_dir / f"{prefix}_summary.csv"
+    _write(
+        path,
+        ["scenario", "variant", "seed", "completed", "runtime_s",
+         "iterations", "mean_iteration_s", "final_workers",
+         "executed_leaves", "busy_s", "idle_s", "comm_intra_s",
+         "comm_inter_s", "bench_s", "blacklisted_clusters",
+         "learned_min_bandwidth"],
+        (
+            [
+                *key(r),
+                r.completed,
+                f"{r.runtime_seconds:.3f}",
+                r.iterations_done,
+                f"{r.mean_iteration_duration:.3f}",
+                len(r.final_workers),
+                r.executed_leaves,
+                f"{r.time_by_category.get('busy', 0.0):.1f}",
+                f"{r.time_by_category.get('idle', 0.0):.1f}",
+                f"{r.time_by_category.get('comm_intra', 0.0):.1f}",
+                f"{r.time_by_category.get('comm_inter', 0.0):.1f}",
+                f"{r.time_by_category.get('bench', 0.0):.1f}",
+                ";".join(sorted(r.blacklisted_clusters)),
+                r.learned_min_bandwidth if r.learned_min_bandwidth else "",
+            ]
+            for r in results
+        ),
+    )
+    written.append(str(path))
+    return written

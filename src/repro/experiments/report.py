@@ -1,0 +1,186 @@
+"""Report formatting: regenerate the paper's tables and figure series.
+
+The benchmarks print, for every paper artefact, the same rows/series the
+paper reports:
+
+* :func:`format_fig1` — Figure 1's bar chart as a table: total runtime per
+  scenario for the three variants, plus the relative improvement of
+  adaptation and the overhead of monitoring;
+* :func:`format_iteration_series` — Figures 3–7: per-iteration durations
+  of the non-adaptive vs adaptive run, with the adaptation actions
+  annotated at the simulated times they occurred;
+* :func:`format_scenario1_overhead` — the §5.1 inline numbers: adaptation
+  and monitoring overhead percentages and the benchmarking share;
+* :func:`ascii_series` — a quick terminal plot for eyeballing shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.policy import AddNodes, RemoveCluster, RemoveNodes
+from .runner import RunResult
+
+__all__ = [
+    "format_fig1",
+    "format_iteration_series",
+    "format_scenario1_overhead",
+    "format_actions",
+    "ascii_series",
+    "improvement",
+]
+
+
+def improvement(baseline: float, improved: float) -> float:
+    """Relative runtime reduction (positive = improved is faster)."""
+    if baseline <= 0:
+        raise ValueError("baseline runtime must be > 0")
+    return (baseline - improved) / baseline
+
+
+def format_fig1(
+    results: Mapping[str, Mapping[str, RunResult]],
+    title: str = "Figure 1: total runtimes (seconds) per scenario and variant",
+) -> str:
+    """Figure 1 as a table. ``results[scenario][variant] -> RunResult``."""
+    lines = [title, ""]
+    header = (
+        f"{'scenario':<10} {'none (r1)':>11} {'adapt (r2)':>11} "
+        f"{'monitor (r3)':>13} {'adapt gain':>11} {'monitor ovh':>12}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for sid in sorted(results):
+        by_variant = results[sid]
+        none = by_variant.get("none")
+        adapt = by_variant.get("adapt")
+        monitor = by_variant.get("monitor")
+
+        def fmt(r: Optional[RunResult]) -> str:
+            if r is None:
+                return "-"
+            return f"{r.runtime_seconds:.0f}" + ("" if r.completed else "*")
+
+        gain = (
+            f"{improvement(none.runtime_seconds, adapt.runtime_seconds):+.0%}"
+            if none is not None and adapt is not None
+            else "-"
+        )
+        ovh = (
+            f"{-improvement(none.runtime_seconds, monitor.runtime_seconds):+.1%}"
+            if none is not None and monitor is not None
+            else "-"
+        )
+        lines.append(
+            f"{sid:<10} {fmt(none):>11} {fmt(adapt):>11} {fmt(monitor):>13} "
+            f"{gain:>11} {ovh:>12}"
+        )
+    lines.append("")
+    lines.append("(*: run hit the simulation-time guard before completing)")
+    return "\n".join(lines)
+
+
+def format_actions(result: RunResult) -> list[str]:
+    """Human-readable adaptation actions, e.g. '129s: -cluster leiden'."""
+    out = []
+    for t, d in result.decisions:
+        if isinstance(d, AddNodes):
+            out.append(f"{t:.0f}s: +{d.count} nodes (WAE {d.wae:.2f})")
+        elif isinstance(d, RemoveCluster):
+            out.append(f"{t:.0f}s: -cluster {d.cluster} (WAE {d.wae:.2f})")
+        elif isinstance(d, RemoveNodes):
+            out.append(f"{t:.0f}s: -{len(d.nodes)} nodes (WAE {d.wae:.2f})")
+    return out
+
+
+def format_iteration_series(
+    none: RunResult,
+    adapt: RunResult,
+    figure: str,
+    caption: str,
+) -> str:
+    """One of Figures 3–7: iteration durations with/without adaptation."""
+    lines = [f"{figure}: {caption}", ""]
+    n = max(len(none.iteration_durations), len(adapt.iteration_durations))
+    header = f"{'iter':>4} {'no adaptation':>14} {'with adaptation':>16}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i in range(n):
+        a = (
+            f"{none.iteration_durations[i]:.1f}"
+            if i < len(none.iteration_durations)
+            else "-"
+        )
+        b = (
+            f"{adapt.iteration_durations[i]:.1f}"
+            if i < len(adapt.iteration_durations)
+            else "-"
+        )
+        lines.append(f"{i:>4} {a:>14} {b:>16}")
+    lines.append("")
+    lines.append(
+        f"runtimes: none={none.runtime_seconds:.0f}s "
+        f"adapt={adapt.runtime_seconds:.0f}s "
+        f"(reduction {improvement(none.runtime_seconds, adapt.runtime_seconds):.0%})"
+    )
+    actions = format_actions(adapt)
+    if actions:
+        lines.append("adaptation actions:")
+        lines.extend(f"  {a}" for a in actions)
+    if adapt.blacklisted_clusters:
+        lines.append(f"blacklisted clusters: {sorted(adapt.blacklisted_clusters)}")
+    if adapt.learned_min_bandwidth is not None:
+        lines.append(
+            f"learned min bandwidth: {adapt.learned_min_bandwidth:.0f} B/s"
+        )
+    return "\n".join(lines)
+
+
+def format_scenario1_overhead(
+    none: RunResult, adapt: RunResult, monitor: RunResult
+) -> str:
+    """§5.1's inline numbers: overheads of adaptation support."""
+    adapt_ovh = -improvement(none.runtime_seconds, adapt.runtime_seconds)
+    monitor_ovh = -improvement(none.runtime_seconds, monitor.runtime_seconds)
+    lines = [
+        "Scenario 1 (adaptivity overhead):",
+        f"  runtime 1 (no support):      {none.runtime_seconds:8.1f} s",
+        f"  runtime 2 (full adaptation): {adapt.runtime_seconds:8.1f} s "
+        f"({adapt_ovh:+.1%} vs runtime 1)",
+        f"  runtime 3 (monitoring only): {monitor.runtime_seconds:8.1f} s "
+        f"({monitor_ovh:+.1%} vs runtime 1)",
+        f"  benchmarking share of worker time (adapt): "
+        f"{adapt.bench_overhead_fraction():.2%}",
+    ]
+    return "\n".join(lines)
+
+
+def ascii_series(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """A small ASCII plot of a series (for terminal eyeballing)."""
+    vals = np.asarray(list(values), dtype=float)
+    if len(vals) == 0:
+        return f"{label}(empty series)"
+    vmax = float(vals.max())
+    vmin = min(0.0, float(vals.min()))
+    if vmax == vmin:
+        vmax = vmin + 1.0
+    # resample to width columns
+    idx = np.linspace(0, len(vals) - 1, min(width, len(vals))).astype(int)
+    cols = vals[idx]
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = vmin + (vmax - vmin) * (level - 0.5) / height
+        rows.append(
+            "".join("#" if v >= threshold else " " for v in cols)
+        )
+    out = [f"{label} (max {vmax:.1f}, min {vals.min():.1f})"] if label else []
+    out.extend(f"|{r}|" for r in rows)
+    out.append("+" + "-" * len(cols) + "+")
+    return "\n".join(out)

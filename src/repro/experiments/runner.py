@@ -1,0 +1,203 @@
+"""Experiment runner: one scenario × one variant → one measured run.
+
+The paper compares, per scenario, three variants of the same application:
+
+* ``"none"`` — no monitoring, no benchmarking, no coordinator: the plain
+  non-adaptive run (*runtime 1* in the paper);
+* ``"adapt"`` — full adaptation support (*runtime 2*);
+* ``"monitor"`` — statistics collection and benchmarking on, but the
+  coordinator never acts (*runtime 3*): isolates the monitoring overhead
+  from the adaptation benefit.
+
+Each run is completely self-contained (fresh environment, network,
+registry, runtime, application) and deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.bwestimator import BandwidthEstimator
+from ..core.coordinator import AdaptationCoordinator, CoordinatorConfig
+from ..core.policy import AdaptationPolicy, Decision
+from ..registry.registry import Registry
+from ..satin.app import AppDriver
+from ..satin.benchmarking import BenchmarkConfig
+from ..satin.runtime import SatinRuntime
+from ..satin.worker import WorkerConfig
+from ..simgrid.engine import AnyOf, Environment
+from ..simgrid.events import CrashEvent, EventInjector, GridEvent
+from ..simgrid.network import Network
+from ..simgrid.rng import RngStreams
+from ..simgrid.trace import Series, Trace
+from ..zorilla.scheduler import ResourcePool
+from .scenarios import ScenarioSpec
+
+__all__ = ["RunResult", "VARIANTS", "run_scenario"]
+
+VARIANTS = ("none", "monitor", "adapt")
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one run."""
+
+    scenario_id: str
+    variant: str
+    seed: int
+    completed: bool
+    runtime_seconds: float
+    iterations_done: int
+    iteration_times: np.ndarray      # wall-clock (sim) time of each barrier
+    iteration_durations: np.ndarray  # seconds per iteration
+    wae: Series
+    nworkers: Series
+    decisions: list[tuple[float, Decision]]
+    adaptation_log: list[tuple[float, str, dict[str, Any]]]
+    final_workers: list[str]
+    executed_leaves: int
+    time_by_category: dict[str, float]
+    blacklisted_nodes: frozenset[str] = frozenset()
+    blacklisted_clusters: frozenset[str] = frozenset()
+    learned_min_bandwidth: Optional[float] = None
+
+    @property
+    def mean_iteration_duration(self) -> float:
+        return float(np.mean(self.iteration_durations)) if len(
+            self.iteration_durations
+        ) else float("nan")
+
+    def bench_overhead_fraction(self) -> float:
+        """Benchmark time as a fraction of total accounted worker time."""
+        total = sum(self.time_by_category.values())
+        return self.time_by_category.get("bench", 0.0) / total if total else 0.0
+
+
+class _CrashBridge:
+    """Connects injected crash events to the runtime's crash handling."""
+
+    def __init__(self, runtime: SatinRuntime) -> None:
+        self.runtime = runtime
+
+    def on_grid_event(self, event: GridEvent, details: dict[str, Any]) -> None:
+        if isinstance(event, CrashEvent):
+            for node in details["nodes"]:
+                self.runtime.crash_node(node)
+
+
+def _worker_config(spec: ScenarioSpec, variant: str) -> WorkerConfig:
+    if variant == "none":
+        return WorkerConfig(
+            monitoring_period=spec.monitoring_period,
+            collect_stats=False,
+            benchmark=None,
+        )
+    # The benchmark is "the same application with a small problem size":
+    # ~1.5 work units ≈ a small Barnes-Hut step. A 3% overhead budget makes
+    # it run 1-2 times per monitoring period (the paper's cadence), so a
+    # speed change is detected within about one period.
+    return WorkerConfig(
+        monitoring_period=spec.monitoring_period,
+        collect_stats=True,
+        benchmark=BenchmarkConfig(work=1.5, max_overhead=0.03, noise=0.02),
+    )
+
+
+def run_scenario(
+    spec: ScenarioSpec, variant: str, seed: int = 0
+) -> RunResult:
+    """Execute one scenario under one variant; returns the measurements."""
+    if variant not in VARIANTS:
+        raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+
+    env = Environment()
+    network = Network(env, spec.grid)
+    registry = Registry(env, detection_delay=spec.crash_detection_delay)
+    rng = RngStreams(seed)
+    trace = Trace()
+    runtime = SatinRuntime(
+        env=env,
+        network=network,
+        registry=registry,
+        config=_worker_config(spec, variant),
+        rng=rng,
+        trace=trace,
+    )
+
+    injector = EventInjector(env, network, list(spec.events))
+    injector.add_listener(_CrashBridge(runtime))
+    injector.start()
+
+    pool = ResourcePool(network)
+    initial = spec.initial_nodes()
+    pool.mark_allocated(initial)
+    runtime.add_nodes(initial)
+
+    coordinator: Optional[AdaptationCoordinator] = None
+    if variant in ("monitor", "adapt"):
+        coordinator = AdaptationCoordinator(
+            runtime=runtime,
+            pool=pool,
+            policy=AdaptationPolicy(spec.policy),
+            config=CoordinatorConfig(
+                monitoring_period=spec.monitoring_period,
+                # enough slack for the period's reports (including from
+                # workers that roll over a few seconds late, mid-task) to
+                # cross the WAN before the decision is taken
+                decision_slack=spec.monitoring_period * 0.15,
+                node_startup_delay=2.0,
+                adaptation_enabled=(variant == "adapt"),
+            ),
+        )
+        estimator = BandwidthEstimator(window_seconds=spec.monitoring_period * 2)
+        estimator.attach(network)
+        coordinator.bandwidth_estimator = estimator
+        coordinator.start()
+
+    app = spec.app_factory()
+    driver = AppDriver(runtime, app)
+    proc = driver.start()
+
+    guard = env.timeout(spec.max_sim_time)
+    env.run(until=AnyOf(env, [proc, guard]))
+    completed = proc.triggered
+
+    iteration_series = trace.series("iteration_duration")
+    time_by_category: dict[str, float] = {}
+    for worker in runtime.all_workers_ever():
+        for cat in ("busy", "idle", "comm_intra", "comm_inter", "bench"):
+            time_by_category[cat] = (
+                time_by_category.get(cat, 0.0) + worker.account.lifetime(cat)
+            )
+
+    return RunResult(
+        scenario_id=spec.id,
+        variant=variant,
+        seed=seed,
+        completed=completed,
+        runtime_seconds=(
+            driver.runtime_seconds if completed else float(env.now)
+        ),
+        iterations_done=driver.iterations_done,
+        iteration_times=iteration_series.times,
+        iteration_durations=iteration_series.values,
+        wae=trace.series("wae"),
+        nworkers=trace.series("nworkers"),
+        decisions=list(coordinator.decisions) if coordinator else [],
+        adaptation_log=trace.entries(),
+        final_workers=runtime.alive_worker_names(),
+        executed_leaves=runtime.total_executed_leaves(),
+        time_by_category=time_by_category,
+        blacklisted_nodes=(
+            coordinator.blacklist.banned_nodes if coordinator else frozenset()
+        ),
+        blacklisted_clusters=(
+            coordinator.blacklist.banned_clusters if coordinator else frozenset()
+        ),
+        learned_min_bandwidth=(
+            coordinator.blacklist.min_bandwidth if coordinator else None
+        ),
+    )

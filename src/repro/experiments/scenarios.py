@@ -1,0 +1,271 @@
+"""The paper's evaluation scenarios (Section 5), scaled for simulation.
+
+The paper ran Barnes-Hut on DAS-2 (five clusters: 72 + 4×32 dual-1-GHz
+nodes) with a 3-minute monitoring period and runtimes of 15–35 minutes.
+We reproduce every scenario on a *scaled* DAS-2 — fewer nodes and shorter
+iterations, so that a full three-variant comparison runs in seconds of
+wall time — while preserving every ratio that matters: cluster counts,
+the events injected mid-run, the multiple of monitoring periods the
+application runs for, and the relative severities (a "heavy" load is a
+10× slowdown, a throttled uplink is ~3 orders of magnitude below LAN
+bandwidth, crashes take out whole clusters).
+
+Scenario inventory (paper §5.1–5.6):
+
+1. **adaptivity overhead** — a reasonable resource set, no events; compare
+   plain vs monitoring-only vs adaptive runtimes.
+2. **expanding to more nodes** — start on too few nodes (sub-scenarios
+   a/b/c with increasingly many starting nodes); adaptation grows the set.
+3. **overloaded processors** — a heavy external load lands on one
+   cluster's CPUs mid-run; adaptation evicts and replaces them.
+4. **overloaded network link** — one cluster's uplink is throttled;
+   adaptation removes that cluster wholesale and re-expands elsewhere.
+5. **overloaded processors and link** — scenario 4's throttle plus a
+   light load on a second cluster; after evicting the bad cluster WAE
+   lands inside the dead band, demonstrating the opportunistic-migration
+   gap the paper discusses.
+6. **crashing nodes** — two of three clusters crash; adaptation replaces
+   the lost nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from ..apps.barneshut import BarnesHutConfig, BarnesHutSimulation
+from ..core.policy import PolicyConfig
+from ..simgrid.events import BandwidthEvent, CpuLoadEvent, CrashEvent, GridEvent
+from ..simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+
+__all__ = ["ScenarioSpec", "SCENARIOS", "scenario", "scaled_das2"]
+
+
+def scaled_das2(
+    nodes_per_cluster: int = 8,
+    clusters: int = 5,
+    node_speed: float = 1.0,
+    uplink_bandwidth: float = 12.5e6,
+) -> GridSpec:
+    """A DAS-2 shaped grid scaled down for fast simulation.
+
+    Five clusters on a university backbone; we keep them equal-sized (the
+    paper's one larger cluster only matters for capacity headroom, which
+    the pool provides anyway).
+    """
+    names = ["vu", "uva", "leiden", "delft", "utrecht"][:clusters]
+    specs = tuple(
+        ClusterSpec(
+            name=name,
+            nodes=tuple(
+                NodeSpec(f"{name}/n{i:02d}", name, base_speed=node_speed)
+                for i in range(nodes_per_cluster)
+            ),
+            lan_latency=1e-4,
+            lan_bandwidth=12.5e6,   # Fast Ethernet
+            uplink_latency=2.5e-3,  # few-ms WAN
+            uplink_bandwidth=uplink_bandwidth,
+        )
+        for name in names
+    )
+    return GridSpec(clusters=specs)
+
+
+def _initial_nodes(grid: GridSpec, layout: Sequence[tuple[str, int]]) -> list[str]:
+    """First ``count`` nodes of each named cluster."""
+    nodes: list[str] = []
+    for cluster, count in layout:
+        members = sorted(n.name for n in grid.cluster(cluster).nodes)
+        if count > len(members):
+            raise ValueError(f"cluster {cluster} has only {len(members)} nodes")
+        nodes.extend(members[:count])
+    return nodes
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, reproducible experiment definition."""
+
+    id: str
+    paper_ref: str
+    description: str
+    grid: GridSpec
+    initial_layout: tuple[tuple[str, int], ...]
+    events: tuple[GridEvent, ...] = ()
+    app_factory: Callable[[], BarnesHutSimulation] = field(
+        default=lambda: BarnesHutSimulation(DEFAULT_BH)
+    )
+    monitoring_period: float = 60.0
+    policy: PolicyConfig = field(default_factory=lambda: DEFAULT_POLICY)
+    crash_detection_delay: float = 5.0
+    #: hard simulation-time cap (safety net for the runner).
+    max_sim_time: float = 3600.0
+
+    def initial_nodes(self) -> list[str]:
+        return _initial_nodes(self.grid, self.initial_layout)
+
+
+#: Default Barnes-Hut workload, calibrated so that the 18-node initial set
+#: of scenarios 1/3/4/5/6 runs at WAE ≈ 0.42–0.45 — the paper's
+#: "reasonable number of nodes" (efficiency ≈ 50%, inside the dead band).
+#: Iterations last ~20 s against a 60-s monitoring period, giving ~8
+#: monitoring periods per 24-iteration run: the same "handful of periods
+#: per run" regime as the paper's 15–35-minute runs with a 3-minute period.
+DEFAULT_BH = BarnesHutConfig(
+    n_bodies=512,
+    n_iterations=24,
+    theta=0.5,
+    max_bodies_per_leaf_task=56,
+    work_per_interaction=7e-4,
+    seed=42,
+)
+
+#: Policy for all scenarios. The whole-cluster eviction threshold is
+#: calibrated to this simulator's measurements: a healthy cluster's mean
+#: inter-cluster overhead sits around 0.01 (transfers at LAN-class WAN
+#: bandwidth are milliseconds), so 0.05 — one order of magnitude above
+#: healthy — is "exceptionally high". (The paper's numeral for this
+#: threshold is lost in the available text; its reasoning — a few percent
+#: of inter-cluster overhead already indicates bandwidth problems — is
+#: exactly what this calibration encodes.)
+DEFAULT_POLICY = PolicyConfig(
+    e_min=0.30,
+    e_max=0.50,
+    cluster_removal_ic_overhead=0.05,
+    max_nodes=40,
+)
+
+_GRID = scaled_das2()
+
+
+def _bh(n_iterations: int = 24) -> Callable[[], BarnesHutSimulation]:
+    cfg = replace(DEFAULT_BH, n_iterations=n_iterations)
+    return lambda: BarnesHutSimulation(cfg)
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def _register(spec: ScenarioSpec) -> ScenarioSpec:
+    SCENARIOS[spec.id] = spec
+    return spec
+
+
+def scenario(scenario_id: str) -> ScenarioSpec:
+    """Look up a registered scenario by id (e.g. ``"s4"``)."""
+    try:
+        return SCENARIOS[scenario_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {scenario_id!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+
+
+# -- scenario 1: adaptivity overhead -----------------------------------------
+_register(
+    ScenarioSpec(
+        id="s1",
+        paper_ref="§5.1, Figure 1 group 1",
+        description=(
+            "Ideal conditions: 18 nodes over 3 clusters (efficiency ≈ 0.5), "
+            "no grid events. Measures the overhead of monitoring/benchmarking "
+            "and of full adaptation support."
+        ),
+        grid=_GRID,
+        initial_layout=(("vu", 6), ("uva", 6), ("leiden", 6)),
+    )
+)
+
+# -- scenario 2: expanding to more nodes --------------------------------------
+for sub, layout in {
+    "a": (("vu", 4),),
+    "b": (("vu", 4), ("uva", 4)),
+    "c": (("vu", 4), ("uva", 4), ("leiden", 4)),
+}.items():
+    _register(
+        ScenarioSpec(
+            id=f"s2{sub}",
+            paper_ref="§5.2, Figures 1 & 3",
+            description=(
+                f"Started on too few nodes (sub-scenario {sub}: "
+                f"{sum(c for _, c in layout)} nodes in {len(layout)} cluster(s)); "
+                "adaptation must expand the resource set."
+            ),
+            grid=_GRID,
+            initial_layout=tuple(layout),
+            app_factory=_bh(24),
+        )
+    )
+
+# -- scenario 3: overloaded processors ----------------------------------------
+_register(
+    ScenarioSpec(
+        id="s3",
+        paper_ref="§5.3, Figures 1 & 4",
+        description=(
+            "18 nodes over 3 clusters; at t=60 s a heavy external load "
+            "(10x slowdown) lands on every CPU of the leiden cluster. "
+            "Adaptation must evict the overloaded nodes and re-expand."
+        ),
+        grid=_GRID,
+        initial_layout=(("vu", 6), ("uva", 6), ("leiden", 6)),
+        events=(CpuLoadEvent(time=60.0, load=9.0, cluster="leiden"),),
+        app_factory=_bh(30),
+    )
+)
+
+# -- scenario 4: overloaded network link ----------------------------------------
+_register(
+    ScenarioSpec(
+        id="s4",
+        paper_ref="§5.4, Figures 1 & 5",
+        description=(
+            "18 nodes over 3 clusters; at t=30 s the leiden uplink is "
+            "throttled to 25 kB/s (the paper shaped its uplink to ~100 kB/s; "
+            "our scaled data sizes need a proportionally tighter squeeze). "
+            "Adaptation must remove the badly connected "
+            "cluster wholesale and re-expand elsewhere."
+        ),
+        grid=_GRID,
+        initial_layout=(("vu", 6), ("uva", 6), ("leiden", 6)),
+        events=(BandwidthEvent(time=30.0, cluster="leiden", bandwidth=25e3),),
+        app_factory=_bh(30),
+    )
+)
+
+# -- scenario 5: overloaded processors AND link ---------------------------------
+_register(
+    ScenarioSpec(
+        id="s5",
+        paper_ref="§5.5, Figures 1 & 6",
+        description=(
+            "Scenario 4's throttled leiden uplink plus a light load "
+            "(3x slowdown) on the uva cluster. After the bad cluster is "
+            "removed, WAE sits between E_min and E_max: the dead band "
+            "where only opportunistic migration (future work) would act."
+        ),
+        grid=_GRID,
+        initial_layout=(("vu", 6), ("uva", 6), ("leiden", 6)),
+        events=(
+            BandwidthEvent(time=30.0, cluster="leiden", bandwidth=25e3),
+            CpuLoadEvent(time=30.0, load=2.0, cluster="uva"),
+        ),
+        app_factory=_bh(30),
+    )
+)
+
+# -- scenario 6: crashing nodes ----------------------------------------------------
+_register(
+    ScenarioSpec(
+        id="s6",
+        paper_ref="§5.6, Figures 1 & 7",
+        description=(
+            "18 nodes over 3 clusters; at t=60 s two of the three clusters "
+            "(uva, leiden) crash. Adaptation must replace the lost nodes."
+        ),
+        grid=_GRID,
+        initial_layout=(("vu", 6), ("uva", 6), ("leiden", 6)),
+        events=(CrashEvent(time=60.0, clusters=("uva", "leiden")),),
+        app_factory=_bh(30),
+    )
+)

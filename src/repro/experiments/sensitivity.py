@@ -1,0 +1,136 @@
+"""Parameter-sensitivity sweeps over the adaptation strategy.
+
+The paper fixes its thresholds from theory (E_max = 0.5 from Eager et
+al.) and experience (E_min); this module provides the tooling to probe
+how sensitive the outcomes are to those choices — the analysis a
+practitioner deploying the strategy on a new grid would run first.
+
+Each sweep re-runs a scenario with one knob varied and collects the
+outcome triple the trade-off lives on:
+
+* **runtime** — what the user feels;
+* **node-seconds** — what the grid bills (Σ over the run of the resource
+  set's size × time);
+* **final resource-set size** — where the strategy converged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from .runner import RunResult, run_scenario
+from .scenarios import ScenarioSpec
+
+__all__ = ["SweepPoint", "sweep_e_max", "sweep_e_min", "sweep_monitoring_period", "format_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Outcome of one parameter setting."""
+
+    parameter: str
+    value: float
+    runtime_seconds: float
+    node_seconds: float
+    final_workers: int
+    completed: bool
+
+    @classmethod
+    def from_result(cls, parameter: str, value: float, result: RunResult) -> "SweepPoint":
+        return cls(
+            parameter=parameter,
+            value=value,
+            runtime_seconds=result.runtime_seconds,
+            node_seconds=_node_seconds(result),
+            final_workers=len(result.final_workers),
+            completed=result.completed,
+        )
+
+
+def _node_seconds(result: RunResult) -> float:
+    """Integrate the nworkers step function over the run."""
+    times = result.nworkers.times
+    values = result.nworkers.values
+    if len(times) == 0:
+        return 0.0
+    end = result.runtime_seconds
+    total = 0.0
+    for i in range(len(times)):
+        t0 = times[i]
+        t1 = times[i + 1] if i + 1 < len(times) else max(end, t0)
+        total += float(values[i]) * max(t1 - t0, 0.0)
+    return total
+
+
+def _sweep(
+    spec: ScenarioSpec,
+    parameter: str,
+    values: Sequence[float],
+    make_spec,
+    variant: str = "adapt",
+    seed: int = 0,
+) -> list[SweepPoint]:
+    points = []
+    for value in values:
+        varied = make_spec(spec, value)
+        result = run_scenario(varied, variant, seed=seed)
+        points.append(SweepPoint.from_result(parameter, value, result))
+    return points
+
+
+def sweep_e_max(
+    spec: ScenarioSpec, values: Sequence[float], seed: int = 0
+) -> list[SweepPoint]:
+    """Vary the growth threshold E_max."""
+    return _sweep(
+        spec, "e_max", values,
+        lambda s, v: replace(
+            s, id=f"{s.id}-emax{v}", policy=replace(s.policy, e_max=v)
+        ),
+        seed=seed,
+    )
+
+
+def sweep_e_min(
+    spec: ScenarioSpec, values: Sequence[float], seed: int = 0
+) -> list[SweepPoint]:
+    """Vary the shrink threshold E_min."""
+    return _sweep(
+        spec, "e_min", values,
+        lambda s, v: replace(
+            s, id=f"{s.id}-emin{v}", policy=replace(s.policy, e_min=v)
+        ),
+        seed=seed,
+    )
+
+
+def sweep_monitoring_period(
+    spec: ScenarioSpec, values: Sequence[float], seed: int = 0
+) -> list[SweepPoint]:
+    """Vary the monitoring period (reaction speed vs. overhead)."""
+    return _sweep(
+        spec, "monitoring_period", values,
+        lambda s, v: replace(s, id=f"{s.id}-mp{v}", monitoring_period=v),
+        seed=seed,
+    )
+
+
+def format_sweep(points: Sequence[SweepPoint]) -> str:
+    """A small table of the sweep's outcome triple."""
+    if not points:
+        return "(empty sweep)"
+    name = points[0].parameter
+    lines = [
+        f"sensitivity sweep over {name}",
+        f"{name:>18} {'runtime (s)':>12} {'node-seconds':>13} {'final n':>8}",
+    ]
+    for p in points:
+        flag = "" if p.completed else " *guard*"
+        lines.append(
+            f"{p.value:>18.3g} {p.runtime_seconds:>12.0f} "
+            f"{p.node_seconds:>13.0f} {p.final_workers:>8d}{flag}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Ibis-like registry: membership, crash detection, and signals."""
+
+from .registry import MembershipListener, Registry
+
+__all__ = ["MembershipListener", "Registry"]

@@ -1,0 +1,140 @@
+"""Ibis-like registry: membership, fault detection, signals.
+
+The paper's implementation relies on the Ibis registry for three services
+(Section 4):
+
+* a **membership service** — the adaptation coordinator discovers the
+  application processes, and processes discover each other;
+* **fault detection** — crashed members are reported to the survivors;
+* **signals** — the coordinator notifies processors that they must leave
+  the computation.
+
+We model the registry as a centralised object (as the paper's
+implementation was: "currently the registry is implemented as a
+centralized server"). Membership changes are synchronous bookkeeping;
+crash *detection* is delayed by a configurable ``detection_delay``
+(real systems detect via missed heartbeats / broken connections, not
+instantly), after which every registered listener is informed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Protocol
+
+from ..simgrid.engine import Environment, Event
+
+__all__ = ["Registry", "MembershipListener"]
+
+
+class MembershipListener(Protocol):
+    """Callbacks a registry client may implement (all optional)."""
+
+    def on_join(self, member: str, cluster: str) -> None:
+        ...  # pragma: no cover - protocol
+
+    def on_leave(self, member: str) -> None:
+        ...  # pragma: no cover - protocol
+
+    def on_crash(self, member: str) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class Registry:
+    """Centralised membership + fault detection + signalling service."""
+
+    def __init__(self, env: Environment, detection_delay: float = 5.0) -> None:
+        if detection_delay < 0:
+            raise ValueError("detection delay must be >= 0")
+        self.env = env
+        self.detection_delay = detection_delay
+        self._members: dict[str, str] = {}  # name -> cluster
+        self._listeners: list[Any] = []
+        self._signal_handlers: dict[str, Callable[[str, Any], None]] = {}
+        #: log of (time, kind, member) membership transitions
+        self.history: list[tuple[float, str, str]] = []
+
+    # -- membership ----------------------------------------------------------
+    def join(self, member: str, cluster: str) -> None:
+        if member in self._members:
+            raise ValueError(f"{member!r} is already a member")
+        self._members[member] = cluster
+        self.history.append((self.env.now, "join", member))
+        self._notify("on_join", member, cluster)
+
+    def leave(self, member: str) -> None:
+        """Graceful departure (the member announced it)."""
+        if member not in self._members:
+            return
+        del self._members[member]
+        self.history.append((self.env.now, "leave", member))
+        self._notify("on_leave", member)
+
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def cluster_of(self, member: str) -> str:
+        return self._members[member]
+
+    def is_member(self, member: str) -> bool:
+        return member in self._members
+
+    def members_in_cluster(self, cluster: str) -> list[str]:
+        return sorted(m for m, c in self._members.items() if c == cluster)
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    # -- fault detection -------------------------------------------------------
+    def report_crash(self, member: str) -> Optional[Event]:
+        """Start crash detection for ``member``.
+
+        Called by the grid-event plumbing the moment a host dies; listeners
+        hear about it ``detection_delay`` seconds later (or immediately if
+        the delay is zero). Returns the detection process event, or None if
+        the member is unknown (already removed).
+        """
+        if member not in self._members:
+            return None
+
+        def _detect() -> Generator[Event, Any, None]:
+            if self.detection_delay > 0:
+                yield self.env.timeout(self.detection_delay)
+            if member in self._members:
+                del self._members[member]
+                self.history.append((self.env.now, "crash", member))
+                self._notify("on_crash", member)
+
+        return self.env.process(_detect(), name=f"detect-crash:{member}")
+
+    # -- signals ---------------------------------------------------------------
+    def set_signal_handler(
+        self, member: str, handler: Callable[[str, Any], None]
+    ) -> None:
+        """Register ``handler(signal_name, payload)`` for ``member``."""
+        self._signal_handlers[member] = handler
+
+    def clear_signal_handler(self, member: str) -> None:
+        self._signal_handlers.pop(member, None)
+
+    def signal(self, member: str, name: str, payload: Any = None) -> bool:
+        """Deliver a signal to ``member``; False if it has no handler."""
+        handler = self._signal_handlers.get(member)
+        if handler is None:
+            return False
+        handler(name, payload)
+        return True
+
+    # -- listeners ---------------------------------------------------------------
+    def add_listener(self, listener: Any) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Any) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, method: str, *args: Any) -> None:
+        for listener in list(self._listeners):
+            fn = getattr(listener, method, None)
+            if fn is not None:
+                fn(*args)

@@ -1,0 +1,59 @@
+"""Satin-like divide-and-conquer runtime on the simulated grid.
+
+Implements the substrate the paper's adaptation component plugs into:
+spawn trees (:mod:`.task`), work-stealing deques (:mod:`.deque`), Random
+and Cluster-aware Random Stealing (:mod:`.stealing`), per-node overhead
+accounting (:mod:`.accounting`) and speed benchmarking
+(:mod:`.benchmarking`), worker processes (:mod:`.worker`), malleability
+hand-offs (:mod:`.malleability`), crash recovery (:mod:`.fault`), the
+runtime that ties them together (:mod:`.runtime`), and the iterative
+application driver (:mod:`.app`).
+"""
+
+from .accounting import NodeReport, TimeAccount
+from .autobench import auto_benchmark_config, sample_benchmark_work
+from .app import AppDriver, Iteration, IterativeApplication
+from .benchmarking import BenchmarkConfig, SpeedBenchmark
+from .deque import WorkDeque
+from .fault import RecoveryManager
+from .malleability import DefaultHandoff, HandoffStrategy
+from .runtime import SatinRuntime
+from .stealing import (
+    ClusterAwareRandomStealing,
+    PeerDirectory,
+    RandomStealing,
+    StealPolicy,
+)
+from .task import Frame, FrameState, TaskNode, TreeStats, tree_stats
+from .taskrate import TaskRateConfig, TaskRateSpeedEstimator
+from .worker import Worker, WorkerConfig
+
+__all__ = [
+    "AppDriver",
+    "BenchmarkConfig",
+    "ClusterAwareRandomStealing",
+    "DefaultHandoff",
+    "Frame",
+    "FrameState",
+    "HandoffStrategy",
+    "Iteration",
+    "IterativeApplication",
+    "NodeReport",
+    "PeerDirectory",
+    "RandomStealing",
+    "RecoveryManager",
+    "SatinRuntime",
+    "SpeedBenchmark",
+    "StealPolicy",
+    "TaskNode",
+    "TaskRateConfig",
+    "TaskRateSpeedEstimator",
+    "TimeAccount",
+    "TreeStats",
+    "Worker",
+    "auto_benchmark_config",
+    "sample_benchmark_work",
+    "WorkerConfig",
+    "WorkDeque",
+    "tree_stats",
+]

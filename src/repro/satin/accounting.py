@@ -1,0 +1,132 @@
+"""Per-worker overhead accounting (paper Section 3.2).
+
+Each processor measures, over a *monitoring period*, how much time it
+spends in each activity class:
+
+* ``busy`` — useful application work (divide, leaf, combine phases);
+* ``idle`` — nothing to do and no synchronous communication in progress;
+* ``comm_intra`` — blocked on intra-cluster communication;
+* ``comm_inter`` — blocked on inter-cluster communication;
+* ``bench`` — running the speed benchmark (adaptivity-support overhead).
+
+At the end of a period the worker computes its *overhead* — the fraction
+of the period not spent on useful work — and its inter-cluster overhead
+component, and ships a :class:`NodeReport` to the adaptation coordinator.
+Clocks are not synchronised across workers: each worker rolls its period
+over independently, and the coordinator tolerates missing reports by
+reusing the previous one (as the paper describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TimeAccount", "NodeReport", "CATEGORIES"]
+
+CATEGORIES = ("busy", "idle", "comm_intra", "comm_inter", "bench")
+
+
+@dataclass(frozen=True)
+class NodeReport:
+    """One worker's statistics for one monitoring period.
+
+    ``speed`` is the *measured absolute* speed in work units/second from
+    the most recent benchmark run; the coordinator normalises it to the
+    fastest reporting node (paper: "the fastest processor has speed 1").
+    """
+
+    worker: str
+    cluster: str
+    period_index: int
+    sent_at: float
+    period_seconds: float
+    busy: float
+    idle: float
+    comm_intra: float
+    comm_inter: float
+    bench: float
+    speed: float
+
+    @property
+    def accounted(self) -> float:
+        return self.busy + self.idle + self.comm_intra + self.comm_inter + self.bench
+
+    @property
+    def overhead(self) -> float:
+        """Fraction of the period NOT spent on useful work, clipped to [0, 1].
+
+        The paper defines overhead as the fraction of time spent idle or
+        communicating; benchmark time is also not useful work, so it
+        counts too (it is bounded by the benchmark's overhead budget).
+        """
+        if self.period_seconds <= 0:
+            return 0.0
+        return min(1.0, max(0.0, 1.0 - self.busy / self.period_seconds))
+
+    @property
+    def ic_overhead(self) -> float:
+        """Inter-cluster communication overhead fraction."""
+        if self.period_seconds <= 0:
+            return 0.0
+        return min(1.0, self.comm_inter / self.period_seconds)
+
+    @property
+    def intra_overhead(self) -> float:
+        """Intra-cluster communication overhead fraction."""
+        if self.period_seconds <= 0:
+            return 0.0
+        return min(1.0, self.comm_intra / self.period_seconds)
+
+
+class TimeAccount:
+    """Accumulates activity durations and rolls monitoring periods over."""
+
+    def __init__(self, start_time: float) -> None:
+        self.period_start = start_time
+        self.period_index = 0
+        self._totals = {c: 0.0 for c in CATEGORIES}
+        self._lifetime = {c: 0.0 for c in CATEGORIES}
+
+    def add(self, category: str, seconds: float) -> None:
+        """Attribute ``seconds`` of activity to ``category``.
+
+        An activity spanning a period rollover is attributed to the period
+        in which it *ends* — the small inaccuracy the paper accepts for
+        unsynchronised measurement.
+        """
+        if category not in self._totals:
+            raise ValueError(f"unknown activity category {category!r}")
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds!r}")
+        self._totals[category] += seconds
+        self._lifetime[category] += seconds
+
+    def total(self, category: str) -> float:
+        """Current-period accumulated seconds for ``category``."""
+        return self._totals[category]
+
+    def lifetime(self, category: str) -> float:
+        """Whole-run accumulated seconds for ``category``."""
+        return self._lifetime[category]
+
+    def rollover(
+        self, now: float, worker: str, cluster: str, speed: float
+    ) -> NodeReport:
+        """Close the current period and return its report."""
+        report = NodeReport(
+            worker=worker,
+            cluster=cluster,
+            period_index=self.period_index,
+            sent_at=now,
+            period_seconds=max(now - self.period_start, 0.0),
+            busy=self._totals["busy"],
+            idle=self._totals["idle"],
+            comm_intra=self._totals["comm_intra"],
+            comm_inter=self._totals["comm_inter"],
+            bench=self._totals["bench"],
+            speed=speed,
+        )
+        self.period_start = now
+        self.period_index += 1
+        self._totals = {c: 0.0 for c in CATEGORIES}
+        return report

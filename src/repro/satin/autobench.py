@@ -1,0 +1,78 @@
+"""Automatic benchmark generation (paper future work, §3.2).
+
+"Currently we use the same application with a small problem size as a
+benchmark, and we require the application programmer to specify this
+problem size. This approach requires extra effort from the programmer ...
+In the future we are planning to generate benchmarks automatically by
+choosing a random subset of the task graph of the original application."
+
+:func:`sample_benchmark_work` implements that idea: given the
+application's (first) spawn tree, it random-walks the task graph
+collecting leaf tasks until a target amount of work is reached. Because
+the sample is drawn from the *actual* task graph, its cost profile is the
+application's own — no programmer-chosen problem size needed.
+
+:func:`auto_benchmark_config` wraps the sample into a ready
+:class:`~repro.satin.benchmarking.BenchmarkConfig`: the target work is a
+fraction of the mean per-node work of one iteration, so one benchmark run
+stays comfortably inside the overhead budget on any sensible resource set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .benchmarking import BenchmarkConfig
+from .task import TaskNode
+
+__all__ = ["sample_benchmark_work", "auto_benchmark_config"]
+
+
+def sample_benchmark_work(
+    tree: TaskNode,
+    rng: np.random.Generator,
+    target_work: float,
+    max_leaves: int = 10_000,
+) -> float:
+    """Total work of a random task-graph subset of ≈ ``target_work``.
+
+    Leaves are drawn by independent random walks from the root (each step
+    descends to a uniformly random child), accumulating each sampled
+    leaf's work until the target is met. Duplicate draws are allowed —
+    the benchmark *re-executes* tasks anyway. Returns at least one leaf's
+    work even if it overshoots the target.
+    """
+    if target_work <= 0:
+        raise ValueError("target_work must be > 0")
+    total = 0.0
+    for _ in range(max_leaves):
+        node = tree
+        while not node.is_leaf:
+            node = node.children[int(rng.integers(len(node.children)))]
+        total += max(node.work, 1e-12)
+        if total >= target_work:
+            break
+    return total
+
+
+def auto_benchmark_config(
+    tree: TaskNode,
+    rng: np.random.Generator,
+    expected_nodes: int,
+    max_overhead: float = 0.03,
+    target_fraction: float = 0.05,
+    noise: float = 0.0,
+) -> BenchmarkConfig:
+    """Derive a BenchmarkConfig from the application's own task graph.
+
+    ``expected_nodes`` — the resource-set size the user intends to start
+    on; the benchmark is sized to ``target_fraction`` of one node's share
+    of the tree's work, so a run lasts a small fraction of an iteration.
+    """
+    if expected_nodes < 1:
+        raise ValueError("expected_nodes must be >= 1")
+    if not 0 < target_fraction <= 1:
+        raise ValueError("target_fraction must be in (0, 1]")
+    per_node_work = tree.total_work() / expected_nodes
+    work = sample_benchmark_work(tree, rng, per_node_work * target_fraction)
+    return BenchmarkConfig(work=work, max_overhead=max_overhead, noise=noise)

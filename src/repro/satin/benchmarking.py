@@ -1,0 +1,130 @@
+"""Application-specific speed benchmarking (paper Section 3.2).
+
+Relative processor speeds depend on the application and the problem size,
+so the paper measures them by running *the application itself with a small
+problem size* as a benchmark. The programmer specifies the benchmark's
+problem size (here: its cost in work units) and the maximum overhead it may
+cause; each processor then re-runs the benchmark at the highest frequency
+that stays within the overhead budget, so that speed changes (a machine
+becoming loaded) are detected quickly but cheaply.
+
+On our simulated hosts the benchmark's elapsed time is
+``work / effective_speed``, so the measured speed recovers the host's
+current effective speed, optionally with multiplicative measurement noise
+(time-sharing makes real measurements jittery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BenchmarkConfig", "SpeedBenchmark"]
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Programmer-supplied benchmark parameters.
+
+    ``work`` — cost of one benchmark run in work units (the "small problem
+    size"); ``max_overhead`` — maximum fraction of wall time the benchmark
+    may consume (paper: specified by the programmer); ``noise`` — relative
+    standard deviation of the speed measurement (0 = exact).
+
+    ``skip_when_load_stable`` enables the optimisation the paper sketches
+    in §3.2 and §5.1: "combining benchmarking with monitoring the load of
+    the processor ... would allow us to avoid running the benchmark if no
+    change in processor load is detected. This optimization will further
+    reduce the benchmarking overhead" — to "almost zero" when the load
+    never changes. The OS load average is observable for free; a due
+    benchmark run is skipped while the observed load is within
+    ``load_tolerance`` of the load at the last real run.
+    """
+
+    work: float = 1.0
+    max_overhead: float = 0.01
+    noise: float = 0.0
+    skip_when_load_stable: bool = False
+    load_tolerance: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise ValueError("benchmark work must be > 0")
+        if not 0 < self.max_overhead <= 1:
+            raise ValueError("max_overhead must be in (0, 1]")
+        if self.noise < 0:
+            raise ValueError("noise must be >= 0")
+        if self.load_tolerance < 0:
+            raise ValueError("load_tolerance must be >= 0")
+
+
+class SpeedBenchmark:
+    """Per-worker benchmark scheduler and measurement state."""
+
+    def __init__(self, config: BenchmarkConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self._rng = rng
+        self._last_speed: float | None = None
+        self._next_due = 0.0
+        self._load_at_last_run: float | None = None
+        self.runs = 0
+        self.skips = 0
+
+    @property
+    def last_speed(self) -> float | None:
+        """Most recent measured speed (work units/s), or None before any run."""
+        return self._last_speed
+
+    def due(self, now: float) -> bool:
+        """Whether the benchmark's schedule calls for a run now."""
+        return now >= self._next_due
+
+    def should_run(self, now: float, observed_load: float) -> bool:
+        """Schedule + load-stability gate (paper §3.2 optimisation).
+
+        Call instead of :meth:`due` when ``skip_when_load_stable`` is on;
+        an initial measurement is always taken, re-measurements only when
+        the observed OS load moved by more than the tolerance.
+        """
+        if not self.due(now):
+            return False
+        if not self.config.skip_when_load_stable or self._last_speed is None:
+            return True
+        assert self._load_at_last_run is not None
+        if abs(observed_load - self._load_at_last_run) <= self.config.load_tolerance:
+            # skip this round; check again one interval later
+            self._next_due = now + (
+                self.config.work / max(self._last_speed, 1e-12)
+            ) / self.config.max_overhead
+            self.skips += 1
+            return False
+        return True
+
+    def note_load(self, observed_load: float) -> None:
+        """Record the OS load that held during the (just finished) run."""
+        self._load_at_last_run = observed_load
+
+    def duration(self, effective_speed: float) -> float:
+        """Elapsed time one benchmark run will take on the current host."""
+        if effective_speed <= 0:
+            raise ValueError("effective speed must be > 0")
+        return self.config.work / effective_speed
+
+    def record(self, now: float, elapsed: float) -> float:
+        """Record a finished run; returns the measured speed.
+
+        Schedules the next run so that ``elapsed / interval`` stays within
+        the overhead budget: ``interval = elapsed / max_overhead``.
+        """
+        if elapsed <= 0:
+            raise ValueError("benchmark elapsed time must be > 0")
+        measured = self.config.work / elapsed
+        if self.config.noise > 0:
+            measured *= float(
+                np.clip(self._rng.normal(1.0, self.config.noise), 0.5, 1.5)
+            )
+        self._last_speed = measured
+        self._next_due = now + elapsed / self.config.max_overhead
+        self.runs += 1
+        return measured

@@ -1,0 +1,67 @@
+"""Work-stealing deque.
+
+Satin's load balancing relies on the classic double-ended queue
+discipline:
+
+* the owning worker pushes and pops at the **top** (LIFO) — depth-first
+  execution of its own spawn tree, which keeps the working set small;
+* thieves steal from the **bottom** (FIFO) — the *oldest* entries, which
+  in a divide-and-conquer tree are the largest unexplored subtrees, so one
+  steal moves a lot of work (this is what makes work stealing viable over
+  high-latency links).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from .task import Frame
+
+__all__ = ["WorkDeque"]
+
+
+class WorkDeque:
+    """Deque of ready frames with owner-LIFO / thief-FIFO discipline."""
+
+    def __init__(self) -> None:
+        self._frames: deque[Frame] = deque()
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __bool__(self) -> bool:
+        return bool(self._frames)
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self._frames)
+
+    def push(self, frame: Frame) -> None:
+        """Owner adds a freshly spawned frame (top)."""
+        self._frames.append(frame)
+
+    def pop(self) -> Optional[Frame]:
+        """Owner takes its most recently pushed frame (top), if any."""
+        return self._frames.pop() if self._frames else None
+
+    def steal(self) -> Optional[Frame]:
+        """A thief takes the oldest frame (bottom), if any."""
+        return self._frames.popleft() if self._frames else None
+
+    def remove(self, frame: Frame) -> bool:
+        """Remove a specific frame (fault recovery); True if present."""
+        try:
+            self._frames.remove(frame)
+            return True
+        except ValueError:
+            return False
+
+    def drain(self) -> list[Frame]:
+        """Remove and return all frames, oldest first (node departure)."""
+        frames = list(self._frames)
+        self._frames.clear()
+        return frames
+
+    def stealable_work(self) -> float:
+        """Total work units currently queued (diagnostics only)."""
+        return sum(f.node.work + f.node.combine_work for f in self._frames)

@@ -1,0 +1,135 @@
+"""Fault tolerance: recovering work lost to node crashes.
+
+The paper builds on the authors' earlier fault-tolerance work for
+divide-and-conquer (Wrzesinska et al., IPDPS): when a node crashes, the
+subtrees it was computing for other nodes are *re-executed*, and results
+arriving for restarted computations are recognised as stale and dropped.
+
+Our mechanism (a simplification that preserves the observable cost —
+lost work is redone):
+
+* the runtime tracks every frame whose **delivery target** (its parent
+  frame's owner) is a *different* worker than the one currently
+  responsible for executing it;
+* when a crash is detected (via the registry, after the detection delay),
+  each such frame located at the crashed node is reset — bumping its
+  *attempt epoch* — and re-queued at its parent's owner;
+* a result delivery is only accepted if the child's recorded parent epoch
+  matches the parent's current epoch and the parent is still waiting, so
+  stale results from orphaned executions are dropped;
+* frames whose delivery target itself crashed are simply dropped — the
+  target's own subtree is being re-executed transitively by *its* parent's
+  owner, which regenerates them.
+
+Unlike Satin's orphan-saving optimisation, partial results of orphaned
+subtrees are discarded (pure re-execution). This makes recovery slightly
+more expensive than the paper's, i.e. our scenario-6 numbers are, if
+anything, pessimistic for the adaptive system.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .task import Frame, FrameState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import SatinRuntime
+
+__all__ = ["RecoveryManager"]
+
+
+class RecoveryManager:
+    """Tracks displaced frames and re-queues them after crashes."""
+
+    def __init__(self, runtime: "SatinRuntime") -> None:
+        self._runtime = runtime
+        #: frame id -> (frame, worker the frame currently lives at)
+        self._tracked: dict[int, tuple[Frame, str]] = {}
+        #: counters for tests and reports
+        self.recovered = 0
+        self.dropped_stale = 0
+
+    # -- tracking ----------------------------------------------------------
+    def track(self, frame: Frame, location: str) -> None:
+        """Note that ``frame`` now lives at ``location``.
+
+        Only frames whose delivery target differs from their location need
+        tracking; for others the call is a no-op (their loss is covered by
+        the re-execution of a tracked ancestor).
+        """
+        target = frame.parent.owner if frame.parent is not None else None
+        if target == location:
+            self._tracked.pop(frame.id, None)
+            return
+        self._tracked[frame.id] = (frame, location)
+
+    def untrack(self, frame: Frame) -> None:
+        self._tracked.pop(frame.id, None)
+
+    def location_of(self, frame: Frame) -> Optional[str]:
+        entry = self._tracked.get(frame.id)
+        return entry[1] if entry is not None else None
+
+    @property
+    def tracked_count(self) -> int:
+        return len(self._tracked)
+
+    # -- stale-result detection -----------------------------------------------
+    @staticmethod
+    def delivery_valid(frame: Frame) -> bool:
+        """Whether a completed frame's result may be applied to its parent."""
+        parent = frame.parent
+        if parent is None:
+            return True
+        return (
+            parent.state is FrameState.WAITING
+            and parent.attempts == frame.parent_epoch
+            and parent.pending_children > 0
+        )
+
+    def note_dropped(self) -> None:
+        self.dropped_stale += 1
+
+    # -- crash recovery -----------------------------------------------------
+    def recover_from_crash(self, crashed: str) -> list[Frame]:
+        """Re-queue every tracked frame located at ``crashed``.
+
+        Returns the frames that were re-queued (tests use this).
+        """
+        runtime = self._runtime
+        requeued: list[Frame] = []
+        for frame_id, (frame, location) in list(self._tracked.items()):
+            if location != crashed:
+                continue
+            del self._tracked[frame_id]
+            parent = frame.parent
+            if parent is None:
+                # A root frame: restart it anywhere (the whole iteration
+                # subtree is redone).
+                target = runtime.choose_handoff_target(frame, exclude={crashed})
+                if target is None:
+                    raise RuntimeError(
+                        "no live workers remain to restart the root frame"
+                    )
+                frame.reset_for_retry()
+                runtime.place_frame(frame, target)
+                requeued.append(frame)
+                self.recovered += 1
+                continue
+            dest = parent.owner
+            if (
+                dest is not None
+                and runtime.worker_alive(dest)
+                and parent.state is FrameState.WAITING
+                and parent.attempts == frame.parent_epoch
+            ):
+                if frame.state is FrameState.WAITING:
+                    runtime.waiting_discard(crashed, frame)
+                frame.reset_for_retry()
+                runtime.place_frame(frame, dest)
+                requeued.append(frame)
+                self.recovered += 1
+            # else: the delivery target is itself gone or restarted; the
+            # frame is regenerated by an ancestor's re-execution.
+        return requeued

@@ -1,0 +1,64 @@
+"""Malleability support: placing frames displaced by departures.
+
+The paper assumes malleable applications: "processors can be added or
+removed at any point in the computation with little overhead" (Section 2,
+citing the authors' fault-tolerance/malleability work). When a node leaves
+gracefully, every frame it is responsible for must find a new home:
+
+* frames whose parent is owned by a live worker go back to that worker —
+  the result delivery then stays local;
+* otherwise a live worker is chosen at random, preferring the departing
+  node's own cluster (keeps the shipped data on the LAN).
+
+The chooser is deliberately a small, stateless strategy object so the
+ablation benchmarks can swap it out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from .task import Frame
+
+__all__ = ["HandoffStrategy", "DefaultHandoff"]
+
+
+class HandoffStrategy(Protocol):
+    """Strategy interface: where should a displaced frame go?"""
+
+    def choose(
+        self,
+        frame: Frame,
+        candidates: Sequence[str],
+        cluster_of: dict[str, str],
+        from_worker: Optional[str],
+        rng: np.random.Generator,
+    ) -> Optional[str]:
+        """Pick the worker that should take ``frame``; None if no candidate."""
+        ...  # pragma: no cover - protocol
+
+
+class DefaultHandoff:
+    """Parent-owner first, then same-cluster random, then any random."""
+
+    def choose(
+        self,
+        frame: Frame,
+        candidates: Sequence[str],
+        cluster_of: dict[str, str],
+        from_worker: Optional[str],
+        rng: np.random.Generator,
+    ) -> Optional[str]:
+        if not candidates:
+            return None
+        parent = frame.parent
+        if parent is not None and parent.owner in candidates:
+            return parent.owner
+        if from_worker is not None:
+            home = cluster_of.get(from_worker)
+            local = [c for c in candidates if cluster_of.get(c) == home]
+            if local:
+                return local[int(rng.integers(len(local)))]
+        return candidates[int(rng.integers(len(candidates)))]

@@ -1,0 +1,344 @@
+"""The Satin runtime: workers + membership + routing + malleability.
+
+``SatinRuntime`` wires together everything a running divide-and-conquer
+application needs on the simulated grid:
+
+* a :class:`~repro.satin.worker.Worker` per participating node, created
+  through :meth:`add_node` (the malleability join path) and removed through
+  :meth:`remove_node` (graceful leave) or killed by crash events;
+* frame routing — steals, result deliveries, departures' hand-offs — with
+  the epoch checks of :class:`~repro.satin.fault.RecoveryManager` guarding
+  against stale results after fault recovery;
+* root-task submission with completion events (the application driver's
+  iteration barrier);
+* statistics forwarding to the adaptation coordinator's mailbox.
+
+The runtime never *decides* anything about the resource set — that is the
+adaptation coordinator's job (:mod:`repro.core.coordinator`); the runtime
+only provides the mechanisms (add/remove/report).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from ..registry.registry import Registry
+from ..simgrid.engine import Environment, Event, SimulationError
+from ..simgrid.network import Network
+from ..simgrid.queues import Store
+from ..simgrid.rng import RngStreams
+from ..simgrid.trace import Trace
+from .accounting import NodeReport
+from .fault import RecoveryManager
+from .malleability import DefaultHandoff, HandoffStrategy
+from .stealing import ClusterAwareRandomStealing, StealPolicy
+from .task import Frame, FrameState, TaskNode
+from .worker import Worker, WorkerConfig
+
+__all__ = ["SatinRuntime"]
+
+
+class _Peers:
+    """PeerDirectory view over the runtime's live workers."""
+
+    def __init__(self, runtime: "SatinRuntime") -> None:
+        self._runtime = runtime
+
+    def alive_workers(self) -> Sequence[str]:
+        return self._runtime.alive_worker_names()
+
+    def cluster_of(self, worker: str) -> str:
+        return self._runtime._workers[worker].cluster
+
+
+class SatinRuntime:
+    """Mechanism layer for one application run on the simulated grid."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        registry: Registry,
+        config: WorkerConfig,
+        rng: RngStreams,
+        trace: Optional[Trace] = None,
+        policy: Optional[StealPolicy] = None,
+        handoff: Optional[HandoffStrategy] = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.registry = registry
+        self.config = config
+        self.rng = rng
+        self.trace = trace if trace is not None else Trace()
+        self.policy = policy if policy is not None else ClusterAwareRandomStealing()
+        self.handoff_strategy = handoff if handoff is not None else DefaultHandoff()
+
+        self.peers = _Peers(self)
+        self.recovery = RecoveryManager(self)
+        self._workers: dict[str, Worker] = {}
+        self._alive: list[str] = []
+        self._waiting: dict[str, set[Frame]] = {}
+        self._root_events: dict[int, Event] = {}
+        self.master: Optional[str] = None
+        #: where NodeReports are sent; set by the adaptation coordinator.
+        self.stats_mailbox: Optional[Store] = None
+        #: optional per-worker mailbox routing (hierarchical coordinators
+        #: send each worker's reports to its cluster's sub-coordinator);
+        #: returning None falls back to :attr:`stats_mailbox`.
+        self.stats_router: Optional[Callable[[str], Optional[Store]]] = None
+        #: direct (same-process) stats callback, used when the coordinator
+        #: is co-located or in unit tests; bypasses the network.
+        self.stats_callback: Optional[Callable[[NodeReport], None]] = None
+        self._departed_workers: list[Worker] = []
+        self._rng_handoff = rng.stream("runtime/handoff")
+
+        registry.add_listener(self)
+
+    # ------------------------------------------------------------- membership
+    def add_node(self, node_name: str) -> Worker:
+        """Join ``node_name`` to the computation (malleability: add)."""
+        host = self.network.host(node_name)
+        if not host.alive:
+            raise SimulationError(f"cannot add dead node {node_name!r}")
+        existing = self._workers.get(node_name)
+        if existing is not None and existing.alive:
+            raise SimulationError(f"node {node_name!r} already participates")
+        worker = Worker(
+            runtime=self,
+            host=host,
+            policy=self.policy,
+            config=self.config,
+            rng=self.rng.stream(f"worker/{node_name}"),
+        )
+        self._workers[node_name] = worker
+        self._alive.append(node_name)
+        self._waiting.setdefault(node_name, set())
+        if self.master is None:
+            self.master = node_name
+        self.registry.join(node_name, host.cluster)
+        worker.start()
+        self.trace.record("nworkers", self.env.now, len(self._alive))
+        return worker
+
+    def add_nodes(self, node_names: Sequence[str]) -> list[Worker]:
+        return [self.add_node(n) for n in node_names]
+
+    def remove_node(self, node_name: str) -> None:
+        """Gracefully remove a node (malleability: leave signal)."""
+        worker = self._workers.get(node_name)
+        if worker is None or not worker.alive:
+            return
+        if node_name == self.master:
+            raise SimulationError("the master node cannot be removed")
+        worker.process.interrupt("leave")
+
+    def crash_node(self, node_name: str) -> None:
+        """A node died (grid event). Stop its processes; start detection."""
+        worker = self._workers.get(node_name)
+        if worker is not None and worker.alive and not worker.leaving:
+            worker.alive = False  # no hand-off bounce-back during teardown
+            worker.interrupt_helpers()
+            if worker.process is not None and worker.process.is_alive:
+                worker.process.interrupt("crash")
+        self.registry.report_crash(node_name)
+
+    def worker_departed(self, worker: Worker, cause: str) -> None:
+        """Called by the worker at the end of its departure handling."""
+        name = worker.name
+        if name in self._alive:
+            self._alive.remove(name)
+        self._departed_workers.append(worker)
+        if cause == "leave":
+            # Re-home frames divided at the leaver that still wait for
+            # children: their combine must run somewhere alive, and child
+            # results must find them. (Frame state is small — no transfer.)
+            for frame in list(self._waiting.get(name, ())):
+                self._waiting[name].discard(frame)
+                target = self.choose_handoff_target(frame, exclude={name})
+                if target is None:
+                    raise SimulationError("no live workers left to re-home frames")
+                frame.owner = target
+                self._waiting.setdefault(target, set()).add(frame)
+                self.recovery.track(frame, target)
+            self.registry.leave(name)
+        self.trace.record("nworkers", self.env.now, len(self._alive))
+
+    # registry listener ------------------------------------------------------
+    def on_crash(self, member: str) -> None:
+        """Crash *detected* (after the registry's detection delay)."""
+        # Lose the crashed node's waiting set: those frames' subtrees are
+        # regenerated by re-executing the tracked frames.
+        self._waiting.pop(member, None)
+        requeued = self.recovery.recover_from_crash(member)
+        self.trace.log(
+            self.env.now, "crash_recovery", member=member, requeued=len(requeued)
+        )
+        self.trace.record("nworkers", self.env.now, len(self._alive))
+
+    # ---------------------------------------------------------------- lookups
+    def alive_worker_names(self) -> list[str]:
+        return list(self._alive)
+
+    def worker(self, name: str) -> Worker:
+        return self._workers[name]
+
+    def worker_alive(self, name: str) -> bool:
+        w = self._workers.get(name)
+        return w is not None and w.alive
+
+    def host(self, name: str):
+        return self.network.host(name)
+
+    @property
+    def size(self) -> int:
+        return len(self._alive)
+
+    def all_workers_ever(self) -> list[Worker]:
+        current = list(self._workers.values())
+        seen = {id(w) for w in current}
+        return current + [w for w in self._departed_workers if id(w) not in seen]
+
+    # -------------------------------------------------------------- frame flow
+    def submit_root(self, tree: TaskNode, at: Optional[str] = None) -> Event:
+        """Queue a root task; returns an event firing when it completes."""
+        target = at if at is not None else self.master
+        if target is None or not self.worker_alive(target):
+            raise SimulationError("no live master worker to submit work to")
+        frame = Frame(tree)
+        done = self.env.event()
+        self._root_events[frame.id] = done
+        self.place_frame(frame, target)
+        return done
+
+    def root_done(self, frame: Frame) -> None:
+        self.recovery.untrack(frame)
+        done = self._root_events.pop(frame.id, None)
+        if done is not None and not done.triggered:
+            done.succeed(frame)
+
+    def try_steal(self, victim: str, thief: str) -> Optional[Frame]:
+        """Atomically take the oldest frame from ``victim``'s deque."""
+        w = self._workers.get(victim)
+        if w is None or not w.alive or w.leaving:
+            return None
+        frame = w.deque.steal()
+        if frame is None:
+            return None
+        frame.stolen = True
+        frame.executor = thief
+        self.recovery.track(frame, thief)
+        return frame
+
+    def return_stolen(self, frame: Frame, victim: str) -> None:
+        """Undo a steal whose thief was interrupted mid-protocol."""
+        self.recovery.untrack(frame)
+        if self.worker_alive(victim):
+            self._workers[victim].push_frame(frame)
+        else:
+            target = self.choose_handoff_target(frame, exclude=set())
+            if target is not None:
+                self.place_frame(frame, target)
+
+    def deliver_result(self, frame: Frame) -> None:
+        """Apply a completed frame's result to its parent (with staleness
+        checks), enabling the parent's combine when it was the last child."""
+        self.recovery.untrack(frame)
+        parent = frame.parent
+        if parent is None:
+            self.root_done(frame)
+            return
+        owner = parent.owner
+        owner_worker = self._workers.get(owner) if owner is not None else None
+        # A gracefully departing owner's frames are still valid — they are
+        # being re-homed, so the result must be applied; only a crashed
+        # owner's frames are lost (their subtree is re-executed).
+        owner_ok = owner_worker is not None and (
+            owner_worker.alive or owner_worker.departure_cause == "leave"
+        )
+        if not owner_ok or not self.recovery.delivery_valid(frame):
+            self.recovery.note_dropped()
+            return
+        parent.pending_children -= 1
+        if parent.pending_children == 0:
+            parent.state = FrameState.COMBINE_READY
+            self._waiting.get(owner, set()).discard(parent)
+            # push_frame bounces to a live worker if the owner is departing
+            owner_worker.push_frame(parent)
+
+    # ------------------------------------------------------------- hand-off
+    def choose_handoff_target(
+        self, frame: Frame, exclude: Optional[set[str]] = None
+    ) -> Optional[str]:
+        exclude = exclude or set()
+        # _alive may still list workers that are mid-departure (their flag
+        # is already down while they hand work off); filter on the flag.
+        candidates = [
+            n for n in self._alive if n not in exclude and self.worker_alive(n)
+        ]
+        cluster_of = {n: self._workers[n].cluster for n in candidates}
+        from_worker = next(iter(exclude)) if exclude else None
+        return self.handoff_strategy.choose(
+            frame, candidates, cluster_of, from_worker, self._rng_handoff
+        )
+
+    def place_frame(self, frame: Frame, target: str) -> None:
+        """Put ``frame`` into ``target``'s deque and update fault tracking."""
+        if not self.worker_alive(target):
+            raise SimulationError(f"cannot place frame at dead worker {target!r}")
+        frame.executor = target
+        self.recovery.track(frame, target)
+        self._workers[target].push_frame(frame)
+
+    def handoff(self, frame: Frame, from_worker: str) -> Optional[str]:
+        """Choose a new home for ``frame`` and place it (no transfer cost —
+        callers that model the shipping time do the transfer themselves)."""
+        target = self.choose_handoff_target(frame, exclude={from_worker})
+        if target is None:
+            return None
+        self.place_frame(frame, target)
+        return target
+
+    # ------------------------------------------------------------ waiting sets
+    def waiting_add(self, worker: str, frame: Frame) -> None:
+        self._waiting.setdefault(worker, set()).add(frame)
+
+    def waiting_remove(self, worker: str, frame: Frame) -> None:
+        self._waiting.get(worker, set()).discard(frame)
+
+    def waiting_discard(self, worker: str, frame: Frame) -> None:
+        self.waiting_remove(worker, frame)
+
+    def waiting_count(self, worker: str) -> int:
+        return len(self._waiting.get(worker, ()))
+
+    # ---------------------------------------------------------------- statistics
+    def report_stats(self, worker: Worker, report: NodeReport) -> None:
+        if self.stats_callback is not None:
+            self.stats_callback(report)
+            return
+        mailbox = None
+        if self.stats_router is not None:
+            mailbox = self.stats_router(worker.name)
+        if mailbox is None:
+            mailbox = self.stats_mailbox
+        if mailbox is not None:
+            self.network.send(
+                worker.name, mailbox, self.config.stats_bytes, report
+            )
+
+    # ------------------------------------------------------------------ totals
+    def total_executed_leaves(self) -> int:
+        return sum(w.executed_leaves for w in self.all_workers_ever())
+
+    def total_executed_tasks(self) -> int:
+        return sum(w.executed_tasks for w in self.all_workers_ever())
+
+    def total_steals(self) -> tuple[int, int]:
+        ws = self.all_workers_ever()
+        return (
+            sum(w.steals_attempted for w in ws),
+            sum(w.steals_successful for w in ws),
+        )

@@ -1,0 +1,117 @@
+"""Victim-selection policies for work stealing.
+
+Two policies from the Satin line of work:
+
+* :class:`RandomStealing` (RS) — the textbook algorithm: steal from a peer
+  chosen uniformly at random, synchronously. Over a WAN this stalls the
+  thief for a full wide-area round trip per (possibly failed) attempt.
+* :class:`ClusterAwareRandomStealing` (CRS) — Satin's grid-aware
+  algorithm (van Nieuwpoort et al., PPoPP 2001): when a node becomes idle
+  it issues **one asynchronous wide-area steal** to a uniformly random
+  remote node and, while that request is in flight, keeps stealing
+  **synchronously within its own cluster**. Local work found in the
+  meantime is executed immediately; the wide-area reply is handled
+  whenever it arrives. At most one wide-area request is outstanding per
+  node. This overlaps wide-area latency with useful local work, which is
+  what makes divide-and-conquer applications insensitive to WAN latency —
+  a precondition of the paper's adaptation approach (Section 2).
+
+Policies only *choose victims*; the steal protocol itself lives in
+:mod:`repro.satin.worker`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+__all__ = [
+    "PeerDirectory",
+    "StealPolicy",
+    "RandomStealing",
+    "ClusterAwareRandomStealing",
+]
+
+
+class PeerDirectory(Protocol):
+    """The view of the membership a policy needs."""
+
+    def alive_workers(self) -> Sequence[str]:
+        """Names of all live workers (including the caller)."""
+        ...  # pragma: no cover - protocol
+
+    def cluster_of(self, worker: str) -> str:
+        """Cluster name of ``worker``."""
+        ...  # pragma: no cover - protocol
+
+
+def _choose(candidates: list[str], rng: np.random.Generator) -> Optional[str]:
+    if not candidates:
+        return None
+    return candidates[int(rng.integers(len(candidates)))]
+
+
+class StealPolicy:
+    """Base class; subclasses override victim selection."""
+
+    #: whether wide-area steals are issued asynchronously (CRS) or the
+    #: thief blocks on every attempt (RS).
+    wide_area_async: bool = False
+
+    def local_victim(
+        self, me: str, peers: PeerDirectory, rng: np.random.Generator
+    ) -> Optional[str]:
+        """Victim for a synchronous steal attempt (None if no candidate)."""
+        raise NotImplementedError
+
+    def remote_victim(
+        self, me: str, peers: PeerDirectory, rng: np.random.Generator
+    ) -> Optional[str]:
+        """Victim for an asynchronous wide-area attempt (None if none)."""
+        raise NotImplementedError
+
+
+class RandomStealing(StealPolicy):
+    """Uniform random victim over *all* peers; every steal is synchronous."""
+
+    wide_area_async = False
+
+    def local_victim(
+        self, me: str, peers: PeerDirectory, rng: np.random.Generator
+    ) -> Optional[str]:
+        candidates = [w for w in peers.alive_workers() if w != me]
+        return _choose(candidates, rng)
+
+    def remote_victim(
+        self, me: str, peers: PeerDirectory, rng: np.random.Generator
+    ) -> Optional[str]:
+        return None  # RS never issues asynchronous wide-area steals
+
+
+class ClusterAwareRandomStealing(StealPolicy):
+    """CRS: synchronous intra-cluster steals + one async wide-area steal."""
+
+    wide_area_async = True
+
+    def local_victim(
+        self, me: str, peers: PeerDirectory, rng: np.random.Generator
+    ) -> Optional[str]:
+        my_cluster = peers.cluster_of(me)
+        candidates = [
+            w
+            for w in peers.alive_workers()
+            if w != me and peers.cluster_of(w) == my_cluster
+        ]
+        return _choose(candidates, rng)
+
+    def remote_victim(
+        self, me: str, peers: PeerDirectory, rng: np.random.Generator
+    ) -> Optional[str]:
+        my_cluster = peers.cluster_of(me)
+        candidates = [
+            w
+            for w in peers.alive_workers()
+            if w != me and peers.cluster_of(w) != my_cluster
+        ]
+        return _choose(candidates, rng)

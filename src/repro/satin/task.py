@@ -1,0 +1,203 @@
+"""Divide-and-conquer task model.
+
+Applications describe their computation as a tree of :class:`TaskNode`
+objects — the *spawn tree* a Satin program would generate at run time:
+
+* executing a node first costs ``work`` units (the divide phase for
+  internal nodes, the whole computation for leaves);
+* an internal node then makes its ``children`` available for execution
+  (they go into the executing worker's deque, from which other workers may
+  steal them);
+* when all children have completed, the node's ``combine_work`` runs on the
+  worker that executed the divide phase (the *owner* of the frame), after
+  which the node itself is complete;
+* ``data_in`` is the number of bytes shipped to a thief when the node is
+  stolen, ``data_out`` the bytes of its result shipped back.
+
+The runtime wraps each TaskNode in a mutable :class:`Frame` that tracks
+execution state, ownership, and fault-recovery bookkeeping.
+
+Task costs are in abstract work units (a node of speed *s* executes *w*
+units in *w/s* simulated seconds); only ratios of speeds matter, matching
+the paper's normalised speed model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from itertools import count
+from typing import Callable, Iterator, Optional
+
+__all__ = ["TaskNode", "Frame", "FrameState", "tree_stats", "TreeStats"]
+
+_task_ids = count()
+
+
+@dataclass(frozen=True)
+class TaskNode:
+    """One node of a divide-and-conquer spawn tree (immutable spec).
+
+    ``work`` — work units of the divide phase (internal) or the entire
+    computation (leaf). ``combine_work`` — work units of the combine phase;
+    must be 0 for leaves. ``data_in``/``data_out`` — bytes moved when this
+    subtree is stolen / when its result returns.
+    """
+
+    work: float
+    children: tuple["TaskNode", ...] = ()
+    combine_work: float = 0.0
+    data_in: float = 1024.0
+    data_out: float = 1024.0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.work < 0 or self.combine_work < 0:
+            raise ValueError("task work must be >= 0")
+        if self.data_in < 0 or self.data_out < 0:
+            raise ValueError("task data sizes must be >= 0")
+        if not self.children and self.combine_work != 0.0:
+            raise ValueError("a leaf task cannot have combine work")
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def iter_subtree(self) -> Iterator["TaskNode"]:
+        """Pre-order traversal of this node and everything below it."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def total_work(self) -> float:
+        """Sum of all work units in the subtree (the sequential cost)."""
+        return sum(n.work + n.combine_work for n in self.iter_subtree())
+
+    def leaf_count(self) -> int:
+        return sum(1 for n in self.iter_subtree() if n.is_leaf)
+
+    def depth(self) -> int:
+        """Height of the subtree (a lone leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(c.depth() for c in self.children)
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Summary statistics of a spawn tree (used by tests and reports)."""
+
+    tasks: int
+    leaves: int
+    depth: int
+    total_work: float
+    max_leaf_work: float
+    min_leaf_work: float
+
+
+def tree_stats(root: TaskNode) -> TreeStats:
+    """Single-pass summary of a spawn tree (task/leaf counts, work, spread)."""
+    tasks = leaves = 0
+    total = 0.0
+    max_leaf = float("-inf")
+    min_leaf = float("inf")
+    for n in root.iter_subtree():
+        tasks += 1
+        total += n.work + n.combine_work
+        if n.is_leaf:
+            leaves += 1
+            max_leaf = max(max_leaf, n.work)
+            min_leaf = min(min_leaf, n.work)
+    return TreeStats(
+        tasks=tasks,
+        leaves=leaves,
+        depth=root.depth(),
+        total_work=total,
+        max_leaf_work=max_leaf if leaves else 0.0,
+        min_leaf_work=min_leaf if leaves else 0.0,
+    )
+
+
+class FrameState(Enum):
+    """Lifecycle of a frame (runtime state of one TaskNode)."""
+
+    READY = "ready"                  # in some worker's deque, not yet started
+    RUNNING = "running"              # divide/leaf phase executing
+    WAITING = "waiting"              # divide done; waiting for children results
+    COMBINE_READY = "combine_ready"  # all children done; combine queued
+    COMBINING = "combining"          # combine phase executing
+    DONE = "done"                    # complete; result delivered to parent
+    LOST = "lost"                    # executor crashed; awaiting re-execution
+
+
+class Frame:
+    """Mutable runtime state of one task.
+
+    ``owner`` is the name of the worker that ran (or will run) the divide
+    phase and must run the combine phase; it changes only through
+    malleability hand-off or fault recovery. ``executor`` is the worker a
+    stolen frame is currently assigned to (equals owner unless stolen).
+    """
+
+    __slots__ = (
+        "node",
+        "parent",
+        "parent_epoch",
+        "id",
+        "state",
+        "owner",
+        "executor",
+        "pending_children",
+        "stolen",
+        "attempts",
+        "result_bytes",
+    )
+
+    def __init__(
+        self,
+        node: TaskNode,
+        parent: Optional["Frame"] = None,
+        parent_epoch: int = 0,
+    ) -> None:
+        self.node = node
+        self.parent = parent
+        #: the parent's :attr:`attempts` value when this child was spawned.
+        #: A result delivery is only valid if the parent is still on the
+        #: same execution attempt — otherwise the child belongs to an
+        #: execution that fault recovery has already restarted, and its
+        #: (stale) result must be dropped.
+        self.parent_epoch = parent_epoch
+        self.id = next(_task_ids)
+        self.state = FrameState.READY
+        self.owner: Optional[str] = None
+        self.executor: Optional[str] = None
+        self.pending_children = 0
+        self.stolen = False
+        #: how many times this frame has been (re)queued — 0 on first
+        #: execution; >0 means fault recovery or malleability re-queued it.
+        self.attempts = 0
+        self.result_bytes = node.data_out
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.node.is_leaf
+
+    def child_frames(self) -> list["Frame"]:
+        """Fresh frames for the children (called when the divide phase ends)."""
+        return [Frame(c, parent=self, parent_epoch=self.attempts) for c in self.node.children]
+
+    def reset_for_retry(self) -> None:
+        """Prepare the frame for re-execution after its executor was lost."""
+        self.attempts += 1
+        self.state = FrameState.READY
+        self.owner = None
+        self.executor = None
+        self.pending_children = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Frame #{self.id} {self.state.value} owner={self.owner}"
+            f" leaf={self.is_leaf} work={self.node.work:.3g}>"
+        )

@@ -1,0 +1,72 @@
+"""Task-rate speed estimation (paper §3.2's master-worker alternative).
+
+"Note that the benchmarking overhead could be avoided completely for more
+regular applications: for example, for master-worker applications with
+tasks of equal or similar size, the processor speed could then be
+measured by counting the tasks processed by this processor within one
+monitoring period. Unfortunately, divide-and-conquer applications
+typically exhibit a very irregular structure: the sizes of tasks can vary
+by many orders of magnitude."
+
+:class:`TaskRateSpeedEstimator` implements the counting approach: the
+worker reports ``tasks_completed × nominal_task_work / busy_seconds`` —
+the work rate while actually computing (normalising by busy time removes
+the idle/communication fraction, which the overhead statistics already
+capture separately). For genuinely regular workloads this recovers the
+effective speed with zero measurement overhead; for irregular
+divide-and-conquer trees the estimate is wrong by however much the tasks
+a node happened to execute deviate from the nominal size — the paper's
+argument, which `tests/satin/test_taskrate.py` demonstrates
+quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TaskRateConfig", "TaskRateSpeedEstimator"]
+
+
+@dataclass(frozen=True)
+class TaskRateConfig:
+    """Programmer-declared nominal cost of one leaf task, in work units.
+
+    Only meaningful when leaf tasks have "equal or similar size" — the
+    programmer asserts regularity by choosing this estimator.
+    """
+
+    nominal_task_work: float
+
+    def __post_init__(self) -> None:
+        if self.nominal_task_work <= 0:
+            raise ValueError("nominal_task_work must be > 0")
+
+
+class TaskRateSpeedEstimator:
+    """Per-worker speed estimate from completed-task counts."""
+
+    def __init__(self, config: TaskRateConfig) -> None:
+        self.config = config
+        self._last_speed: Optional[float] = None
+        self._tasks_this_period = 0
+
+    @property
+    def last_speed(self) -> Optional[float]:
+        return self._last_speed
+
+    def note_task_completed(self) -> None:
+        self._tasks_this_period += 1
+
+    def rollover(self, busy_seconds: float) -> Optional[float]:
+        """Close the period; returns the new estimate (None if no signal).
+
+        With no completed tasks or no busy time the previous estimate is
+        retained — an idle period says nothing about the CPU's speed.
+        """
+        tasks = self._tasks_this_period
+        self._tasks_this_period = 0
+        if tasks == 0 or busy_seconds <= 0:
+            return self._last_speed
+        self._last_speed = tasks * self.config.nominal_task_work / busy_seconds
+        return self._last_speed

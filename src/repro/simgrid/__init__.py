@@ -1,0 +1,64 @@
+"""Deterministic discrete-event grid simulator.
+
+The substrate replacing the paper's physical DAS-2 testbed: a SimPy-style
+event engine (:mod:`.engine`), waitable queues/resources (:mod:`.queues`),
+grid topology (:mod:`.resources`), a latency/bandwidth network model with
+uplink contention (:mod:`.network`), scripted dynamic events
+(:mod:`.events`), seeded RNG streams (:mod:`.rng`) and metric tracing
+(:mod:`.trace`).
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .events import (
+    BandwidthEvent,
+    CpuLoadEvent,
+    CrashEvent,
+    EventInjector,
+    GridEvent,
+    RepairEvent,
+)
+from .network import Network
+from .queues import PriorityStore, Resource, Store
+from .resources import ClusterSpec, GridSpec, Host, NodeSpec, das2_like_grid
+from .rng import RngStreams
+from .trace import Series, Trace
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BandwidthEvent",
+    "ClusterSpec",
+    "Condition",
+    "CpuLoadEvent",
+    "CrashEvent",
+    "Environment",
+    "Event",
+    "EventInjector",
+    "GridEvent",
+    "GridSpec",
+    "Host",
+    "Interrupt",
+    "Network",
+    "NodeSpec",
+    "PriorityStore",
+    "Process",
+    "RepairEvent",
+    "Resource",
+    "RngStreams",
+    "Series",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "Trace",
+    "das2_like_grid",
+]

@@ -1,0 +1,491 @@
+"""Discrete-event simulation engine.
+
+This module is the foundation of the reproduction: a deterministic,
+seedable discrete-event simulator in the style of SimPy, but self-contained
+(no third-party dependency) and tuned for the needs of the grid substrate:
+
+* **processes** are plain Python generators that ``yield`` events,
+* **events** carry a value or an exception and fire callbacks in a
+  deterministic order,
+* **interrupts** let one process asynchronously cancel whatever another
+  process is waiting on (used for node crashes and leave signals),
+* the **clock** is a float number of simulated seconds; event ordering is a
+  total order on ``(time, priority, sequence-number)`` so repeated runs with
+  the same seed replay identically.
+
+The engine deliberately implements only what the grid substrate needs;
+it is not a general SimPy replacement.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(3.0)
+...     return env.now
+>>> p = env.process(hello(env))
+>>> env.run()
+>>> p.value
+3.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+    "StopSimulation",
+]
+
+#: Default priority for ordinary events.
+NORMAL = 1
+#: Priority used for urgent bookkeeping events (process resumption after an
+#: interrupt) so they run before same-time ordinary events.
+URGENT = 0
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation API (not for in-sim failures)."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at a sentinel event."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process when :meth:`Process.interrupt` is called.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (e.g. a crash notification or a leave signal).
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    An event goes through three stages:
+
+    1. *pending*: created but not yet scheduled;
+    2. *triggered*: scheduled onto the event queue with a value or failure;
+    3. *processed*: its callbacks have run.
+
+    Callbacks are ``f(event)`` functions appended to :attr:`callbacks`;
+    once the event is processed, adding a callback raises.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+
+    _PENDING = object()
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok: bool = True
+        self._processed = False
+        self._defused = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value (or failure)."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is not yet triggered."""
+        if self._value is Event._PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Schedule the event to fire successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Schedule the event to fire as a failure carrying ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, priority)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when the event is processed."""
+        if self.callbacks is None:
+            raise SimulationError(f"cannot add callback to processed {self!r}")
+        self.callbacks.append(fn)
+
+    def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Unregister ``fn``; no-op if absent or already processed."""
+        if self.callbacks is not None and fn in self.callbacks:
+            self.callbacks.remove(fn)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after it is created."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal: kicks off a freshly created :class:`Process`."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running process wrapping a generator.
+
+    The process is itself an event: it triggers when the generator returns
+    (with the generator's return value) or raises (as a failure). Other
+    processes may ``yield`` a process to wait for its completion.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: the event this process is currently waiting on (None while running)
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for (if any)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Asynchronously throw :class:`Interrupt` into this process.
+
+        The interrupt is delivered as an urgent event at the current
+        simulation time. Interrupting a finished process raises; a process
+        must not interrupt itself.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env._schedule(interrupt_event, URGENT)
+
+    # -- internal --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        # If we were waiting on a different event (we were interrupted and
+        # already resumed), ignore stale wakeups from the old target.
+        if self.triggered:
+            return
+        if self._target is not None:
+            # Deregister from the event we were officially waiting for, so a
+            # later trigger of that event does not resume us twice.
+            self._target.remove_callback(self._resume)
+        self._target = None
+
+        self.env._active = self
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active = None
+            self.fail(exc)
+            return
+        self.env._active = None
+
+        if not isinstance(next_event, Event):
+            self._generator.throw(
+                SimulationError(f"process yielded non-event {next_event!r}")
+            )
+            return
+        if next_event.env is not self.env:
+            self._generator.throw(
+                SimulationError("process yielded an event from another environment")
+            )
+            return
+
+        if next_event._processed or (next_event.triggered and next_event.callbacks is None):
+            # Already fully processed: resume immediately (urgently).
+            wake = Event(self.env)
+            wake._ok = next_event._ok
+            wake._value = next_event._value
+            if not next_event._ok:
+                next_event._defused = True
+                wake._defused = True
+            wake.callbacks.append(self._resume)
+            self.env._schedule(wake, URGENT)
+            self._target = wake
+        else:
+            next_event.add_callback(self._resume)
+            self._target = next_event
+
+
+class Condition(Event):
+    """Composite event over several sub-events.
+
+    ``AnyOf`` fires when at least one sub-event has fired; ``AllOf`` when
+    all have. The condition's value is a dict mapping each *fired* sub-event
+    to its value. A failing sub-event fails the condition.
+    """
+
+    __slots__ = ("_events", "_evaluate", "_fired_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[int, int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._fired_count = 0
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev._processed or (ev.triggered and ev.callbacks is None):
+                self._check(ev)
+            else:
+                ev.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        self._fired_count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value if isinstance(event._value, BaseException)
+                      else SimulationError("condition sub-event failed"))
+        elif self._evaluate(len(self._events), self._fired_count):
+            self.succeed(
+                {
+                    ev: ev._value
+                    for ev in self._events
+                    if ev._ok and (ev._processed or ev is event)
+                }
+            )
+
+
+def AnyOf(env: "Environment", events: Iterable[Event]) -> Condition:
+    """Condition that fires as soon as one of ``events`` fires."""
+    return Condition(env, lambda total, fired: fired >= 1, events)
+
+
+def AllOf(env: "Environment", events: Iterable[Event]) -> Condition:
+    """Condition that fires once all of ``events`` have fired."""
+    return Condition(env, lambda total, fired: fired == total, events)
+
+
+class Environment:
+    """The simulation environment: clock + event queue + scheduler."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active: Optional[Process] = None
+        self._event_count = 0
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active
+
+    @property
+    def event_count(self) -> int:
+        """Total number of events processed so far (for perf accounting)."""
+        return self._event_count
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """A bare, untriggered event (trigger with ``succeed``/``fail``)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - guarded by schedule logic
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        self._event_count += 1
+
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for fn in callbacks:
+            fn(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else SimulationError(str(exc))
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue is exhausted;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (or raising its failure).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            result: dict[str, Any] = {}
+
+            def _stop(ev: Event) -> None:
+                result["ok"] = ev._ok
+                result["value"] = ev._value
+                if not ev._ok:
+                    ev._defused = True
+                raise StopSimulation()
+
+            if sentinel._processed or (sentinel.triggered and sentinel.callbacks is None):
+                if not sentinel._ok:
+                    raise sentinel._value
+                return sentinel._value
+            sentinel.add_callback(_stop)
+            try:
+                while self._queue:
+                    self.step()
+            except StopSimulation:
+                if not result["ok"]:
+                    raise result["value"]
+                return result["value"]
+            raise SimulationError(
+                "run(until=event) exhausted the queue before the event fired"
+            )
+
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError("run(until=t) with t in the past")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

@@ -1,0 +1,182 @@
+"""Scripted dynamic grid events.
+
+The paper's scenarios are defined by *what happens to the grid while the
+application runs*: CPUs become overloaded, an uplink is throttled, nodes
+crash. This module provides declarative event descriptions plus an
+:class:`EventInjector` simulation process that applies them at the right
+simulated times.
+
+Events act on the shared :class:`~repro.simgrid.network.Network` state
+(hosts and uplinks). Components that need to *react* (the Satin runtime
+must abort work on crashed nodes; the registry must report them) subscribe
+through the injector's listener interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Protocol, Sequence
+
+from .engine import Environment, Event
+from .network import Network
+
+__all__ = [
+    "GridEvent",
+    "CpuLoadEvent",
+    "BandwidthEvent",
+    "CrashEvent",
+    "EventInjector",
+    "GridEventListener",
+]
+
+
+@dataclass(frozen=True)
+class GridEvent:
+    """Base class: something that happens at ``time``."""
+
+    time: float
+
+    def apply(self, network: Network) -> dict[str, Any]:
+        """Mutate grid state; return details for listeners/logging."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CpuLoadEvent(GridEvent):
+    """Set the external CPU load of some nodes (scenario 3 / 5).
+
+    ``load`` is the number of competing runnable jobs: effective speed
+    becomes ``base_speed / (1 + load)``. Target either explicit ``nodes``
+    or every node of a ``cluster`` (optionally only the first ``count``).
+    """
+
+    load: float = 0.0
+    nodes: tuple[str, ...] = ()
+    cluster: str | None = None
+    count: int | None = None
+
+    def targets(self, network: Network) -> list[str]:
+        if self.nodes and self.cluster:
+            raise ValueError("specify nodes or cluster, not both")
+        if self.nodes:
+            return list(self.nodes)
+        if self.cluster is None:
+            raise ValueError("CpuLoadEvent needs nodes or a cluster")
+        names = [h.name for h in network.hosts_in_cluster(self.cluster)]
+        names.sort()
+        return names if self.count is None else names[: self.count]
+
+    def apply(self, network: Network) -> dict[str, Any]:
+        targets = self.targets(network)
+        for name in targets:
+            network.host(name).set_load(self.load)
+        return {"kind": "cpu_load", "load": self.load, "nodes": targets}
+
+
+@dataclass(frozen=True)
+class BandwidthEvent(GridEvent):
+    """Set a cluster's uplink bandwidth (scenario 4's traffic shaping)."""
+
+    cluster: str = ""
+    bandwidth: float = 0.0
+
+    def apply(self, network: Network) -> dict[str, Any]:
+        network.set_uplink_bandwidth(self.cluster, self.bandwidth)
+        return {
+            "kind": "bandwidth",
+            "cluster": self.cluster,
+            "bandwidth": self.bandwidth,
+        }
+
+
+@dataclass(frozen=True)
+class CrashEvent(GridEvent):
+    """Kill nodes or whole clusters outright (scenario 6)."""
+
+    nodes: tuple[str, ...] = ()
+    clusters: tuple[str, ...] = ()
+
+    def targets(self, network: Network) -> list[str]:
+        names = list(self.nodes)
+        for c in self.clusters:
+            names.extend(sorted(h.name for h in network.hosts_in_cluster(c)))
+        if not names:
+            raise ValueError("CrashEvent needs nodes or clusters")
+        return names
+
+    def apply(self, network: Network) -> dict[str, Any]:
+        targets = self.targets(network)
+        for name in targets:
+            network.host(name).crash(network.env.now)
+        return {"kind": "crash", "nodes": targets}
+
+
+@dataclass(frozen=True)
+class RepairEvent(GridEvent):
+    """Crashed nodes come back (rebooted machines rejoining the pool).
+
+    The complement of :class:`CrashEvent`: hosts are marked alive again
+    with no external load. The application does *not* automatically reuse
+    them — the scheduler simply starts offering them again, and the
+    adaptation loop (or the user) decides.
+    """
+
+    nodes: tuple[str, ...] = ()
+    clusters: tuple[str, ...] = ()
+
+    def targets(self, network: Network) -> list[str]:
+        names = list(self.nodes)
+        for c in self.clusters:
+            names.extend(sorted(h.name for h in network.hosts_in_cluster(c)))
+        if not names:
+            raise ValueError("RepairEvent needs nodes or clusters")
+        return names
+
+    def apply(self, network: Network) -> dict[str, Any]:
+        targets = self.targets(network)
+        for name in targets:
+            network.host(name).revive()
+        return {"kind": "repair", "nodes": targets}
+
+
+class GridEventListener(Protocol):
+    """Anything that wants to observe applied grid events."""
+
+    def on_grid_event(self, event: GridEvent, details: dict[str, Any]) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class EventInjector:
+    """Applies a scripted event sequence to the grid at the right times."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        events: Sequence[GridEvent] = (),
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.events = sorted(events, key=lambda e: e.time)
+        self._listeners: list[GridEventListener] = []
+        self.applied: list[tuple[float, dict[str, Any]]] = []
+        if self.events and self.events[0].time < env.now:
+            raise ValueError("event scripted before current simulation time")
+
+    def add_listener(self, listener: GridEventListener) -> None:
+        self._listeners.append(listener)
+
+    def start(self) -> None:
+        """Spawn the injector process (no-op if the script is empty)."""
+        if self.events:
+            self.env.process(self._run(), name="event-injector")
+
+    def _run(self) -> Generator[Event, Any, None]:
+        for ev in self.events:
+            delay = ev.time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            details = ev.apply(self.network)
+            self.applied.append((self.env.now, details))
+            for listener in self._listeners:
+                listener.on_grid_event(ev, details)

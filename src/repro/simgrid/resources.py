@@ -1,0 +1,254 @@
+"""Grid topology: nodes, clusters, and the grid itself.
+
+Mirrors the paper's resource model (Section 2):
+
+* a grid consists of **sites** (clusters or supercomputers);
+* processors within a site are connected by a fast LAN (low latency, high
+  bandwidth);
+* sites are connected through WAN uplinks to an internet backbone; uplinks
+  may become bandwidth bottlenecks;
+* processors have various speeds, and their *effective* speed can degrade
+  when a competing load is placed on them (time-sharing).
+
+Two layers are separated deliberately:
+
+* ``*Spec`` dataclasses are immutable **descriptions** used to build
+  scenarios and to feed the scheduler's resource pool;
+* :class:`Host` is the **runtime state** of one node inside a simulation:
+  its current external load, aliveness, and effective speed.
+
+Speeds are in abstract *work units per second*; all application task costs
+are in work units, so only ratios matter (as in the paper, where speeds are
+normalised to the fastest processor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
+
+__all__ = [
+    "NodeSpec",
+    "ClusterSpec",
+    "GridSpec",
+    "Host",
+    "das2_like_grid",
+]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One processor.
+
+    ``base_speed`` is the unloaded speed in work units/second. ``name`` must
+    be unique within the grid.
+    """
+
+    name: str
+    cluster: str
+    base_speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_speed <= 0:
+            raise ValueError(f"node {self.name!r}: base_speed must be > 0")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One site: a set of nodes behind a shared WAN uplink.
+
+    ``lan_latency``/``lan_bandwidth`` describe intra-cluster links;
+    ``uplink_bandwidth`` is the site's link to the internet backbone (the
+    quantity throttled in the paper's scenario 4) and ``uplink_latency``
+    its one-way latency contribution.
+    """
+
+    name: str
+    nodes: tuple[NodeSpec, ...]
+    lan_latency: float = 1e-4           # 0.1 ms Fast-Ethernet-ish
+    lan_bandwidth: float = 12.5e6       # 100 Mbit/s in bytes/s
+    uplink_latency: float = 2.5e-3      # 2.5 ms to the backbone
+    uplink_bandwidth: float = 12.5e6    # uncongested uplink
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError(f"cluster {self.name!r} has no nodes")
+        for n in self.nodes:
+            if n.cluster != self.name:
+                raise ValueError(
+                    f"node {n.name!r} claims cluster {n.cluster!r}, "
+                    f"but lives in {self.name!r}"
+                )
+        if self.lan_latency < 0 or self.uplink_latency < 0:
+            raise ValueError(f"cluster {self.name!r}: negative latency")
+        if self.lan_bandwidth <= 0 or self.uplink_bandwidth <= 0:
+            raise ValueError(f"cluster {self.name!r}: bandwidth must be > 0")
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_speed(self) -> float:
+        return sum(n.base_speed for n in self.nodes)
+
+
+def _uniform_nodes(cluster: str, count: int, speed: float) -> tuple[NodeSpec, ...]:
+    width = len(str(max(count - 1, 0)))
+    return tuple(
+        NodeSpec(name=f"{cluster}/n{idx:0{width}d}", cluster=cluster, base_speed=speed)
+        for idx in range(count)
+    )
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """The whole grid: clusters plus the backbone connecting them."""
+
+    clusters: tuple[ClusterSpec, ...]
+    backbone_bandwidth: float = 125e6   # 1 Gbit/s backbone, rarely the bottleneck
+    backbone_latency: float = 0.0       # folded into uplink latencies by default
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate cluster names: {names}")
+        node_names = [n.name for c in self.clusters for n in c.nodes]
+        if len(set(node_names)) != len(node_names):
+            raise ValueError("duplicate node names across clusters")
+        if self.backbone_bandwidth <= 0:
+            raise ValueError("backbone bandwidth must be > 0")
+
+    # -- lookup helpers ----------------------------------------------------
+    def cluster(self, name: str) -> ClusterSpec:
+        for c in self.clusters:
+            if c.name == name:
+                return c
+        raise KeyError(f"no cluster named {name!r}")
+
+    def node(self, name: str) -> NodeSpec:
+        for c in self.clusters:
+            for n in c.nodes:
+                if n.name == name:
+                    return n
+        raise KeyError(f"no node named {name!r}")
+
+    def iter_nodes(self) -> Iterator[NodeSpec]:
+        for c in self.clusters:
+            yield from c.nodes
+
+    @property
+    def cluster_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.clusters)
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(c.size for c in self.clusters)
+
+    def with_cluster(self, cluster: ClusterSpec) -> "GridSpec":
+        """A copy with ``cluster`` replacing the same-named cluster (or added)."""
+        rest = tuple(c for c in self.clusters if c.name != cluster.name)
+        return replace(self, clusters=rest + (cluster,))
+
+
+def das2_like_grid(
+    *,
+    large_cluster_nodes: int = 72,
+    small_cluster_nodes: int = 32,
+    small_clusters: int = 4,
+    node_speed: float = 1.0,
+    lan_latency: float = 1e-4,
+    lan_bandwidth: float = 12.5e6,
+    uplink_latency: float = 2.5e-3,
+    uplink_bandwidth: float = 12.5e6,
+) -> GridSpec:
+    """A grid shaped like DAS-2 as described in the paper.
+
+    Five clusters at five Dutch universities: one of 72 nodes, four of 32,
+    each node a dual 1-GHz Pentium-III; Fast Ethernet within a cluster, the
+    Dutch university internet backbone between clusters. Node counts and
+    link parameters are keyword-tunable for scaled-down tests.
+    """
+    clusters = [
+        ClusterSpec(
+            name="vu",
+            nodes=_uniform_nodes("vu", large_cluster_nodes, node_speed),
+            lan_latency=lan_latency,
+            lan_bandwidth=lan_bandwidth,
+            uplink_latency=uplink_latency,
+            uplink_bandwidth=uplink_bandwidth,
+        )
+    ]
+    for i, site in enumerate(["uva", "leiden", "delft", "utrecht"][:small_clusters]):
+        clusters.append(
+            ClusterSpec(
+                name=site,
+                nodes=_uniform_nodes(site, small_cluster_nodes, node_speed),
+                lan_latency=lan_latency,
+                lan_bandwidth=lan_bandwidth,
+                uplink_latency=uplink_latency,
+                uplink_bandwidth=uplink_bandwidth,
+            )
+        )
+    return GridSpec(clusters=tuple(clusters))
+
+
+class Host:
+    """Runtime state of one node inside a simulation.
+
+    The *effective speed* models time-sharing with competing load exactly as
+    the paper's scenarios do: a node with external load ``L`` runs the
+    application at ``base_speed / (1 + L)`` (the CPU is shared fairly among
+    ``1 + L`` runnable jobs). ``L = 0`` is an idle machine; scenario 3's
+    "heavy artificial load" is, e.g., ``L = 4``.
+    """
+
+    __slots__ = ("spec", "external_load", "alive", "_crash_time")
+
+    def __init__(self, spec: NodeSpec) -> None:
+        self.spec = spec
+        self.external_load = 0.0
+        self.alive = True
+        self._crash_time: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def cluster(self) -> str:
+        return self.spec.cluster
+
+    @property
+    def effective_speed(self) -> float:
+        """Work units/second currently available to the application."""
+        return self.spec.base_speed / (1.0 + self.external_load)
+
+    def set_load(self, load: float) -> None:
+        if load < 0:
+            raise ValueError(f"external load must be >= 0, got {load}")
+        self.external_load = load
+
+    def crash(self, time: float) -> None:
+        """Mark the host dead. Idempotent."""
+        if self.alive:
+            self.alive = False
+            self._crash_time = time
+
+    def revive(self) -> None:
+        """Bring a crashed host back (rebooted machine). Idempotent; the
+        external load resets — a fresh boot carries no competing jobs."""
+        if not self.alive:
+            self.alive = True
+            self.external_load = 0.0
+
+    @property
+    def crash_time(self) -> Optional[float]:
+        return self._crash_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "up" if self.alive else "DOWN"
+        return (
+            f"<Host {self.name} {status} speed={self.effective_speed:.3g}"
+            f" load={self.external_load:.2f}>"
+        )

@@ -1,0 +1,94 @@
+"""Time-series recording for simulation metrics.
+
+A :class:`Trace` collects ``(time, value)`` observations under string
+metric names and exposes them as NumPy arrays. It is the single sink for
+everything the experiments plot or tabulate: iteration durations, weighted
+average efficiency over time, node counts, adaptation decisions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["Trace", "Series"]
+
+
+class Series:
+    """An immutable view over one recorded metric."""
+
+    def __init__(self, name: str, times: np.ndarray, values: np.ndarray) -> None:
+        self.name = name
+        self.times = times
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[tuple[float, Any]]:
+        return iter(zip(self.times.tolist(), self.values.tolist()))
+
+    @property
+    def last(self) -> Any:
+        if len(self.times) == 0:
+            raise ValueError(f"series {self.name!r} is empty")
+        return self.values[-1]
+
+    def between(self, t0: float, t1: float) -> "Series":
+        """Sub-series with ``t0 <= time < t1``."""
+        mask = (self.times >= t0) & (self.times < t1)
+        return Series(self.name, self.times[mask], self.values[mask])
+
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if len(self) else float("nan")
+
+    def max(self) -> float:
+        return float(np.max(self.values)) if len(self) else float("nan")
+
+    def min(self) -> float:
+        return float(np.min(self.values)) if len(self) else float("nan")
+
+
+class Trace:
+    """Appendable store of named time series and decision-log entries."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, list[tuple[float, Any]]] = defaultdict(list)
+        self._log: list[tuple[float, str, dict[str, Any]]] = []
+
+    def record(self, name: str, time: float, value: Any) -> None:
+        """Append one observation of metric ``name`` at ``time``."""
+        self._data[name].append((time, value))
+
+    def log(self, time: float, kind: str, **details: Any) -> None:
+        """Append a structured decision-log entry (adaptation actions etc.)."""
+        self._log.append((time, kind, details))
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._data)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def series(self, name: str) -> Series:
+        """The recorded series for ``name`` (empty if never recorded)."""
+        rows = self._data.get(name, [])
+        if rows:
+            times = np.asarray([t for t, _ in rows], dtype=float)
+            try:
+                values = np.asarray([v for _, v in rows], dtype=float)
+            except (TypeError, ValueError):
+                values = np.asarray([v for _, v in rows], dtype=object)
+        else:
+            times = np.empty(0, dtype=float)
+            values = np.empty(0, dtype=float)
+        return Series(name, times, values)
+
+    def entries(self, kind: str | None = None) -> list[tuple[float, str, dict[str, Any]]]:
+        """Decision-log entries, optionally filtered by ``kind``."""
+        if kind is None:
+            return list(self._log)
+        return [e for e in self._log if e[1] == kind]

@@ -1,0 +1,6 @@
+"""Zorilla-like scheduler: resource pool with constrained, locality-aware allocation."""
+
+from .probing import probe_and_allocate
+from .scheduler import AllocationConstraints, ResourcePool
+
+__all__ = ["AllocationConstraints", "ResourcePool", "probe_and_allocate"]

@@ -1,0 +1,193 @@
+"""Zorilla-like grid scheduler: a resource pool with constrained allocation.
+
+The paper uses the Zorilla peer-to-peer supercomputing middleware to
+request new nodes: "straightforward allocation of processors in multiple
+clusters", with *locality-aware scheduling* that "tries to allocate
+processors that are located close to each other in terms of communication
+latency". The adaptation component passes the scheduler its learned
+constraints: blacklisted nodes/clusters and a minimum uplink bandwidth.
+
+This module models that service:
+
+* :class:`ResourcePool` tracks which grid nodes are free, allocated, or
+  dead;
+* :meth:`ResourcePool.allocate` returns up to ``count`` free nodes
+  honouring an :class:`AllocationConstraints`, filling cluster-by-cluster
+  (locality-aware) — preferring clusters where the job already holds nodes,
+  then larger free blocks;
+* ``prefer_fast`` ranks candidate clusters by their nodes' nominal
+  (clock) speed — the paper notes schedulers can rank by clock speed, and
+  that this is less accurate than application benchmarks; the
+  opportunistic-migration extension uses it.
+
+The pool deliberately knows nothing about *effective* speeds or measured
+overheads: learning those is precisely the application's (coordinator's)
+job in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from ..simgrid.network import Network
+from ..simgrid.resources import GridSpec
+
+__all__ = ["AllocationConstraints", "ResourcePool"]
+
+
+@dataclass(frozen=True)
+class AllocationConstraints:
+    """What the adaptation component has learned about unusable resources."""
+
+    blacklisted_nodes: frozenset[str] = frozenset()
+    blacklisted_clusters: frozenset[str] = frozenset()
+    #: uplink bandwidth (bytes/s) below which a cluster is not acceptable;
+    #: None = no requirement learned yet.
+    min_uplink_bandwidth: Optional[float] = None
+
+    def merged_with(self, other: "AllocationConstraints") -> "AllocationConstraints":
+        min_bw_values = [
+            b for b in (self.min_uplink_bandwidth, other.min_uplink_bandwidth)
+            if b is not None
+        ]
+        return AllocationConstraints(
+            blacklisted_nodes=self.blacklisted_nodes | other.blacklisted_nodes,
+            blacklisted_clusters=(
+                self.blacklisted_clusters | other.blacklisted_clusters
+            ),
+            min_uplink_bandwidth=max(min_bw_values) if min_bw_values else None,
+        )
+
+
+class ResourcePool:
+    """The grid's schedulable node inventory."""
+
+    def __init__(self, network: Network, grid: Optional[GridSpec] = None) -> None:
+        self.network = network
+        self.grid = grid if grid is not None else network.grid
+        self._free: set[str] = {n.name for n in self.grid.iter_nodes()}
+        self._allocated: set[str] = set()
+        #: log of (time, action, nodes) for diagnostics
+        self.log: list[tuple[float, str, tuple[str, ...]]] = []
+
+    # -- views --------------------------------------------------------------
+    @property
+    def free_nodes(self) -> set[str]:
+        return set(self._free)
+
+    @property
+    def allocated_nodes(self) -> set[str]:
+        return set(self._allocated)
+
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def cluster_of(self, node: str) -> str:
+        return self.grid.node(node).cluster
+
+    # -- bookkeeping ----------------------------------------------------------
+    def mark_allocated(self, nodes: Sequence[str]) -> None:
+        """Claim specific nodes (initial resource set chosen by the user)."""
+        for n in nodes:
+            if n not in self._free:
+                raise ValueError(f"node {n!r} is not free")
+        self._free.difference_update(nodes)
+        self._allocated.update(nodes)
+        self.log.append((self.network.env.now, "claim", tuple(nodes)))
+
+    def release(self, nodes: Sequence[str]) -> None:
+        """Return nodes to the pool (removed or finished). Dead nodes are
+        accepted but remain unschedulable until they are revived."""
+        for n in nodes:
+            self._allocated.discard(n)
+            self._free.add(n)
+        self.log.append((self.network.env.now, "release", tuple(nodes)))
+
+    def retire(self, nodes: Sequence[str]) -> None:
+        """Permanently drop nodes (crashed hardware)."""
+        for n in nodes:
+            self._allocated.discard(n)
+            self._free.discard(n)
+        self.log.append((self.network.env.now, "retire", tuple(nodes)))
+
+    # -- allocation ---------------------------------------------------------
+    def _eligible(self, node: str, constraints: AllocationConstraints) -> bool:
+        host = self.network.host(node)
+        if not host.alive:
+            return False
+        if node in constraints.blacklisted_nodes:
+            return False
+        cluster = host.cluster
+        if cluster in constraints.blacklisted_clusters:
+            return False
+        if (
+            constraints.min_uplink_bandwidth is not None
+            and self.network.uplink_bandwidth(cluster)
+            < constraints.min_uplink_bandwidth
+        ):
+            return False
+        return True
+
+    def allocate(
+        self,
+        count: int,
+        constraints: Optional[AllocationConstraints] = None,
+        prefer_clusters: Sequence[str] = (),
+        prefer_fast: bool = False,
+        cluster_rank: Optional[dict[str, float]] = None,
+    ) -> list[str]:
+        """Grant up to ``count`` eligible free nodes (may return fewer).
+
+        Locality-aware: candidate clusters are ordered by (1) membership in
+        ``prefer_clusters`` (where the job already runs), (2) explicit
+        ``cluster_rank`` (higher first — e.g. measured speeds from
+        :func:`probe_and_allocate`), (3) nominal node speed if
+        ``prefer_fast``, (4) number of free eligible nodes (descending) —
+        so allocations concentrate in few, large, close blocks rather than
+        scattering single nodes.
+        """
+        if count <= 0:
+            return []
+        constraints = constraints or AllocationConstraints()
+        by_cluster: dict[str, list[str]] = {}
+        for node in sorted(self._free):
+            if self._eligible(node, constraints):
+                by_cluster.setdefault(self.cluster_of(node), []).append(node)
+
+        def cluster_key(cluster: str) -> tuple:
+            preferred = cluster in prefer_clusters
+            rank = (cluster_rank or {}).get(cluster, 0.0)
+            speed = (
+                max(self.grid.node(n).base_speed for n in by_cluster[cluster])
+                if prefer_fast
+                else 0.0
+            )
+            return (not preferred, -rank, -speed, -len(by_cluster[cluster]), cluster)
+
+        granted: list[str] = []
+        for cluster in sorted(by_cluster, key=cluster_key):
+            for node in by_cluster[cluster]:
+                if len(granted) >= count:
+                    break
+                granted.append(node)
+            if len(granted) >= count:
+                break
+        self._free.difference_update(granted)
+        self._allocated.update(granted)
+        if granted:
+            self.log.append((self.network.env.now, "allocate", tuple(granted)))
+        return granted
+
+    def fastest_free_speed(
+        self, constraints: Optional[AllocationConstraints] = None
+    ) -> Optional[float]:
+        """Nominal speed of the fastest eligible free node (clock-speed
+        ranking — what a scheduler can know without running benchmarks)."""
+        constraints = constraints or AllocationConstraints()
+        speeds = [
+            self.grid.node(n).base_speed
+            for n in self._free
+            if self._eligible(n, constraints)
+        ]
+        return max(speeds) if speeds else None

@@ -1,0 +1,243 @@
+"""Tests for fib, nqueens, integrate, and tsp applications."""
+
+import math
+from itertools import permutations
+
+import numpy as np
+import pytest
+
+from repro.apps.fib import FibApp, fib, fib_call_count, fib_spawn_tree
+from repro.apps.integrate import (
+    IntegrateApp,
+    adaptive_simpson,
+    integration_spawn_tree,
+    oscillatory,
+    peaked,
+)
+from repro.apps.nqueens import (
+    KNOWN_COUNTS,
+    NQueensApp,
+    count_solutions,
+    nqueens_spawn_tree,
+    solve_nqueens,
+)
+from repro.apps.tsp import (
+    TspApp,
+    distance_matrix,
+    nearest_neighbour_tour,
+    random_cities,
+    solve_tsp,
+    tour_length,
+    tsp_spawn_tree,
+)
+from repro.satin import AppDriver
+from repro.satin.task import tree_stats
+
+from ..conftest import make_harness
+
+
+# ---------------------------------------------------------------------- fib
+def test_fib_values():
+    assert [fib(i) for i in range(10)] == [0, 1, 1, 2, 3, 5, 8, 13, 21, 34]
+    with pytest.raises(ValueError):
+        fib(-1)
+
+
+def test_fib_call_count_recurrence():
+    for n in range(2, 20):
+        assert fib_call_count(n) == 1 + fib_call_count(n - 1) + fib_call_count(n - 2)
+
+
+def test_fib_spawn_tree_work_is_exact():
+    wpc = 1e-6
+    tree = fib_spawn_tree(20, threshold=10, work_per_call=wpc)
+    # leaf work is the exact naive call count of the folded subtrees;
+    # internal nodes add one divide call plus one explicit combine each
+    internals = sum(1 for t in tree.iter_subtree() if not t.is_leaf)
+    expected = (fib_call_count(20) + internals) * wpc
+    assert tree.total_work() == pytest.approx(expected, rel=1e-9)
+
+
+def test_fib_tree_leaf_for_small_n():
+    tree = fib_spawn_tree(8, threshold=10)
+    assert tree.is_leaf
+
+
+def test_fib_tree_validation():
+    with pytest.raises(ValueError):
+        fib_spawn_tree(10, threshold=0)
+
+
+def test_fib_runs_on_grid():
+    h = make_harness(cluster_sizes=(3,))
+    h.runtime.add_nodes(h.all_node_names())
+    app = FibApp(n=24, threshold=12, work_per_call=1e-5)
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+    h.env.run(until=proc)
+    assert driver.iterations_done == 1
+    assert app.expected == fib(24)
+
+
+# ------------------------------------------------------------------ nqueens
+@pytest.mark.parametrize("n,expected", sorted(KNOWN_COUNTS.items()))
+def test_nqueens_known_counts(n, expected):
+    assert count_solutions(n) == expected
+
+
+def test_nqueens_spawn_tree_total_solutions_preserved():
+    """Summed leaf node-counts equal the full search's node count."""
+    n = 7
+    full = solve_nqueens(n)
+    tree = nqueens_spawn_tree(n, branch_depth=2, work_per_node=1.0)
+    leaf_work = sum(t.work for t in tree.iter_subtree() if t.is_leaf)
+    # Leaves cover exactly the search below depth-2 prefixes; the few
+    # prefix nodes themselves are the difference.
+    assert leaf_work <= full.nodes
+    assert leaf_work >= full.nodes * 0.9
+
+
+def test_nqueens_tree_is_irregular():
+    tree = nqueens_spawn_tree(8, branch_depth=3)
+    stats = tree_stats(tree)
+    assert stats.max_leaf_work > 3 * stats.min_leaf_work
+
+
+def test_nqueens_validation():
+    with pytest.raises(ValueError):
+        count_solutions(0)
+    with pytest.raises(ValueError):
+        nqueens_spawn_tree(6, branch_depth=0)
+
+
+def test_nqueens_runs_on_grid():
+    h = make_harness(cluster_sizes=(2, 2))
+    h.runtime.add_nodes(h.all_node_names())
+    app = NQueensApp(n=8, branch_depth=2, work_per_node=1e-4)
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+    h.env.run(until=proc)
+    assert driver.iterations_done == 1
+    assert h.runtime.total_executed_leaves() > 10
+
+
+# ---------------------------------------------------------------- integrate
+def test_simpson_polynomial_exact():
+    # Simpson is exact for cubics
+    r = adaptive_simpson(lambda x: x**3 - 2 * x + 1, 0.0, 2.0, tol=1e-10)
+    assert r.value == pytest.approx(2**4 / 4 - 4 + 2, abs=1e-9)
+
+
+def test_simpson_sin():
+    r = adaptive_simpson(math.sin, 0.0, math.pi, tol=1e-10)
+    assert r.value == pytest.approx(2.0, abs=1e-8)
+
+
+def test_simpson_matches_scipy_on_hard_integrands():
+    from scipy.integrate import quad
+
+    # note the asymmetric oscillatory range: over a symmetric range the
+    # odd integrand converges by cancellation, which tests nothing
+    for f, a, b in [(oscillatory, -1.0, 2.0), (peaked, 0.0, 1.0)]:
+        expected, _ = quad(f, a, b, limit=500)
+        got = adaptive_simpson(f, a, b, tol=1e-10)
+        assert got.value == pytest.approx(expected, abs=1e-6)
+
+
+def test_peaked_needs_deeper_recursion_than_smooth():
+    smooth = adaptive_simpson(lambda x: x * x, 0.0, 1.0, tol=1e-9)
+    hard = adaptive_simpson(peaked, 0.0, 1.0, tol=1e-9)
+    assert hard.max_depth > smooth.max_depth
+    assert hard.evaluations > smooth.evaluations
+
+
+def test_integration_tree_value_and_cost_consistent():
+    tree = integration_spawn_tree(oscillatory, -1.0, 2.0, tol=1e-8,
+                                  work_per_eval=1.0)
+    plain = adaptive_simpson(oscillatory, -1.0, 2.0, tol=1e-8)
+    # spawn-tree construction evaluates the same recursion: total leaf work
+    # (in evaluations) is within the same order as the plain run
+    stats = tree_stats(tree)
+    assert stats.total_work == pytest.approx(plain.evaluations, rel=0.1)
+    assert stats.leaves > 4
+
+
+def test_simpson_validation():
+    with pytest.raises(ValueError):
+        adaptive_simpson(math.sin, 1.0, 0.0)
+    with pytest.raises(ValueError):
+        adaptive_simpson(math.sin, 0.0, 1.0, tol=0.0)
+
+
+def test_integrate_runs_on_grid():
+    h = make_harness(cluster_sizes=(2, 2))
+    h.runtime.add_nodes(h.all_node_names())
+    app = IntegrateApp(tol=1e-6, work_per_eval=1e-3)
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+    h.env.run(until=proc)
+    assert driver.iterations_done == 2
+
+
+# ---------------------------------------------------------------------- tsp
+def brute_force_tsp(cities):
+    dist = distance_matrix(cities)
+    n = len(cities)
+    best = None
+    for perm in permutations(range(1, n)):
+        tour = [0, *perm]
+        length = tour_length(tour, dist)
+        if best is None or length < best:
+            best = length
+    return best
+
+
+def test_tsp_optimal_matches_brute_force():
+    rng = np.random.default_rng(3)
+    for trial in range(3):
+        cities = random_cities(7, rng)
+        result = solve_tsp(cities)
+        assert result.length == pytest.approx(brute_force_tsp(cities), rel=1e-9)
+
+
+def test_nearest_neighbour_is_valid_tour():
+    rng = np.random.default_rng(0)
+    cities = random_cities(9, rng)
+    dist = distance_matrix(cities)
+    tour = nearest_neighbour_tour(dist)
+    assert sorted(tour) == list(range(9))
+
+
+def test_tsp_bound_helps():
+    rng = np.random.default_rng(1)
+    cities = random_cities(9, rng)
+    result = solve_tsp(cities)
+    # exhaustive search visits > 8! = 40320 permutations; B&B far fewer
+    assert result.nodes_explored < 40320
+
+
+def test_tsp_spawn_tree_fanout_and_irregularity():
+    rng = np.random.default_rng(2)
+    cities = random_cities(9, rng)
+    tree = tsp_spawn_tree(cities, branch_depth=2, work_per_node=1.0)
+    assert len(tree.children) == 8  # first hop choices
+    stats = tree_stats(tree)
+    assert stats.max_leaf_work > 5 * stats.min_leaf_work  # pruning varies wildly
+
+
+def test_tsp_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        random_cities(1, rng)
+    with pytest.raises(ValueError):
+        tsp_spawn_tree(random_cities(5, rng), branch_depth=5)
+
+
+def test_tsp_runs_on_grid():
+    h = make_harness(cluster_sizes=(3,))
+    h.runtime.add_nodes(h.all_node_names())
+    app = TspApp(n_cities=9, branch_depth=2, work_per_node=1e-4)
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+    h.env.run(until=proc)
+    assert driver.iterations_done == 1

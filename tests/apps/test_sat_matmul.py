@@ -1,0 +1,142 @@
+"""Tests for the SAT and matrix-multiplication applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul import MatMulApp, dc_matmul, matmul_spawn_tree
+from repro.apps.sat import (
+    SatApp,
+    brute_force_satisfiable,
+    dpll,
+    random_3sat,
+    sat_spawn_tree,
+    verify_assignment,
+)
+from repro.satin import AppDriver
+from repro.satin.task import tree_stats
+
+from ..conftest import make_harness
+
+
+# ---------------------------------------------------------------------- SAT
+def test_dpll_trivial_cases():
+    assert dpll([]).satisfiable
+    assert dpll([(1,)]).satisfiable
+    assert not dpll([(1,), (-1,)]).satisfiable
+    assert dpll([(1, 2), (-1, 2), (1, -2)]).satisfiable
+
+
+def test_dpll_matches_brute_force_on_random_instances():
+    rng = np.random.default_rng(0)
+    agree = 0
+    for trial in range(12):
+        n_vars = 10
+        clauses = random_3sat(n_vars, int(n_vars * 4.26), rng)
+        expected = brute_force_satisfiable(n_vars, clauses)
+        got = dpll(clauses)
+        assert got.satisfiable == expected
+        if got.satisfiable:
+            assert verify_assignment(clauses, got.assignment)
+        agree += 1
+    assert agree == 12
+
+
+def test_random_3sat_shape():
+    rng = np.random.default_rng(1)
+    clauses = random_3sat(20, 85, rng)
+    assert len(clauses) == 85
+    for clause in clauses:
+        assert len(clause) == 3
+        assert len({abs(l) for l in clause}) == 3
+        assert all(1 <= abs(l) <= 20 for l in clause)
+    with pytest.raises(ValueError):
+        random_3sat(2, 5, rng)
+
+
+def test_sat_spawn_tree_covers_search():
+    rng = np.random.default_rng(2)
+    clauses = random_3sat(24, 102, rng)
+    tree = sat_spawn_tree(clauses, branch_depth=3, work_per_node=1.0)
+    stats = tree_stats(tree)
+    assert stats.leaves >= 2
+    seq = dpll(clauses)
+    # the decomposed branches search at least as much as the sequential
+    # run below the prefixes (no cross-branch pruning), within reason
+    leaf_nodes = sum(t.work for t in tree.iter_subtree() if t.is_leaf)
+    assert leaf_nodes >= seq.nodes * 0.2
+    with pytest.raises(ValueError):
+        sat_spawn_tree(clauses, branch_depth=0)
+
+
+def test_sat_tree_is_irregular():
+    rng = np.random.default_rng(3)
+    clauses = random_3sat(40, 170, rng)  # near the 4.26 hardness ratio
+    tree = sat_spawn_tree(clauses, branch_depth=4, work_per_node=1.0)
+    stats = tree_stats(tree)
+    assert stats.max_leaf_work > 5 * stats.min_leaf_work
+
+
+def test_sat_runs_on_grid():
+    h = make_harness(cluster_sizes=(2, 2))
+    h.runtime.add_nodes(h.all_node_names())
+    app = SatApp(n_vars=30, n_instances=2, seed=3, branch_depth=3,
+                 work_per_node=1e-3)
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+    h.env.run(until=proc)
+    assert driver.iterations_done == 2
+
+
+# ------------------------------------------------------------------- matmul
+def test_dc_matmul_equals_numpy():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(64, 64))
+    b = rng.normal(size=(64, 64))
+    assert np.allclose(dc_matmul(a, b, block=16), a @ b)
+
+
+def test_dc_matmul_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        dc_matmul(rng.normal(size=(3, 3)), rng.normal(size=(3, 3)))
+    with pytest.raises(ValueError):
+        dc_matmul(rng.normal(size=(4, 2)), rng.normal(size=(4, 2)))
+
+
+def test_matmul_tree_flop_count_exact():
+    fps = 1e6
+    tree = matmul_spawn_tree(256, block=64, flops_per_second=fps)
+    leaf_work = sum(t.work for t in tree.iter_subtree() if t.is_leaf)
+    # 64 leaf products of 64x64 blocks: 64 * 2*64^3 flops
+    assert leaf_work == pytest.approx(64 * 2 * 64**3 / fps, rel=1e-9)
+    stats = tree_stats(tree)
+    assert stats.leaves == 64
+    assert stats.max_leaf_work == stats.min_leaf_work  # perfectly regular
+
+
+def test_matmul_tree_validation():
+    with pytest.raises(ValueError):
+        matmul_spawn_tree(100)  # not a power of two
+    with pytest.raises(ValueError):
+        matmul_spawn_tree(64, block=3)
+    with pytest.raises(ValueError):
+        matmul_spawn_tree(64, flops_per_second=0.0)
+    with pytest.raises(ValueError):
+        MatMulApp(n_multiplies=0)
+
+
+def test_matmul_single_leaf_when_small():
+    tree = matmul_spawn_tree(32, block=64)
+    assert tree.is_leaf
+
+
+def test_matmul_runs_on_grid():
+    h = make_harness(cluster_sizes=(4,))
+    h.runtime.add_nodes(h.all_node_names())
+    app = MatMulApp(n=512, block=128, n_multiplies=2, flops_per_second=1e7)
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+    h.env.run(until=proc)
+    assert driver.iterations_done == 2
+    busy = {w.name: w.executed_leaves for w in h.runtime.all_workers_ever()}
+    assert sum(busy.values()) == 2 * 64  # all block products, once each

@@ -1,0 +1,72 @@
+"""Shared fixtures: miniature grids wired to a Satin runtime."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.registry import Registry
+from repro.satin import SatinRuntime, WorkerConfig
+from repro.simgrid import Environment, Network, RngStreams
+from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+
+
+def make_grid(cluster_sizes, speeds=None, **link_kw):
+    """GridSpec with clusters c0, c1, ... of the given sizes.
+
+    ``speeds`` optionally maps cluster index -> node speed (default 1.0).
+    """
+    speeds = speeds or {}
+    clusters = []
+    for ci, size in enumerate(cluster_sizes):
+        name = f"c{ci}"
+        nodes = tuple(
+            NodeSpec(f"{name}/n{i}", name, base_speed=speeds.get(ci, 1.0))
+            for i in range(size)
+        )
+        clusters.append(ClusterSpec(name=name, nodes=nodes, **link_kw))
+    return GridSpec(clusters=tuple(clusters))
+
+
+@dataclass
+class Harness:
+    """Everything a satin-level test needs, pre-wired."""
+
+    env: Environment
+    grid: GridSpec
+    network: Network
+    registry: Registry
+    runtime: SatinRuntime
+    rng: RngStreams
+
+    def all_node_names(self):
+        return [n.name for n in self.grid.iter_nodes()]
+
+
+def make_harness(
+    cluster_sizes=(2, 2),
+    speeds=None,
+    seed=0,
+    config=None,
+    policy=None,
+    detection_delay=1.0,
+    **link_kw,
+) -> Harness:
+    env = Environment()
+    grid = make_grid(cluster_sizes, speeds, **link_kw)
+    network = Network(env, grid)
+    registry = Registry(env, detection_delay=detection_delay)
+    rng = RngStreams(seed)
+    runtime = SatinRuntime(
+        env=env,
+        network=network,
+        registry=registry,
+        config=config if config is not None else WorkerConfig(),
+        rng=rng,
+        policy=policy,
+    )
+    return Harness(env, grid, network, registry, runtime, rng)
+
+
+@pytest.fixture
+def harness():
+    return make_harness()

@@ -1,0 +1,147 @@
+"""Unit + property tests for the badness heuristics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.badness import (
+    BadnessCoefficients,
+    cluster_badness,
+    node_badness,
+    rank_clusters,
+    rank_nodes,
+    worst_cluster,
+)
+
+
+def test_coefficients_defaults_ordering():
+    c = BadnessCoefficients()
+    assert c.beta > c.gamma > c.alpha  # β ≫ γ > α per the paper's reasoning
+
+
+def test_coefficients_validation():
+    with pytest.raises(ValueError):
+        BadnessCoefficients(alpha=-1)
+
+
+def test_node_badness_formula():
+    c = BadnessCoefficients(alpha=1.0, beta=100.0, gamma=10.0)
+    b = node_badness(speed=0.5, ic_overhead=0.02, in_worst_cluster=True, coefficients=c)
+    assert b == pytest.approx(1 / 0.5 + 100 * 0.02 + 10)
+
+
+def test_node_badness_validation():
+    with pytest.raises(ValueError):
+        node_badness(0.0, 0.1, False)
+    with pytest.raises(ValueError):
+        node_badness(1.0, 1.5, False)
+
+
+def test_cluster_badness_has_no_locality_term():
+    c = BadnessCoefficients(alpha=1.0, beta=100.0, gamma=1e9)
+    assert cluster_badness(1.0, 0.0, c) == pytest.approx(1.0)
+
+
+def test_slower_node_is_worse():
+    assert node_badness(0.1, 0.0, False) > node_badness(1.0, 0.0, False)
+
+
+def test_bandwidth_problem_dominates_moderate_slowness():
+    # 3% ic overhead (β=100 → 3.0) beats a 2x slowdown (α term 2.0 vs 1.0).
+    congested = node_badness(1.0, 0.03, False)
+    slow = node_badness(0.5, 0.0, False)
+    assert congested > slow
+
+
+def test_rank_nodes_orders_worst_first():
+    speeds = {"a": 1.0, "b": 0.2, "c": 1.0}
+    ics = {"a": 0.0, "b": 0.0, "c": 0.0}
+    clusters = {"a": "x", "b": "y", "c": "x"}
+    ranking = rank_nodes(speeds, ics, clusters)
+    assert ranking[0][0] == "b"
+
+
+def test_rank_nodes_worst_cluster_preference():
+    # Two equally slow nodes; one lives in the (slower) worst cluster and
+    # must rank first thanks to the γ term.
+    speeds = {"x1": 1.0, "x2": 0.5, "y1": 0.5, "y2": 1.0, "y3": 1.0}
+    ics = {n: 0.0 for n in speeds}
+    clusters = {"x1": "x", "x2": "x", "y1": "y", "y2": "y", "y3": "y"}
+    # cluster speeds: x = 1.5, y = 2.5 -> x is worst
+    assert worst_cluster(
+        {"x": 1.5, "y": 2.5}, {"x": 0.0, "y": 0.0}
+    ) == "x"
+    ranking = rank_nodes(speeds, ics, clusters)
+    assert ranking[0][0] == "x2"  # slow AND in worst cluster
+    names = [n for n, _ in ranking]
+    assert names.index("x2") < names.index("y1")
+
+
+def test_rank_clusters_bad_uplink_first():
+    speeds = {"good": 10.0, "bad": 10.0}
+    ics = {"good": 0.01, "bad": 0.30}
+    ranking = rank_clusters(speeds, ics)
+    assert ranking[0][0] == "bad"
+    assert ranking[0][1] > ranking[1][1]
+
+
+def test_rank_mismatched_keys_rejected():
+    with pytest.raises(ValueError):
+        rank_clusters({"a": 1.0}, {"b": 0.1})
+    with pytest.raises(ValueError):
+        rank_nodes({"a": 1.0}, {"a": 0.1}, {"b": "x"})
+
+
+def test_empty_rankings():
+    assert rank_clusters({}, {}) == []
+    assert rank_nodes({}, {}, {}) == []
+    assert worst_cluster({}, {}) is None
+
+
+@given(
+    st.floats(min_value=0.01, max_value=1.0),
+    st.floats(min_value=0.01, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_badness_monotone_in_slowness(speed_a, speed_b, ic):
+    """Strictly slower node (same overheads) is at least as bad."""
+    lo, hi = sorted([speed_a, speed_b])
+    assert node_badness(lo, ic, False) >= node_badness(hi, ic, False)
+
+
+@given(
+    st.floats(min_value=0.01, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_badness_monotone_in_ic_overhead(speed, ic_a, ic_b):
+    lo, hi = sorted([ic_a, ic_b])
+    assert node_badness(speed, hi, False) >= node_badness(speed, lo, False)
+
+
+@given(
+    st.floats(min_value=0.01, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_worst_cluster_membership_only_adds_badness(speed, ic):
+    assert node_badness(speed, ic, True) >= node_badness(speed, ic, False)
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["n1", "n2", "n3", "n4", "n5"]),
+        st.tuples(
+            st.floats(min_value=0.05, max_value=10.0),
+            st.floats(min_value=0.0, max_value=0.5),
+            st.sampled_from(["c1", "c2"]),
+        ),
+        min_size=1,
+    )
+)
+def test_rank_nodes_is_total_and_stable(data):
+    speeds = {k: v[0] for k, v in data.items()}
+    ics = {k: v[1] for k, v in data.items()}
+    clusters = {k: v[2] for k, v in data.items()}
+    ranking = rank_nodes(speeds, ics, clusters)
+    assert sorted(n for n, _ in ranking) == sorted(data)
+    scores = [s for _, s in ranking]
+    assert scores == sorted(scores, reverse=True)

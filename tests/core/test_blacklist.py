@@ -1,0 +1,63 @@
+"""Unit tests for blacklisting and learned requirements."""
+
+from repro.core.blacklist import Blacklist
+
+
+def test_ban_node():
+    bl = Blacklist()
+    bl.ban_node("a/n0")
+    assert bl.is_banned_node("a/n0")
+    assert not bl.is_banned_node("a/n1")
+    assert bl.banned_nodes == frozenset({"a/n0"})
+
+
+def test_ban_cluster_learns_bandwidth():
+    bl = Blacklist()
+    assert bl.min_bandwidth is None
+    bl.ban_cluster("slow", observed_bandwidth=1e5)
+    assert bl.is_banned_cluster("slow")
+    assert bl.min_bandwidth == 1e5
+
+
+def test_bandwidth_bound_only_tightens():
+    bl = Blacklist()
+    bl.ban_cluster("c1", observed_bandwidth=1e5)
+    bl.ban_cluster("c2", observed_bandwidth=5e4)  # lower than current bound
+    assert bl.min_bandwidth == 1e5
+    bl.ban_cluster("c3", observed_bandwidth=2e5)  # higher -> tightens
+    assert bl.min_bandwidth == 2e5
+
+
+def test_ban_cluster_without_measurement():
+    bl = Blacklist()
+    bl.ban_cluster("c1")
+    assert bl.min_bandwidth is None
+    bl.ban_cluster("c2", observed_bandwidth=0.0)  # invalid measurement ignored
+    assert bl.min_bandwidth is None
+
+
+def test_forgive():
+    bl = Blacklist()
+    bl.ban_node("n")
+    bl.ban_cluster("c")
+    bl.forgive(node="n")
+    bl.forgive(cluster="c")
+    assert not bl.is_banned_node("n")
+    assert not bl.is_banned_cluster("c")
+
+
+def test_constraints_reflect_state():
+    bl = Blacklist()
+    bl.ban_node("n1")
+    bl.ban_cluster("c1", observed_bandwidth=3e5)
+    c = bl.constraints()
+    assert c.blacklisted_nodes == frozenset({"n1"})
+    assert c.blacklisted_clusters == frozenset({"c1"})
+    assert c.min_uplink_bandwidth == 3e5
+
+
+def test_history_recorded():
+    bl = Blacklist()
+    bl.ban_node("n1")
+    bl.ban_cluster("c1", observed_bandwidth=1.0)
+    assert bl.history == [("node", "n1", None), ("cluster", "c1", 1.0)]

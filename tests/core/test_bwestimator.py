@@ -1,0 +1,102 @@
+"""Tests for the windowed bandwidth estimator."""
+
+import pytest
+
+from repro.core.bwestimator import BandwidthEstimator
+from repro.simgrid import Environment, Network
+from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BandwidthEstimator(window_seconds=0.0)
+    with pytest.raises(ValueError):
+        BandwidthEstimator(max_samples=0)
+
+
+def test_empty_estimate_is_none():
+    est = BandwidthEstimator()
+    assert est.estimate("a", "b") is None
+    assert est.estimate_to_cluster("a") is None
+    assert est.sample_count("a", "b") == 0
+
+
+def test_single_observation():
+    est = BandwidthEstimator(window_seconds=100.0)
+    est.observe("a", "b", nbytes=1e6, elapsed=2.0, t=10.0)
+    assert est.estimate("a", "b") == pytest.approx(5e5)
+    assert est.sample_count("a", "b") == 1
+
+
+def test_window_forgets_old_samples():
+    est = BandwidthEstimator(window_seconds=50.0)
+    # fast transfers early, slow transfers late (a throttle at t=100)
+    est.observe("a", "b", nbytes=1e6, elapsed=1.0, t=10.0)   # 1 MB/s
+    est.observe("a", "b", nbytes=1e5, elapsed=10.0, t=120.0)  # 10 kB/s
+    recent = est.estimate("a", "b", now=120.0)
+    assert recent == pytest.approx(1e4)
+    # whole-run average would have been dominated by the fast sample
+    all_time = est.estimate("a", "b", now=60.0)
+    assert all_time > recent
+
+
+def test_estimate_to_cluster_takes_worst_direction():
+    est = BandwidthEstimator(window_seconds=100.0)
+    est.observe("a", "b", nbytes=1e6, elapsed=1.0, t=0.0)  # 1 MB/s a->b
+    est.observe("b", "a", nbytes=1e4, elapsed=1.0, t=0.0)  # 10 kB/s b->a
+    assert est.estimate_to_cluster("b") == pytest.approx(1e4)
+
+
+def test_zero_elapsed_ignored():
+    est = BandwidthEstimator()
+    est.observe("a", "b", nbytes=1e6, elapsed=0.0, t=0.0)
+    assert est.estimate("a", "b") is None
+
+
+def test_max_samples_bounded():
+    est = BandwidthEstimator(window_seconds=1e9, max_samples=10)
+    for i in range(100):
+        est.observe("a", "b", nbytes=1.0, elapsed=1.0, t=float(i))
+    assert est.sample_count("a", "b") == 10
+
+
+def test_attach_to_network_records_inter_cluster_transfers():
+    env = Environment()
+    grid = GridSpec(
+        clusters=(
+            ClusterSpec(name="a", nodes=(NodeSpec("a/n0", "a"),)),
+            ClusterSpec(name="b", nodes=(NodeSpec("b/n0", "b"),)),
+        )
+    )
+    net = Network(env, grid)
+    est = BandwidthEstimator(window_seconds=100.0)
+    est.attach(net)
+
+    def proc(env):
+        yield from net.transfer("a/n0", "b/n0", 1e5)
+
+    env.process(proc(env))
+    env.run()
+    assert est.sample_count("a", "b") == 1
+    assert est.estimate("a", "b") is not None
+
+
+def test_intra_cluster_transfers_not_observed():
+    env = Environment()
+    grid = GridSpec(
+        clusters=(
+            ClusterSpec(
+                name="a", nodes=(NodeSpec("a/n0", "a"), NodeSpec("a/n1", "a"))
+            ),
+        )
+    )
+    net = Network(env, grid)
+    est = BandwidthEstimator()
+    est.attach(net)
+
+    def proc(env):
+        yield from net.transfer("a/n0", "a/n1", 1e5)
+
+    env.process(proc(env))
+    env.run()
+    assert est.sample_count("a", "a") == 0

@@ -1,0 +1,64 @@
+"""Tests for the decaying blacklist (fix for the paper's stated limitation)."""
+
+import pytest
+
+from repro.core.blacklist import DecayingBlacklist
+from repro.simgrid import Environment
+
+
+def test_ttl_validation():
+    with pytest.raises(ValueError):
+        DecayingBlacklist(Environment(), ttl=0.0)
+
+
+def test_entries_expire():
+    env = Environment()
+    bl = DecayingBlacklist(env, ttl=100.0)
+    bl.ban_node("n1")
+    bl.ban_cluster("c1", observed_bandwidth=5e4)
+    assert bl.is_banned_node("n1")
+    assert bl.is_banned_cluster("c1")
+    env.run(until=99.0)
+    assert bl.is_banned_node("n1")
+    env.run(until=101.0)
+    assert not bl.is_banned_node("n1")
+    assert not bl.is_banned_cluster("c1")
+
+
+def test_min_bandwidth_does_not_decay():
+    env = Environment()
+    bl = DecayingBlacklist(env, ttl=10.0)
+    bl.ban_cluster("c1", observed_bandwidth=5e4)
+    env.run(until=20.0)
+    assert not bl.is_banned_cluster("c1")
+    assert bl.min_bandwidth == 5e4  # the application still needs bandwidth
+
+
+def test_reban_resets_ttl():
+    env = Environment()
+    bl = DecayingBlacklist(env, ttl=100.0)
+    bl.ban_node("n1")
+    env.run(until=80.0)
+    bl.ban_node("n1")  # problem observed again
+    env.run(until=120.0)
+    assert bl.is_banned_node("n1")  # 80 + 100 > 120
+    env.run(until=181.0)
+    assert not bl.is_banned_node("n1")
+
+
+def test_constraints_reflect_expiry():
+    env = Environment()
+    bl = DecayingBlacklist(env, ttl=50.0)
+    bl.ban_node("n1")
+    assert "n1" in bl.constraints().blacklisted_nodes
+    env.run(until=51.0)
+    assert "n1" not in bl.constraints().blacklisted_nodes
+
+
+def test_history_preserved_across_expiry():
+    env = Environment()
+    bl = DecayingBlacklist(env, ttl=1.0)
+    bl.ban_node("n1")
+    env.run(until=2.0)
+    bl.is_banned_node("n1")
+    assert ("node", "n1", None) in bl.history

@@ -1,0 +1,130 @@
+"""Unit + property tests for efficiency metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.efficiency import (
+    EAGER_EFFICIENCY_BOUND,
+    efficiency,
+    normalize_speeds,
+    weighted_average_efficiency,
+)
+
+
+def test_perfect_efficiency():
+    assert efficiency([0.0, 0.0, 0.0]) == 1.0
+
+
+def test_total_overhead_zero_efficiency():
+    assert efficiency([1.0, 1.0]) == 0.0
+
+
+def test_efficiency_mean():
+    assert efficiency([0.5, 0.1, 0.3]) == pytest.approx(1 - 0.3)
+
+
+def test_efficiency_validation():
+    with pytest.raises(ValueError):
+        efficiency([])
+    with pytest.raises(ValueError):
+        efficiency([1.5])
+    with pytest.raises(ValueError):
+        efficiency([-0.1])
+
+
+def test_normalize_speeds():
+    out = normalize_speeds([2.0, 4.0, 1.0])
+    assert list(out) == [0.5, 1.0, 0.25]
+
+
+def test_normalize_speeds_validation():
+    with pytest.raises(ValueError):
+        normalize_speeds([])
+    with pytest.raises(ValueError):
+        normalize_speeds([1.0, 0.0])
+
+
+def test_wae_equals_efficiency_when_homogeneous():
+    overheads = [0.2, 0.4, 0.3]
+    assert weighted_average_efficiency([3.0, 3.0, 3.0], overheads) == pytest.approx(
+        efficiency(overheads)
+    )
+
+
+def test_wae_paper_example_slow_processor():
+    # A processor at half speed with no overhead contributes like a full
+    # processor idling half the time.
+    wae_slow = weighted_average_efficiency([1.0, 0.5], [0.0, 0.0])
+    wae_idle = weighted_average_efficiency([1.0, 1.0], [0.0, 0.5])
+    assert wae_slow == pytest.approx(wae_idle) == pytest.approx(0.75)
+
+
+def test_wae_adding_slow_processor_yields_less_benefit():
+    base = weighted_average_efficiency([1.0, 1.0], [0.1, 0.1])
+    with_fast = weighted_average_efficiency([1.0, 1.0, 1.0], [0.1, 0.1, 0.1])
+    with_slow = weighted_average_efficiency([1.0, 1.0, 0.2], [0.1, 0.1, 0.1])
+    assert with_fast == pytest.approx(base)
+    assert with_slow < base
+
+
+def test_wae_shape_mismatch():
+    with pytest.raises(ValueError):
+        weighted_average_efficiency([1.0, 1.0], [0.1])
+
+
+def test_eager_bound_value():
+    assert EAGER_EFFICIENCY_BOUND == 0.5
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50)
+)
+def test_efficiency_in_unit_interval(overheads):
+    assert 0.0 <= efficiency(overheads) <= 1.0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=1e-3, max_value=1e3),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_wae_in_unit_interval(pairs):
+    speeds = [p[0] for p in pairs]
+    overheads = [p[1] for p in pairs]
+    wae = weighted_average_efficiency(speeds, overheads)
+    assert 0.0 <= wae <= 1.0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=1e-3, max_value=1e3),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_wae_bounded_by_plain_efficiency(pairs):
+    """Weighting by speed <= 1 can only lower the metric."""
+    speeds = [p[0] for p in pairs]
+    overheads = [p[1] for p in pairs]
+    assert weighted_average_efficiency(speeds, overheads) <= efficiency(overheads) + 1e-12
+
+
+@given(
+    st.lists(st.floats(min_value=1e-3, max_value=1e3), min_size=1, max_size=50),
+    st.floats(min_value=1e-3, max_value=1e3),
+)
+def test_wae_scale_invariant_in_speed_units(speeds, scale):
+    """Speeds are relative: changing the measurement unit changes nothing."""
+    overheads = [0.3] * len(speeds)
+    a = weighted_average_efficiency(speeds, overheads)
+    b = weighted_average_efficiency([s * scale for s in speeds], overheads)
+    assert a == pytest.approx(b, rel=1e-9)

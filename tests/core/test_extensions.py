@@ -1,0 +1,334 @@
+"""Tests for the future-work extensions: opportunistic migration,
+hierarchical coordinators, feedback-tuned badness."""
+
+import pytest
+
+from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.core import (
+    AdaptationCoordinator,
+    AdaptationPolicy,
+    BadnessCoefficients,
+    BadnessTuner,
+    CoordinatorConfig,
+    HierarchicalStatsCollector,
+    Migrate,
+    OpportunisticPolicy,
+    PolicyConfig,
+)
+from repro.core.policy import GridSnapshot, NodeView, NoAction, RemoveNodes
+from repro.satin import AppDriver, BenchmarkConfig, WorkerConfig
+from repro.zorilla import ResourcePool
+
+from ..conftest import make_harness
+
+PERIOD = 5.0
+
+
+def nv(name, cluster="c0", speed=1.0, overhead=0.5, ic=0.0):
+    return NodeView(name=name, cluster=cluster, speed=speed, overhead=overhead,
+                    ic_overhead=ic)
+
+
+def snap(*nodes):
+    return GridSnapshot(time=0.0, nodes=tuple(nodes))
+
+
+# ------------------------------------------------------- opportunistic policy
+def test_opportunistic_requires_probe():
+    with pytest.raises(ValueError):
+        OpportunisticPolicy()
+
+
+def test_opportunistic_validation():
+    with pytest.raises(ValueError):
+        OpportunisticPolicy(fastest_free_speed=lambda: 1.0, speed_advantage=1.0)
+    with pytest.raises(ValueError):
+        OpportunisticPolicy(fastest_free_speed=lambda: 1.0, max_swap_per_decision=0)
+
+
+def test_opportunistic_migrates_in_dead_band():
+    policy = OpportunisticPolicy(fastest_free_speed=lambda: 3.0)
+    # normalised speeds (1, 1/3, 1/3); WAE = (0.5 + 0.3 + 0.3)/3 ≈ 0.37:
+    # the dead band, where the base policy would do nothing.
+    s = snap(
+        nv("a", speed=3.0, overhead=0.5),
+        nv("b", speed=1.0, overhead=0.1),
+        nv("c", speed=1.0, overhead=0.1),
+    )
+    assert 0.3 <= s.wae() <= 0.5
+    decision = policy.decide(s)
+    assert isinstance(decision, Migrate)
+    assert set(decision.nodes) == {"b", "c"}
+    assert decision.count == 2
+
+
+def test_opportunistic_idle_without_faster_nodes():
+    policy = OpportunisticPolicy(fastest_free_speed=lambda: 1.2)
+    s = snap(nv("a", overhead=0.6), nv("b", overhead=0.6))
+    assert isinstance(policy.decide(s), NoAction)
+
+
+def test_opportunistic_none_probe_is_noop():
+    policy = OpportunisticPolicy(fastest_free_speed=lambda: None)
+    s = snap(nv("a", overhead=0.6))
+    assert isinstance(policy.decide(s), NoAction)
+
+
+def test_opportunistic_defers_to_base_policy_outside_dead_band():
+    policy = OpportunisticPolicy(fastest_free_speed=lambda: 100.0)
+    hot = snap(*[nv(f"n{i}", overhead=0.05) for i in range(4)])
+    assert type(policy.decide(hot)).__name__ == "AddNodes"
+    cold = snap(*[nv(f"n{i}", overhead=0.95) for i in range(4)])
+    assert isinstance(policy.decide(cold), RemoveNodes)
+
+
+def test_opportunistic_respects_protected_and_max_swap():
+    policy = OpportunisticPolicy(
+        fastest_free_speed=lambda: 4.0, max_swap_per_decision=1
+    )
+    s = snap(
+        nv("a", speed=1.0, overhead=0.2),
+        nv("b", speed=1.0, overhead=0.2),
+        nv("fast", speed=2.5, overhead=0.55),
+    )
+    assert 0.3 <= s.wae() <= 0.5
+    decision = policy.decide(s, protected=["a"])
+    assert isinstance(decision, Migrate)
+    assert decision.nodes == ("b",)
+
+
+def test_opportunistic_end_to_end_swaps_slow_nodes():
+    """Scenario-5-like: slow nodes in the dead band get swapped for fast
+    free ones."""
+    h = make_harness(
+        cluster_sizes=(4, 4), speeds={0: 1.0, 1: 4.0},
+        config=WorkerConfig(
+            monitoring_period=PERIOD,
+            collect_stats=True,
+            benchmark=BenchmarkConfig(work=0.05, max_overhead=0.03),
+        ),
+    )
+    pool = ResourcePool(h.network)
+    blacklist = None
+    # start only on the slow cluster; fast cluster stays free in the pool
+    initial = [f"c0/n{i}" for i in range(4)]
+    pool.mark_allocated(initial)
+    h.runtime.add_nodes(initial)
+    coordinator = AdaptationCoordinator(
+        runtime=h.runtime,
+        pool=pool,
+        config=CoordinatorConfig(
+            monitoring_period=PERIOD, decision_slack=0.75, node_startup_delay=0.2
+        ),
+    )
+    coordinator.policy = OpportunisticPolicy(
+        config=PolicyConfig(max_nodes=8),
+        fastest_free_speed=lambda: pool.fastest_free_speed(
+            coordinator.blacklist.constraints()
+        ),
+        speed_advantage=2.0,
+    )
+    coordinator.start()
+    # workload sized so the slow cluster sits in the dead band
+    app = SyntheticIterativeApp(
+        balanced_tree(depth=5, fanout=2, leaf_work=0.35),
+        n_iterations=60,
+    )
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+    h.env.run(until=proc)
+    migrations = h.runtime.trace.entries("opportunistic_migration")
+    final = set(h.runtime.alive_worker_names())
+    if migrations:  # migration occurred: fast nodes must now participate
+        assert any(n.startswith("c1/") for n in final)
+    assert driver.iterations_done == 60
+
+
+# ------------------------------------------------------------- hierarchical
+def test_hierarchical_collector_reduces_coordinator_messages():
+    def build(hierarchical):
+        h = make_harness(
+            cluster_sizes=(4, 4, 4),
+            config=WorkerConfig(
+                monitoring_period=PERIOD,
+                collect_stats=True,
+                benchmark=BenchmarkConfig(work=0.05, max_overhead=0.03),
+            ),
+        )
+        pool = ResourcePool(h.network)
+        nodes = h.all_node_names()
+        pool.mark_allocated(nodes)
+        h.runtime.add_nodes(nodes)
+        coord = AdaptationCoordinator(
+            runtime=h.runtime,
+            pool=pool,
+            config=CoordinatorConfig(
+                monitoring_period=PERIOD,
+                decision_slack=0.75,
+                adaptation_enabled=False,
+            ),
+        )
+        coord.start()
+        collector = None
+        if hierarchical:
+            collector = HierarchicalStatsCollector(coord)
+            collector.install()
+        app = SyntheticIterativeApp(
+            balanced_tree(depth=6, fanout=2, leaf_work=0.1), n_iterations=40
+        )
+        driver = AppDriver(h.runtime, app)
+        proc = driver.start()
+        h.env.run(until=proc)
+        return h, coord, collector
+
+    h_flat, coord_flat, _ = build(hierarchical=False)
+    h_hier, coord_hier, collector = build(hierarchical=True)
+
+    assert coord_flat.messages_received > 0
+    assert coord_hier.messages_received > 0
+    # 12 workers in 3 clusters: the hierarchy cuts coordinator in-traffic
+    # by roughly the cluster fan-in (the master's own cluster reports still
+    # go through its sub-coordinator).
+    assert coord_hier.messages_received < coord_flat.messages_received / 2
+    assert len(collector.subs) == 3
+    assert collector.aggregates_forwarded >= coord_hier.messages_received
+    # statistics still flow: WAE was computed in both runs
+    assert len(h_hier.runtime.trace.series("wae")) > 0
+
+
+def test_hierarchical_snapshot_matches_membership():
+    h = make_harness(
+        cluster_sizes=(3, 3),
+        config=WorkerConfig(
+            monitoring_period=PERIOD,
+            collect_stats=True,
+            benchmark=BenchmarkConfig(work=0.05, max_overhead=0.03),
+        ),
+    )
+    pool = ResourcePool(h.network)
+    nodes = h.all_node_names()
+    pool.mark_allocated(nodes)
+    h.runtime.add_nodes(nodes)
+    coord = AdaptationCoordinator(
+        runtime=h.runtime, pool=pool,
+        config=CoordinatorConfig(
+            monitoring_period=PERIOD, decision_slack=0.75,
+            adaptation_enabled=False,
+        ),
+    )
+    coord.start()
+    HierarchicalStatsCollector(coord).install()
+    app = SyntheticIterativeApp(
+        balanced_tree(depth=6, fanout=2, leaf_work=0.1), n_iterations=30
+    )
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+    h.env.run(until=proc)
+    # after a few periods the coordinator has a report for every worker
+    assert set(coord.latest) == set(nodes)
+
+
+# ------------------------------------------------------------------ feedback
+def test_tuner_validation():
+    with pytest.raises(ValueError):
+        BadnessTuner(adjust_factor=1.0)
+    with pytest.raises(ValueError):
+        BadnessTuner(decay=0.0)
+    with pytest.raises(ValueError):
+        BadnessTuner(max_drift=0.5)
+
+
+def test_ineffective_speed_removal_boosts_bandwidth_term():
+    tuner = BadnessTuner(min_gain=0.05)
+    beta0 = tuner.current.beta
+    s = snap(
+        nv("slow", speed=0.1, overhead=0.9),
+        nv("ok", speed=1.0, overhead=0.9),
+    )
+    decision = RemoveNodes(wae=0.1, nodes=("slow",))
+    tuner.on_decision(time=0.0, decision=decision, snapshot=s)
+    event = tuner.on_wae(time=60.0, wae=0.11)  # no improvement
+    assert event is not None
+    assert not event.effective
+    assert event.dominant_term == "speed"
+    assert tuner.current.beta > beta0
+
+
+def test_ineffective_bandwidth_removal_boosts_speed_term():
+    tuner = BadnessTuner(min_gain=0.05)
+    alpha0 = tuner.current.alpha
+    s = snap(
+        nv("congested", speed=1.0, overhead=0.9, ic=0.4),
+        nv("ok", speed=1.0, overhead=0.9),
+    )
+    decision = RemoveNodes(wae=0.1, nodes=("congested",))
+    tuner.on_decision(time=0.0, decision=decision, snapshot=s)
+    event = tuner.on_wae(time=60.0, wae=0.12)
+    assert event.dominant_term == "bandwidth"
+    assert tuner.current.alpha > alpha0
+
+
+def test_effective_removal_decays_toward_baseline():
+    tuner = BadnessTuner(min_gain=0.05, decay=0.5)
+    s = snap(nv("slow", speed=0.1, overhead=0.9), nv("ok", overhead=0.9))
+    # first: ineffective -> drift
+    tuner.on_decision(0.0, RemoveNodes(wae=0.1, nodes=("slow",)), s)
+    tuner.on_wae(60.0, 0.1)
+    drifted_beta = tuner.current.beta
+    assert drifted_beta > tuner.baseline.beta
+    # then: effective -> decay halfway back
+    tuner.on_decision(60.0, RemoveNodes(wae=0.1, nodes=("slow",)), s)
+    event = tuner.on_wae(120.0, 0.5)
+    assert event.effective
+    assert tuner.baseline.beta < tuner.current.beta < drifted_beta
+
+
+def test_drift_is_bounded():
+    tuner = BadnessTuner(min_gain=0.5, adjust_factor=10.0, max_drift=4.0)
+    s = snap(nv("slow", speed=0.1, overhead=0.9), nv("ok", overhead=0.9))
+    for i in range(10):
+        tuner.on_decision(i * 60.0, RemoveNodes(wae=0.1, nodes=("slow",)), s)
+        tuner.on_wae((i + 1) * 60.0, 0.1)
+    assert tuner.current.beta <= tuner.baseline.beta * 4.0
+
+
+def test_non_removal_decisions_ignored():
+    tuner = BadnessTuner()
+    s = snap(nv("a", overhead=0.4))
+    tuner.on_decision(0.0, NoAction(wae=0.6), s)
+    assert tuner.on_wae(60.0, 0.6) is None
+    assert tuner.events == []
+
+
+def test_tuner_wired_into_coordinator():
+    h = make_harness(
+        cluster_sizes=(8,),
+        config=WorkerConfig(
+            monitoring_period=PERIOD,
+            collect_stats=True,
+            benchmark=BenchmarkConfig(work=0.05, max_overhead=0.03),
+        ),
+    )
+    pool = ResourcePool(h.network)
+    nodes = h.all_node_names()
+    pool.mark_allocated(nodes)
+    h.runtime.add_nodes(nodes)
+    tuner = BadnessTuner(min_gain=0.02)
+    coord = AdaptationCoordinator(
+        runtime=h.runtime,
+        pool=pool,
+        config=CoordinatorConfig(
+            monitoring_period=PERIOD, decision_slack=0.75, node_startup_delay=0.2
+        ),
+        tuner=tuner,
+    )
+    coord.start()
+    # tiny workload on 8 nodes -> repeated removals -> tuner observes them
+    app = SyntheticIterativeApp(
+        balanced_tree(depth=2, fanout=2, leaf_work=0.2), n_iterations=70
+    )
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+    h.env.run(until=proc)
+    assert tuner.events, "tuner should have judged at least one removal"
+    assert coord.policy.config.coefficients == tuner.current

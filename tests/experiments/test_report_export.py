@@ -1,0 +1,155 @@
+"""Tests for report formatting and CSV export."""
+
+import csv
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.experiments import (
+    SCENARIOS,
+    export_runs,
+    format_fig1,
+    format_iteration_series,
+    format_scenario1_overhead,
+    improvement,
+    run_scenario,
+)
+from repro.experiments.report import ascii_series, format_actions
+from repro.experiments.scenarios import ScenarioSpec, scaled_das2
+
+
+@pytest.fixture(scope="module")
+def tiny_results():
+    """One none + one adapt run of a miniature scenario (module-cached)."""
+    grid = scaled_das2(nodes_per_cluster=3, clusters=2)
+    spec = ScenarioSpec(
+        id="rpt",
+        paper_ref="test",
+        description="report test scenario",
+        grid=grid,
+        initial_layout=(("vu", 2),),
+        app_factory=lambda: SyntheticIterativeApp(
+            balanced_tree(depth=6, fanout=2, leaf_work=0.1), n_iterations=8
+        ),
+        monitoring_period=5.0,
+        max_sim_time=600.0,
+    )
+    return {
+        "none": run_scenario(spec, "none", 0),
+        "adapt": run_scenario(spec, "adapt", 0),
+        "monitor": run_scenario(spec, "monitor", 0),
+    }
+
+
+# -------------------------------------------------------------------- report
+def test_improvement():
+    assert improvement(100.0, 60.0) == pytest.approx(0.4)
+    assert improvement(100.0, 110.0) == pytest.approx(-0.1)
+    with pytest.raises(ValueError):
+        improvement(0.0, 1.0)
+
+
+def test_format_fig1(tiny_results):
+    out = format_fig1({"rpt": tiny_results})
+    assert "rpt" in out
+    assert "adapt gain" in out
+    # all three runtimes appear
+    for v in ("none", "adapt", "monitor"):
+        assert f"{tiny_results[v].runtime_seconds:.0f}" in out
+
+
+def test_format_fig1_handles_missing_variant(tiny_results):
+    out = format_fig1({"rpt": {"none": tiny_results["none"]}})
+    assert "-" in out
+
+
+def test_format_iteration_series(tiny_results):
+    out = format_iteration_series(
+        tiny_results["none"], tiny_results["adapt"], "Figure X", "caption"
+    )
+    assert "Figure X" in out
+    assert "no adaptation" in out
+    assert "runtimes:" in out
+    assert str(len(tiny_results["none"].iteration_durations) - 1) in out
+
+
+def test_format_scenario1_overhead(tiny_results):
+    out = format_scenario1_overhead(
+        tiny_results["none"], tiny_results["adapt"], tiny_results["monitor"]
+    )
+    assert "runtime 1" in out
+    assert "benchmarking share" in out
+
+
+def test_format_actions(tiny_results):
+    lines = format_actions(tiny_results["adapt"])
+    assert isinstance(lines, list)
+    for line in lines:
+        assert "WAE" in line
+
+
+def test_ascii_series_shapes():
+    out = ascii_series([1.0, 5.0, 2.0, 8.0], width=20, height=5, label="t")
+    assert out.count("|") >= 10
+    assert "max 8.0" in out
+    assert ascii_series([], label="e") == "e(empty series)"
+    flat = ascii_series([3.0, 3.0, 3.0])
+    assert "#" in flat
+
+
+# -------------------------------------------------------------------- export
+def test_export_runs_writes_all_csvs(tiny_results, tmp_path):
+    paths = export_runs(tiny_results.values(), str(tmp_path), prefix="t")
+    names = {p.split("/")[-1] for p in paths}
+    assert names == {
+        "t_iterations.csv",
+        "t_wae.csv",
+        "t_nworkers.csv",
+        "t_decisions.csv",
+        "t_summary.csv",
+    }
+    with open(tmp_path / "t_summary.csv") as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 3
+    assert {r["variant"] for r in rows} == {"none", "adapt", "monitor"}
+    assert all(r["completed"] == "True" for r in rows)
+
+
+def test_export_iterations_row_counts(tiny_results, tmp_path):
+    export_runs([tiny_results["none"]], str(tmp_path))
+    with open(tmp_path / "runs_iterations.csv") as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == len(tiny_results["none"].iteration_durations)
+    assert all(float(r["duration_s"]) > 0 for r in rows)
+
+
+def test_cli_export(tiny_results, tmp_path, capsys):
+    SCENARIOS["rpt-cli"] = ScenarioSpec(
+        id="rpt-cli",
+        paper_ref="test",
+        description="cli export scenario",
+        grid=scaled_das2(nodes_per_cluster=3, clusters=2),
+        initial_layout=(("vu", 2),),
+        app_factory=lambda: SyntheticIterativeApp(
+            balanced_tree(depth=5, fanout=2, leaf_work=0.1), n_iterations=4
+        ),
+        monitoring_period=5.0,
+        max_sim_time=600.0,
+    )
+    try:
+        assert cli.main([
+            "export", "rpt-cli", "--variants", "none", "--out", str(tmp_path)
+        ]) == 0
+    finally:
+        del SCENARIOS["rpt-cli"]
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert (tmp_path / "runs_summary.csv").exists()
+
+
+def test_cli_export_bad_variant(tmp_path):
+    with pytest.raises(SystemExit):
+        cli.main(["export", "s1", "--variants", "bogus", "--out", str(tmp_path)])

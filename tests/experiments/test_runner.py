@@ -1,0 +1,90 @@
+"""Tests for the experiment runner's variant semantics and guard rails."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.experiments import VARIANTS, run_scenario
+from repro.experiments.scenarios import ScenarioSpec, scaled_das2
+
+
+def tiny_spec(**kw):
+    defaults = dict(
+        id="run",
+        paper_ref="test",
+        description="runner test scenario",
+        grid=scaled_das2(nodes_per_cluster=3, clusters=2),
+        initial_layout=(("vu", 3),),
+        app_factory=lambda: SyntheticIterativeApp(
+            balanced_tree(depth=5, fanout=2, leaf_work=0.1), n_iterations=6
+        ),
+        monitoring_period=5.0,
+        max_sim_time=600.0,
+    )
+    defaults.update(kw)
+    return ScenarioSpec(**defaults)
+
+
+def test_variants_constant():
+    assert VARIANTS == ("none", "monitor", "adapt")
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ValueError):
+        run_scenario(tiny_spec(), "bogus")
+
+
+def test_none_variant_has_no_monitoring_artifacts():
+    r = run_scenario(tiny_spec(), "none")
+    assert r.completed
+    assert len(r.wae) == 0
+    assert r.decisions == []
+    assert r.time_by_category.get("bench", 0.0) == 0.0
+    assert r.blacklisted_nodes == frozenset()
+    assert r.learned_min_bandwidth is None
+
+
+def test_monitor_variant_measures_but_never_acts():
+    r = run_scenario(tiny_spec(), "monitor")
+    assert r.completed
+    assert len(r.wae) > 0
+    assert r.time_by_category.get("bench", 0.0) > 0.0
+    assert len(r.final_workers) == 3
+
+
+def test_adapt_variant_records_decisions():
+    r = run_scenario(tiny_spec(), "adapt")
+    assert r.completed
+    assert r.decisions  # at least one decision was taken
+    assert all(0.0 <= d.wae <= 1.0 for _, d in r.decisions)
+
+
+def test_sim_time_guard_trips_on_impossible_runs():
+    # a workload far larger than the guard allows
+    spec = tiny_spec(
+        id="guarded",
+        app_factory=lambda: SyntheticIterativeApp(
+            balanced_tree(depth=5, fanout=2, leaf_work=100.0), n_iterations=50
+        ),
+        max_sim_time=50.0,
+    )
+    r = run_scenario(spec, "none")
+    assert not r.completed
+    assert r.runtime_seconds == pytest.approx(50.0)
+    assert r.iterations_done < 50
+
+
+def test_initial_layout_validation():
+    spec = tiny_spec(initial_layout=(("vu", 99),))
+    with pytest.raises(ValueError):
+        spec.initial_nodes()
+
+
+def test_result_fields_coherent():
+    r = run_scenario(tiny_spec(), "adapt")
+    assert len(r.iteration_times) == len(r.iteration_durations) == 6
+    assert r.mean_iteration_duration > 0
+    assert r.executed_leaves == 6 * 32
+    accounted = sum(r.time_by_category.values())
+    assert accounted > 0

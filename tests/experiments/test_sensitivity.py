@@ -1,0 +1,64 @@
+"""Tests for the sensitivity-sweep tooling (fast, miniature scenario)."""
+
+import pytest
+
+from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.experiments.scenarios import DEFAULT_POLICY, ScenarioSpec, scaled_das2
+from repro.experiments.sensitivity import (
+    SweepPoint,
+    _node_seconds,
+    format_sweep,
+    sweep_e_max,
+    sweep_e_min,
+    sweep_monitoring_period,
+)
+from repro.experiments.runner import run_scenario
+
+from dataclasses import replace
+
+
+def mini_spec():
+    return ScenarioSpec(
+        id="sens",
+        paper_ref="test",
+        description="sensitivity test scenario",
+        grid=scaled_das2(nodes_per_cluster=4, clusters=3),
+        initial_layout=(("vu", 2),),
+        app_factory=lambda: SyntheticIterativeApp(
+            balanced_tree(depth=6, fanout=2, leaf_work=0.15), n_iterations=10
+        ),
+        monitoring_period=8.0,
+        policy=replace(DEFAULT_POLICY, max_nodes=12),
+        max_sim_time=1200.0,
+    )
+
+
+def test_sweep_e_max_returns_points():
+    points = sweep_e_max(mini_spec(), [0.4, 0.6])
+    assert len(points) == 2
+    assert all(isinstance(p, SweepPoint) for p in points)
+    assert all(p.parameter == "e_max" for p in points)
+    assert all(p.completed for p in points)
+    assert points[0].value == 0.4
+
+
+def test_sweep_e_min_and_period_smoke():
+    assert len(sweep_e_min(mini_spec(), [0.2])) == 1
+    assert len(sweep_monitoring_period(mini_spec(), [16.0])) == 1
+
+
+def test_node_seconds_integrates_membership():
+    result = run_scenario(mini_spec(), "adapt", seed=0)
+    ns = _node_seconds(result)
+    # bounded by (max workers) x runtime and at least (min workers) x runtime
+    nmax = max(result.nworkers.values)
+    assert 0 < ns <= nmax * result.runtime_seconds + 1e-6
+    assert ns >= result.runtime_seconds  # at least one node the whole time
+
+
+def test_format_sweep():
+    points = sweep_e_max(mini_spec(), [0.5])
+    out = format_sweep(points)
+    assert "e_max" in out
+    assert "runtime" in out
+    assert format_sweep([]) == "(empty sweep)"

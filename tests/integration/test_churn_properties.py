@@ -1,0 +1,92 @@
+"""Property-based churn testing: random joins/leaves/crashes must never
+lose work.
+
+Hypothesis generates arbitrary membership-churn schedules against a fixed
+divide-and-conquer workload; whatever the schedule, the application must
+complete with every leaf task executed at least once (exactly once when
+no crashes occur), and the runtime's bookkeeping must end clean.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.satin import AppDriver
+from repro.satin.task import tree_stats
+from repro.simgrid.engine import AnyOf
+
+from ..conftest import make_harness
+
+TREE = balanced_tree(depth=7, fanout=2, leaf_work=0.3)
+LEAVES = tree_stats(TREE).leaves
+
+# candidate churn victims: every node except the master (c0/n0)
+VICTIMS = ["c0/n1", "c0/n2", "c1/n0", "c1/n1", "c1/n2"]
+
+churn_event = st.tuples(
+    st.floats(min_value=1.0, max_value=40.0),  # time
+    st.sampled_from(VICTIMS),
+    st.sampled_from(["leave", "crash", "rejoin"]),
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(schedule=st.lists(churn_event, min_size=0, max_size=6), seed=st.integers(0, 2**16))
+def test_app_survives_arbitrary_churn(schedule, seed):
+    h = make_harness(cluster_sizes=(3, 3), seed=seed, detection_delay=0.5)
+    h.runtime.add_nodes(h.all_node_names())
+    app = SyntheticIterativeApp(TREE, n_iterations=2)
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+
+    def churner(env, network, runtime, schedule):
+        gone: set[str] = set()
+        for when, victim, action in sorted(schedule):
+            delay = when - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            if action == "leave" and victim not in gone:
+                runtime.remove_node(victim)
+                gone.add(victim)
+            elif action == "crash" and victim not in gone:
+                network.host(victim).crash(env.now)
+                runtime.crash_node(victim)
+                gone.add(victim)
+            elif action == "rejoin" and victim in gone:
+                host = network.host(victim)
+                if host.alive and not runtime.worker_alive(victim):
+                    runtime.add_node(victim)
+                    gone.discard(victim)
+
+    h.env.process(churner(h.env, h.network, h.runtime, schedule))
+    guard = h.env.timeout(5000.0)
+    h.env.run(until=AnyOf(h.env, [proc, guard]))
+
+    assert proc.triggered, "application must complete despite churn"
+    crashed = any(a == "crash" for _, _, a in schedule)
+    executed = h.runtime.total_executed_leaves()
+    expected = 2 * LEAVES
+    if crashed:
+        assert executed >= expected  # re-execution allowed
+    else:
+        assert executed == expected  # graceful churn loses nothing
+    assert driver.iterations_done == 2
+    # bookkeeping ends clean: nothing left tracked for recovery
+    assert h.runtime.recovery.tracked_count == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_result_independent_of_stealing_randomness(seed):
+    """Every seed executes the same task set (work conservation)."""
+    h = make_harness(cluster_sizes=(2, 2), seed=seed)
+    h.runtime.add_nodes(h.all_node_names())
+    app = SyntheticIterativeApp(TREE, n_iterations=1)
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+    h.env.run(until=proc)
+    assert h.runtime.total_executed_leaves() == LEAVES
+    assert h.runtime.total_executed_tasks() == tree_stats(TREE).tasks

@@ -1,0 +1,143 @@
+"""Unit tests for the Ibis-like registry."""
+
+import pytest
+
+from repro.registry import Registry
+from repro.simgrid import Environment
+
+
+def test_join_and_members():
+    env = Environment()
+    reg = Registry(env)
+    reg.join("n1", "a")
+    reg.join("n2", "b")
+    assert reg.members() == ["n1", "n2"]
+    assert reg.cluster_of("n1") == "a"
+    assert reg.size == 2
+    assert reg.is_member("n1")
+
+
+def test_double_join_rejected():
+    env = Environment()
+    reg = Registry(env)
+    reg.join("n1", "a")
+    with pytest.raises(ValueError):
+        reg.join("n1", "a")
+
+
+def test_leave():
+    env = Environment()
+    reg = Registry(env)
+    reg.join("n1", "a")
+    reg.leave("n1")
+    assert not reg.is_member("n1")
+    reg.leave("n1")  # idempotent
+
+
+def test_members_in_cluster():
+    env = Environment()
+    reg = Registry(env)
+    reg.join("n1", "a")
+    reg.join("n2", "a")
+    reg.join("n3", "b")
+    assert reg.members_in_cluster("a") == ["n1", "n2"]
+
+
+def test_listeners_notified():
+    env = Environment()
+    reg = Registry(env, detection_delay=2.0)
+    events = []
+
+    class Listener:
+        def on_join(self, member, cluster):
+            events.append(("join", member, cluster))
+
+        def on_leave(self, member):
+            events.append(("leave", member))
+
+        def on_crash(self, member):
+            events.append(("crash", member, env.now))
+
+    reg.add_listener(Listener())
+    reg.join("n1", "a")
+    reg.join("n2", "a")
+    reg.leave("n1")
+    reg.report_crash("n2")
+    env.run()
+    assert ("join", "n1", "a") in events
+    assert ("leave", "n1") in events
+    assert ("crash", "n2", 2.0) in events
+
+
+def test_crash_detection_delay():
+    env = Environment()
+    reg = Registry(env, detection_delay=3.0)
+    reg.join("n1", "a")
+    reg.report_crash("n1")
+    env.run(until=2.9)
+    assert reg.is_member("n1")
+    env.run(until=3.1)
+    assert not reg.is_member("n1")
+    assert (3.0, "crash", "n1") in reg.history
+
+
+def test_crash_unknown_member_is_noop():
+    env = Environment()
+    reg = Registry(env)
+    assert reg.report_crash("ghost") is None
+
+
+def test_crash_after_leave_not_double_reported():
+    env = Environment()
+    reg = Registry(env, detection_delay=1.0)
+    reg.join("n1", "a")
+    reg.report_crash("n1")
+    reg.leave("n1")  # leaves before detection fires
+    env.run()
+    crashes = [h for h in reg.history if h[1] == "crash"]
+    assert crashes == []
+
+
+def test_signals():
+    env = Environment()
+    reg = Registry(env)
+    received = []
+    reg.join("n1", "a")
+    reg.set_signal_handler("n1", lambda name, payload: received.append((name, payload)))
+    assert reg.signal("n1", "leave", {"grace": True})
+    assert received == [("leave", {"grace": True})]
+    assert not reg.signal("n2", "leave")  # no handler
+    reg.clear_signal_handler("n1")
+    assert not reg.signal("n1", "leave")
+
+
+def test_listener_removal():
+    env = Environment()
+    reg = Registry(env)
+    events = []
+
+    class Listener:
+        def on_join(self, member, cluster):
+            events.append(member)
+
+    listener = Listener()
+    reg.add_listener(listener)
+    reg.join("n1", "a")
+    reg.remove_listener(listener)
+    reg.join("n2", "a")
+    assert events == ["n1"]
+
+
+def test_negative_detection_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Registry(env, detection_delay=-1.0)
+
+
+def test_history_records_joins_and_leaves():
+    env = Environment()
+    reg = Registry(env)
+    reg.join("n1", "a")
+    reg.leave("n1")
+    kinds = [k for _, k, _ in reg.history]
+    assert kinds == ["join", "leave"]

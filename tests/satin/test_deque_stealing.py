@@ -1,0 +1,125 @@
+"""Unit tests for the work deque and victim-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.satin.deque import WorkDeque
+from repro.satin.stealing import ClusterAwareRandomStealing, RandomStealing
+from repro.satin.task import Frame, TaskNode
+
+
+def frame(work=1.0):
+    return Frame(TaskNode(work=work))
+
+
+# ------------------------------------------------------------------- deque
+def test_deque_lifo_for_owner():
+    d = WorkDeque()
+    f1, f2, f3 = frame(), frame(), frame()
+    for f in (f1, f2, f3):
+        d.push(f)
+    assert d.pop() is f3
+    assert d.pop() is f2
+    assert d.pop() is f1
+    assert d.pop() is None
+
+
+def test_deque_fifo_for_thief():
+    d = WorkDeque()
+    f1, f2, f3 = frame(), frame(), frame()
+    for f in (f1, f2, f3):
+        d.push(f)
+    assert d.steal() is f1  # oldest
+    assert d.pop() is f3  # owner still takes newest
+    assert d.steal() is f2
+
+
+def test_deque_len_bool_iter():
+    d = WorkDeque()
+    assert not d
+    assert len(d) == 0
+    f1 = frame()
+    d.push(f1)
+    assert d
+    assert list(d) == [f1]
+
+
+def test_deque_remove():
+    d = WorkDeque()
+    f1, f2 = frame(), frame()
+    d.push(f1)
+    d.push(f2)
+    assert d.remove(f1)
+    assert not d.remove(f1)
+    assert d.pop() is f2
+
+
+def test_deque_drain_oldest_first():
+    d = WorkDeque()
+    frames = [frame() for _ in range(4)]
+    for f in frames:
+        d.push(f)
+    assert d.drain() == frames
+    assert len(d) == 0
+
+
+def test_stealable_work():
+    d = WorkDeque()
+    d.push(Frame(TaskNode(work=2.0)))
+    d.push(Frame(TaskNode(work=3.0, children=(TaskNode(work=1.0),), combine_work=0.5)))
+    assert d.stealable_work() == pytest.approx(5.5)
+
+
+# ----------------------------------------------------------------- policies
+class FakePeers:
+    def __init__(self, workers):
+        self._workers = workers  # name -> cluster
+
+    def alive_workers(self):
+        return sorted(self._workers)
+
+    def cluster_of(self, worker):
+        return self._workers[worker]
+
+
+PEERS = FakePeers(
+    {"a/0": "a", "a/1": "a", "a/2": "a", "b/0": "b", "b/1": "b"}
+)
+
+
+def test_random_stealing_picks_any_other():
+    rng = np.random.default_rng(0)
+    policy = RandomStealing()
+    victims = {policy.local_victim("a/0", PEERS, rng) for _ in range(200)}
+    assert victims == {"a/1", "a/2", "b/0", "b/1"}
+    assert policy.remote_victim("a/0", PEERS, rng) is None
+    assert not policy.wide_area_async
+
+
+def test_crs_local_victims_same_cluster_only():
+    rng = np.random.default_rng(0)
+    policy = ClusterAwareRandomStealing()
+    victims = {policy.local_victim("a/0", PEERS, rng) for _ in range(200)}
+    assert victims == {"a/1", "a/2"}
+    assert policy.wide_area_async
+
+
+def test_crs_remote_victims_other_clusters_only():
+    rng = np.random.default_rng(0)
+    policy = ClusterAwareRandomStealing()
+    victims = {policy.remote_victim("a/0", PEERS, rng) for _ in range(200)}
+    assert victims == {"b/0", "b/1"}
+
+
+def test_crs_no_candidates_returns_none():
+    rng = np.random.default_rng(0)
+    policy = ClusterAwareRandomStealing()
+    lonely = FakePeers({"a/0": "a"})
+    assert policy.local_victim("a/0", lonely, rng) is None
+    assert policy.remote_victim("a/0", lonely, rng) is None
+
+
+def test_random_stealing_alone_returns_none():
+    rng = np.random.default_rng(0)
+    lonely = FakePeers({"a/0": "a"})
+    assert RandomStealing().local_victim("a/0", lonely, rng) is None

@@ -1,0 +1,202 @@
+"""Malleability (join/leave) and fault-tolerance (crash) tests."""
+
+import pytest
+
+from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.satin import AppDriver
+from repro.satin.task import tree_stats
+
+from ..conftest import make_harness
+
+
+def big_tree():
+    return balanced_tree(depth=8, fanout=2, leaf_work=1.0)
+
+
+def start_app(h, tree, n_iter=1, nodes=None, broadcast_bytes=0.0):
+    h.runtime.add_nodes(nodes if nodes is not None else h.all_node_names())
+    app = SyntheticIterativeApp(tree, n_iterations=n_iter, broadcast_bytes=broadcast_bytes)
+    driver = AppDriver(h.runtime, app)
+    return driver, driver.start()
+
+
+# ------------------------------------------------------------------- joins
+def test_join_mid_run_accelerates():
+    tree = big_tree()
+
+    h_static = make_harness(cluster_sizes=(2, 2))
+    driver, proc = start_app(h_static, tree, nodes=["c0/n0", "c0/n1"])
+    h_static.env.run(until=proc)
+    t_two = h_static.env.now
+
+    h_grow = make_harness(cluster_sizes=(2, 2))
+    driver, proc = start_app(h_grow, tree, nodes=["c0/n0", "c0/n1"])
+
+    def joiner(env, runtime):
+        yield env.timeout(t_two * 0.2)
+        runtime.add_node("c1/n0")
+        runtime.add_node("c1/n1")
+
+    h_grow.env.process(joiner(h_grow.env, h_grow.runtime))
+    h_grow.env.run(until=proc)
+    assert h_grow.env.now < t_two
+    assert h_grow.runtime.total_executed_leaves() == 256
+
+
+def test_joined_worker_actually_executes():
+    h = make_harness(cluster_sizes=(1, 1))
+    tree = big_tree()
+    driver, proc = start_app(h, tree, nodes=["c0/n0"])
+
+    def joiner(env, runtime):
+        yield env.timeout(5.0)
+        runtime.add_node("c1/n0")
+
+    h.env.process(joiner(h.env, h.runtime))
+    h.env.run(until=proc)
+    late = h.runtime.worker("c1/n0")
+    assert late.executed_tasks > 0
+
+
+# ------------------------------------------------------------------ leaves
+def test_graceful_leave_preserves_result():
+    h = make_harness(cluster_sizes=(2, 2))
+    tree = big_tree()
+    stats = tree_stats(tree)
+    driver, proc = start_app(h, tree)
+
+    def leaver(env, runtime):
+        yield env.timeout(10.0)
+        runtime.remove_node("c1/n0")
+        yield env.timeout(10.0)
+        runtime.remove_node("c1/n1")
+
+    h.env.process(leaver(h.env, h.runtime))
+    h.env.run(until=proc)
+    # Graceful leave must not lose or duplicate work.
+    assert h.runtime.total_executed_leaves() == stats.leaves
+    assert h.runtime.size == 2
+    assert not h.registry.is_member("c1/n0")
+
+
+def test_removing_master_rejected():
+    h = make_harness(cluster_sizes=(2,))
+    h.runtime.add_nodes(h.all_node_names())
+    with pytest.raises(Exception):
+        h.runtime.remove_node(h.runtime.master)
+
+
+def test_remove_unknown_node_is_noop():
+    h = make_harness(cluster_sizes=(2,))
+    h.runtime.add_node("c0/n0")
+    h.runtime.remove_node("c0/n1")  # never joined
+    h.runtime.remove_node("zz")  # nonexistent
+
+
+def test_leave_then_rejoin():
+    h = make_harness(cluster_sizes=(2, 1))
+    tree = big_tree()
+    driver, proc = start_app(h, tree)
+
+    def churn(env, runtime):
+        yield env.timeout(5.0)
+        runtime.remove_node("c1/n0")
+        yield env.timeout(5.0)
+        runtime.add_node("c1/n0")
+
+    h.env.process(churn(h.env, h.runtime))
+    h.env.run(until=proc)
+    assert h.runtime.total_executed_leaves() == 256
+    assert h.runtime.size == 3
+
+
+# ------------------------------------------------------------------ crashes
+def test_crash_recovery_completes_application():
+    h = make_harness(cluster_sizes=(2, 2), detection_delay=1.0)
+    tree = big_tree()
+    driver, proc = start_app(h, tree)
+
+    def killer(env, network, runtime):
+        yield env.timeout(10.0)
+        network.host("c1/n0").crash(env.now)
+        runtime.crash_node("c1/n0")
+        network.host("c1/n1").crash(env.now)
+        runtime.crash_node("c1/n1")
+
+    h.env.process(killer(h.env, h.network, h.runtime))
+    h.env.run(until=proc)
+    # At least every leaf executed; crashes may cause re-execution.
+    assert h.runtime.total_executed_leaves() >= 256
+    assert h.runtime.size == 2
+
+
+def test_crash_causes_reexecution_not_loss():
+    h = make_harness(cluster_sizes=(2, 2), detection_delay=0.5)
+    tree = big_tree()
+    driver, proc = start_app(h, tree)
+
+    def killer(env, network, runtime):
+        yield env.timeout(20.0)
+        network.host("c1/n0").crash(env.now)
+        runtime.crash_node("c1/n0")
+
+    h.env.process(killer(h.env, h.network, h.runtime))
+    h.env.run(until=proc)
+    assert driver.iterations_done == 1
+    # the crashed worker had done work that was partially redone
+    assert h.runtime.recovery.recovered >= 0
+    assert h.runtime.total_executed_leaves() >= 256
+
+
+def test_crash_detection_delay_respected():
+    h = make_harness(cluster_sizes=(2,), detection_delay=5.0)
+    h.runtime.add_nodes(h.all_node_names())
+    h.network.host("c0/n1").crash(h.env.now)
+    h.runtime.crash_node("c0/n1")
+    h.env.run(until=4.9)
+    assert h.registry.is_member("c0/n1")  # not yet detected
+    h.env.run(until=5.1)
+    assert not h.registry.is_member("c0/n1")
+
+
+def test_multi_iteration_app_with_crash():
+    h = make_harness(cluster_sizes=(2, 2), detection_delay=1.0)
+    tree = balanced_tree(depth=6, fanout=2, leaf_work=0.5)
+    driver, proc = start_app(h, tree, n_iter=5)
+
+    def killer(env, network, runtime):
+        yield env.timeout(15.0)
+        network.host("c1/n1").crash(env.now)
+        runtime.crash_node("c1/n1")
+
+    h.env.process(killer(h.env, h.network, h.runtime))
+    h.env.run(until=proc)
+    assert driver.iterations_done == 5
+    assert len(h.runtime.trace.series("iteration_duration")) == 5
+
+
+def test_broadcast_phase_runs():
+    h = make_harness(cluster_sizes=(2, 2))
+    tree = balanced_tree(depth=4, fanout=2, leaf_work=0.1)
+    driver, proc = start_app(h, tree, n_iter=2, broadcast_bytes=1e6)
+    h.env.run(until=proc)
+    assert driver.iterations_done == 2
+    # broadcast of 1e6 bytes over 12.5e6 B/s uplink ~ 0.08 s per iteration
+    durations = h.runtime.trace.series("iteration_duration").values
+    assert all(d > 0.08 for d in durations)
+
+
+def test_stale_results_dropped_after_crash():
+    h = make_harness(cluster_sizes=(3, 3), detection_delay=0.2)
+    tree = big_tree()
+    driver, proc = start_app(h, tree)
+
+    def killer(env, network, runtime):
+        yield env.timeout(8.0)
+        for name in ["c1/n0", "c1/n1"]:
+            network.host(name).crash(env.now)
+            runtime.crash_node(name)
+
+    h.env.process(killer(h.env, h.network, h.runtime))
+    h.env.run(until=proc)
+    assert driver.iterations_done == 1

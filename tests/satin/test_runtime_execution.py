@@ -1,0 +1,155 @@
+"""End-to-end execution tests of the Satin runtime (no adaptation yet)."""
+
+import pytest
+
+from repro.apps.dctree import balanced_tree, irregular_tree, skewed_tree
+from repro.satin import RandomStealing, WorkerConfig
+from repro.satin.task import tree_stats
+from repro.simgrid.rng import RngStreams
+
+from ..conftest import make_harness
+
+
+def run_tree(h, tree, nodes=None):
+    """Submit a tree on the harness and run to completion."""
+    h.runtime.add_nodes(nodes if nodes is not None else h.all_node_names())
+    done = h.runtime.submit_root(tree)
+    h.env.run(until=done)
+    return h
+
+
+def test_single_leaf_executes():
+    h = make_harness(cluster_sizes=(1,))
+    tree = balanced_tree(depth=0, leaf_work=2.0)
+    run_tree(h, tree)
+    assert h.runtime.total_executed_leaves() == 1
+    # one leaf of work 2.0 at speed 1.0 -> at least 2 s
+    assert h.env.now >= 2.0
+
+
+def test_balanced_tree_all_leaves_execute_single_worker():
+    h = make_harness(cluster_sizes=(1,))
+    tree = balanced_tree(depth=4, fanout=2, leaf_work=0.1)
+    run_tree(h, tree)
+    stats = tree_stats(tree)
+    assert h.runtime.total_executed_leaves() == stats.leaves == 16
+    assert h.runtime.total_executed_tasks() == stats.tasks
+
+
+def test_balanced_tree_multiple_workers_share_work():
+    h = make_harness(cluster_sizes=(4,))
+    tree = balanced_tree(depth=6, fanout=2, leaf_work=0.5)
+    run_tree(h, tree)
+    assert h.runtime.total_executed_leaves() == 64
+    # at least two workers must have executed something
+    busy_workers = [
+        w for w in h.runtime.all_workers_ever() if w.executed_tasks > 0
+    ]
+    assert len(busy_workers) >= 2
+
+
+def test_parallel_speedup_over_sequential():
+    tree = balanced_tree(depth=6, fanout=2, leaf_work=1.0)
+
+    h1 = make_harness(cluster_sizes=(1,))
+    run_tree(h1, tree)
+    t1 = h1.env.now
+
+    h4 = make_harness(cluster_sizes=(4,))
+    run_tree(h4, tree)
+    t4 = h4.env.now
+
+    assert t4 < t1 / 2.0  # 4 workers at least halve the runtime
+
+
+def test_work_conservation_under_stealing():
+    h = make_harness(cluster_sizes=(3, 3))
+    tree = balanced_tree(depth=7, fanout=2, leaf_work=0.2)
+    run_tree(h, tree)
+    assert h.runtime.total_executed_leaves() == 128
+    assert h.runtime.total_executed_tasks() == tree_stats(tree).tasks
+    attempted, successful = h.runtime.total_steals()
+    assert successful > 0  # work moved across nodes
+    assert attempted >= successful
+
+
+def test_skewed_tree_executes_fully():
+    h = make_harness(cluster_sizes=(2, 2))
+    tree = skewed_tree(total_work=50.0, min_leaf_work=0.5, skew=0.8)
+    stats = tree_stats(tree)
+    run_tree(h, tree)
+    assert h.runtime.total_executed_leaves() == stats.leaves
+    assert h.runtime.total_executed_tasks() == stats.tasks
+
+
+def test_irregular_tree_executes_fully():
+    rng = RngStreams(7).stream("tree")
+    tree = irregular_tree(rng, depth=5, max_fanout=3)
+    stats = tree_stats(tree)
+    h = make_harness(cluster_sizes=(2, 2), seed=3)
+    run_tree(h, tree)
+    assert h.runtime.total_executed_leaves() == stats.leaves
+
+
+def test_random_stealing_policy_also_completes():
+    h = make_harness(cluster_sizes=(2, 2), policy=RandomStealing())
+    tree = balanced_tree(depth=6, fanout=2, leaf_work=0.3)
+    run_tree(h, tree)
+    assert h.runtime.total_executed_leaves() == 64
+
+
+def test_sequential_runtime_close_to_total_work():
+    h = make_harness(cluster_sizes=(1,))
+    tree = balanced_tree(depth=4, fanout=2, leaf_work=1.0, divide_work=0.0,
+                         combine_work=0.0)
+    run_tree(h, tree)
+    # single worker, no peers to steal from: runtime ~ total work (16.0)
+    assert h.env.now == pytest.approx(16.0, rel=0.05)
+
+
+def test_slow_node_does_less_work():
+    h = make_harness(cluster_sizes=(2,), speeds={0: 1.0})
+    # make node c0/n1 slow via external load
+    h.network.host("c0/n1").set_load(9.0)  # 10x slower
+    tree = balanced_tree(depth=7, fanout=2, leaf_work=0.5)
+    run_tree(h, tree)
+    by_name = {w.name: w for w in h.runtime.all_workers_ever()}
+    assert by_name["c0/n0"].executed_leaves > by_name["c0/n1"].executed_leaves
+
+
+def test_two_sequential_roots():
+    h = make_harness(cluster_sizes=(2,))
+    h.runtime.add_nodes(h.all_node_names())
+    tree = balanced_tree(depth=3, fanout=2, leaf_work=0.1)
+    done1 = h.runtime.submit_root(tree)
+    h.env.run(until=done1)
+    t1 = h.env.now
+    done2 = h.runtime.submit_root(tree)
+    h.env.run(until=done2)
+    assert h.env.now > t1
+    assert h.runtime.total_executed_leaves() == 16
+
+
+def test_master_is_first_added_node():
+    h = make_harness(cluster_sizes=(2, 2))
+    h.runtime.add_node("c1/n0")
+    h.runtime.add_node("c0/n0")
+    assert h.runtime.master == "c1/n0"
+
+
+def test_submit_without_workers_raises():
+    h = make_harness()
+    tree = balanced_tree(depth=1)
+    with pytest.raises(Exception):
+        h.runtime.submit_root(tree)
+
+
+def test_worker_accounting_covers_run():
+    h = make_harness(cluster_sizes=(2, 2))
+    tree = balanced_tree(depth=6, fanout=2, leaf_work=0.5)
+    run_tree(h, tree)
+    total_busy = sum(
+        w.account.lifetime("busy") for w in h.runtime.all_workers_ever()
+    )
+    expected_work = tree_stats(tree).total_work
+    assert total_busy == pytest.approx(expected_work, rel=0.01)

@@ -1,0 +1,187 @@
+"""Unit tests for SatinRuntime's routing and bookkeeping internals."""
+
+import pytest
+
+from repro.satin import WorkerConfig
+from repro.satin.task import Frame, FrameState, TaskNode
+
+from ..conftest import make_harness
+
+
+def ready_frame(work=1.0):
+    return Frame(TaskNode(work=work))
+
+
+def test_worker_config_validation():
+    with pytest.raises(ValueError):
+        WorkerConfig(monitoring_period=0.0)
+    with pytest.raises(ValueError):
+        WorkerConfig(backoff_min=0.0)
+    with pytest.raises(ValueError):
+        WorkerConfig(backoff_min=0.1, backoff_max=0.05)
+    with pytest.raises(ValueError):
+        WorkerConfig(stats_bytes=-1.0)
+
+
+def test_add_dead_node_rejected():
+    h = make_harness(cluster_sizes=(2,))
+    h.network.host("c0/n0").crash(0.0)
+    with pytest.raises(Exception):
+        h.runtime.add_node("c0/n0")
+
+
+def test_add_node_twice_rejected():
+    h = make_harness(cluster_sizes=(2,))
+    h.runtime.add_node("c0/n0")
+    with pytest.raises(Exception):
+        h.runtime.add_node("c0/n0")
+
+
+def test_peers_directory_tracks_membership():
+    h = make_harness(cluster_sizes=(2, 1))
+    h.runtime.add_nodes(h.all_node_names())
+    assert sorted(h.runtime.peers.alive_workers()) == sorted(h.all_node_names())
+    assert h.runtime.peers.cluster_of("c1/n0") == "c1"
+    h.env.run(until=0.5)
+    h.runtime.remove_node("c0/n1")
+    h.env.run(until=1.0)
+    assert "c0/n1" not in h.runtime.peers.alive_workers()
+
+
+def test_try_steal_empty_and_dead_victims():
+    h = make_harness(cluster_sizes=(2,))
+    h.runtime.add_nodes(h.all_node_names())
+    assert h.runtime.try_steal("c0/n0", "c0/n1") is None  # empty deque
+    assert h.runtime.try_steal("ghost", "c0/n1") is None  # unknown victim
+
+
+def test_try_steal_marks_and_tracks():
+    h = make_harness(cluster_sizes=(2,))
+    h.runtime.add_nodes(h.all_node_names())
+    frame = ready_frame()
+    parent = Frame(TaskNode(work=0.0, children=(frame.node,), combine_work=0.0))
+    parent.owner = "c0/n0"
+    parent.state = FrameState.WAITING
+    parent.pending_children = 1
+    frame.parent = parent
+    h.runtime.worker("c0/n0").deque.push(frame)
+    got = h.runtime.try_steal("c0/n0", "c0/n1")
+    assert got is frame
+    assert frame.stolen
+    assert frame.executor == "c0/n1"
+    assert h.runtime.recovery.location_of(frame) == "c0/n1"
+
+
+def test_return_stolen_restores_to_victim():
+    h = make_harness(cluster_sizes=(2,))
+    h.runtime.add_nodes(h.all_node_names())
+    frame = ready_frame()
+    h.runtime.worker("c0/n0").deque.push(frame)
+    got = h.runtime.try_steal("c0/n0", "c0/n1")
+    h.runtime.return_stolen(got, "c0/n0")
+    assert len(h.runtime.worker("c0/n0").deque) == 1
+    assert h.runtime.recovery.location_of(frame) is None
+
+
+def test_place_frame_rejects_dead_target():
+    h = make_harness(cluster_sizes=(2,))
+    h.runtime.add_node("c0/n0")
+    with pytest.raises(Exception):
+        h.runtime.place_frame(ready_frame(), "c0/n1")
+
+
+def test_handoff_prefers_parent_owner():
+    h = make_harness(cluster_sizes=(3,))
+    h.runtime.add_nodes(h.all_node_names())
+    parent = Frame(TaskNode(work=0.0, children=(TaskNode(work=1.0),),
+                            combine_work=0.0))
+    parent.owner = "c0/n2"
+    child = parent.child_frames()[0]
+    target = h.runtime.choose_handoff_target(child, exclude={"c0/n0"})
+    assert target == "c0/n2"
+
+
+def test_handoff_avoids_excluded():
+    h = make_harness(cluster_sizes=(2,))
+    h.runtime.add_nodes(h.all_node_names())
+    frame = ready_frame()
+    target = h.runtime.choose_handoff_target(frame, exclude={"c0/n0"})
+    assert target == "c0/n1"
+    target = h.runtime.choose_handoff_target(
+        frame, exclude={"c0/n0", "c0/n1"}
+    )
+    assert target is None
+
+
+def test_deliver_result_drops_stale_epoch():
+    h = make_harness(cluster_sizes=(2,))
+    h.runtime.add_nodes(h.all_node_names())
+    parent = Frame(TaskNode(work=0.0, children=(TaskNode(work=1.0),),
+                            combine_work=0.0))
+    parent.owner = "c0/n0"
+    parent.state = FrameState.WAITING
+    parent.pending_children = 1
+    child = parent.child_frames()[0]
+    parent.reset_for_retry()  # the parent restarted: child is now stale
+    parent.owner = "c0/n0"
+    parent.state = FrameState.WAITING
+    parent.pending_children = 1
+    before = h.runtime.recovery.dropped_stale
+    child.state = FrameState.DONE
+    h.runtime.deliver_result(child)
+    assert h.runtime.recovery.dropped_stale == before + 1
+    assert parent.pending_children == 1  # untouched
+
+
+def test_deliver_result_enables_combine():
+    h = make_harness(cluster_sizes=(2,))
+    h.runtime.add_nodes(h.all_node_names())
+    parent = Frame(TaskNode(work=0.0, children=(TaskNode(work=1.0),),
+                            combine_work=0.5))
+    parent.owner = "c0/n0"
+    parent.state = FrameState.WAITING
+    parent.pending_children = 1
+    child = parent.child_frames()[0]
+    child.state = FrameState.DONE
+    h.runtime.deliver_result(child)
+    assert parent.state is FrameState.COMBINE_READY
+    assert parent in list(h.runtime.worker("c0/n0").deque)
+
+
+def test_all_workers_ever_includes_departed_once():
+    h = make_harness(cluster_sizes=(3,))
+    h.runtime.add_nodes(h.all_node_names())
+    h.env.run(until=0.5)
+    h.runtime.remove_node("c0/n1")
+    h.env.run(until=1.0)
+    names = [w.name for w in h.runtime.all_workers_ever()]
+    assert sorted(names) == ["c0/n0", "c0/n1", "c0/n2"]
+    # re-add: the fresh worker replaces the old in the registry of names
+    h.runtime.add_node("c0/n1")
+    names = [w.name for w in h.runtime.all_workers_ever()]
+    assert names.count("c0/n1") == 2  # old + new instance both counted
+
+
+def test_waiting_set_bookkeeping():
+    h = make_harness(cluster_sizes=(1,))
+    h.runtime.add_node("c0/n0")
+    frame = ready_frame()
+    h.runtime.waiting_add("c0/n0", frame)
+    assert h.runtime.waiting_count("c0/n0") == 1
+    h.runtime.waiting_remove("c0/n0", frame)
+    assert h.runtime.waiting_count("c0/n0") == 0
+    h.runtime.waiting_remove("c0/n0", frame)  # idempotent
+
+
+def test_submit_root_requires_live_master():
+    h = make_harness(cluster_sizes=(2,), detection_delay=0.1)
+    h.runtime.add_nodes(h.all_node_names())
+    h.env.run(until=0.5)
+    h.network.host("c0/n0").crash(h.env.now)  # kill the master
+    h.runtime.crash_node("c0/n0")
+    h.env.run(until=1.0)
+    with pytest.raises(Exception):
+        h.runtime.submit_root(TaskNode(work=1.0))
+    # but an explicit live target works
+    done = h.runtime.submit_root(TaskNode(work=1.0), at="c0/n1")
+    h.env.run(until=done)

@@ -1,0 +1,114 @@
+"""Unit tests for the task model."""
+
+import pytest
+
+from repro.apps.dctree import balanced_tree, skewed_tree
+from repro.satin.task import Frame, FrameState, TaskNode, tree_stats
+
+
+def test_leaf_properties():
+    leaf = TaskNode(work=3.0)
+    assert leaf.is_leaf
+    assert leaf.total_work() == 3.0
+    assert leaf.leaf_count() == 1
+    assert leaf.depth() == 1
+
+
+def test_internal_node_totals():
+    tree = TaskNode(
+        work=1.0,
+        children=(TaskNode(work=2.0), TaskNode(work=3.0)),
+        combine_work=0.5,
+    )
+    assert not tree.is_leaf
+    assert tree.total_work() == pytest.approx(6.5)
+    assert tree.leaf_count() == 2
+    assert tree.depth() == 2
+
+
+def test_negative_work_rejected():
+    with pytest.raises(ValueError):
+        TaskNode(work=-1.0)
+    with pytest.raises(ValueError):
+        TaskNode(work=1.0, data_in=-1)
+
+
+def test_leaf_with_combine_work_rejected():
+    with pytest.raises(ValueError):
+        TaskNode(work=1.0, combine_work=0.5)
+
+
+def test_iter_subtree_preorder():
+    a, b = TaskNode(work=1.0, tag="a"), TaskNode(work=1.0, tag="b")
+    root = TaskNode(work=0.0, children=(a, b), tag="root")
+    tags = [n.tag for n in root.iter_subtree()]
+    assert tags == ["root", "a", "b"]
+
+
+def test_tree_stats_balanced():
+    tree = balanced_tree(depth=3, fanout=2, leaf_work=2.0)
+    s = tree_stats(tree)
+    assert s.leaves == 8
+    assert s.tasks == 15
+    assert s.depth == 4
+    assert s.max_leaf_work == s.min_leaf_work == 2.0
+
+
+def test_tree_stats_skewed_leaf_spread():
+    tree = skewed_tree(total_work=100.0, min_leaf_work=1.0, skew=0.8)
+    s = tree_stats(tree)
+    assert s.leaves >= 2
+    assert s.max_leaf_work > s.min_leaf_work
+
+
+def test_balanced_tree_validation():
+    with pytest.raises(ValueError):
+        balanced_tree(depth=-1)
+    with pytest.raises(ValueError):
+        balanced_tree(depth=1, fanout=1)
+
+
+def test_skewed_tree_validation():
+    with pytest.raises(ValueError):
+        skewed_tree(10.0, 1.0, skew=0.4)
+    with pytest.raises(ValueError):
+        skewed_tree(0.0, 1.0)
+
+
+def test_frame_lifecycle_fields():
+    node = TaskNode(work=1.0, children=(TaskNode(work=1.0),), combine_work=0.1)
+    frame = Frame(node)
+    assert frame.state is FrameState.READY
+    assert frame.owner is None
+    assert frame.parent is None
+    assert frame.attempts == 0
+    assert not frame.is_leaf
+
+
+def test_child_frames_carry_epoch():
+    node = TaskNode(work=1.0, children=(TaskNode(work=1.0),), combine_work=0.0)
+    parent = Frame(node)
+    parent.attempts = 3
+    children = parent.child_frames()
+    assert len(children) == 1
+    assert children[0].parent is parent
+    assert children[0].parent_epoch == 3
+
+
+def test_reset_for_retry_bumps_epoch():
+    frame = Frame(TaskNode(work=1.0))
+    frame.owner = "x"
+    frame.executor = "x"
+    frame.state = FrameState.RUNNING
+    frame.pending_children = 2
+    frame.reset_for_retry()
+    assert frame.attempts == 1
+    assert frame.state is FrameState.READY
+    assert frame.owner is None
+    assert frame.pending_children == 0
+
+
+def test_frame_ids_unique():
+    node = TaskNode(work=1.0)
+    ids = {Frame(node).id for _ in range(100)}
+    assert len(ids) == 100

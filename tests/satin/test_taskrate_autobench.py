@@ -1,0 +1,318 @@
+"""Tests for task-rate speed estimation, load-aware benchmark skipping,
+and automatic benchmark generation — the paper's §3.2 claims and
+optimisations."""
+
+import numpy as np
+import pytest
+
+from repro.apps.barneshut import BarnesHutConfig, BarnesHutSimulation
+from repro.apps.sweep import ParameterSweepApp, sweep_tree
+from repro.satin import (
+    AppDriver,
+    BenchmarkConfig,
+    SpeedBenchmark,
+    TaskRateConfig,
+    TaskRateSpeedEstimator,
+    WorkerConfig,
+    auto_benchmark_config,
+    sample_benchmark_work,
+)
+from repro.satin.task import tree_stats
+
+from ..conftest import make_harness
+
+PERIOD = 5.0
+
+
+# ----------------------------------------------------------- unit: taskrate
+def test_taskrate_config_validation():
+    with pytest.raises(ValueError):
+        TaskRateConfig(nominal_task_work=0.0)
+
+
+def test_taskrate_estimator_basic():
+    est = TaskRateSpeedEstimator(TaskRateConfig(nominal_task_work=2.0))
+    assert est.last_speed is None
+    for _ in range(5):
+        est.note_task_completed()
+    # 5 tasks x 2 work units in 4 busy seconds -> 2.5 units/s
+    assert est.rollover(busy_seconds=4.0) == pytest.approx(2.5)
+    assert est.last_speed == pytest.approx(2.5)
+
+
+def test_taskrate_idle_period_keeps_previous():
+    est = TaskRateSpeedEstimator(TaskRateConfig(nominal_task_work=1.0))
+    est.note_task_completed()
+    est.rollover(busy_seconds=1.0)
+    assert est.rollover(busy_seconds=0.0) == pytest.approx(1.0)
+    assert est.rollover(busy_seconds=5.0) == pytest.approx(1.0)  # 0 tasks
+
+
+# ---------------------------------------------------------------- unit: sweep
+def test_sweep_tree_regular_costs():
+    tree = sweep_tree(n_tasks=64, task_work=2.0, task_cv=0.0)
+    stats = tree_stats(tree)
+    assert stats.leaves == 64
+    assert stats.max_leaf_work == stats.min_leaf_work == 2.0
+
+
+def test_sweep_tree_heavy_tail():
+    rng = np.random.default_rng(0)
+    tree = sweep_tree(n_tasks=200, task_work=2.0, task_cv=2.0, rng=rng)
+    stats = tree_stats(tree)
+    assert stats.leaves == 200
+    assert stats.max_leaf_work > 5 * stats.min_leaf_work
+    # mean preserved (lognormal parameterised on the mean)
+    leaf_works = [t.work for t in tree.iter_subtree() if t.is_leaf]
+    assert np.mean(leaf_works) == pytest.approx(2.0, rel=0.5)
+
+
+def test_sweep_validation():
+    with pytest.raises(ValueError):
+        sweep_tree(0, 1.0)
+    with pytest.raises(ValueError):
+        sweep_tree(4, 0.0)
+    with pytest.raises(ValueError):
+        sweep_tree(4, 1.0, task_cv=1.0)  # needs rng
+    with pytest.raises(ValueError):
+        ParameterSweepApp(n_batches=0)
+
+
+# ----------------------------------- integration: counting works when regular
+def _run_with_taskrate(app, speeds, seed=0):
+    """Run app with task-rate speed measurement; return reported speeds."""
+    h = make_harness(
+        cluster_sizes=(len(speeds),),
+        config=WorkerConfig(
+            monitoring_period=PERIOD,
+            collect_stats=True,
+            benchmark=None,
+            task_rate=TaskRateConfig(nominal_task_work=1.0),
+        ),
+        seed=seed,
+    )
+    for i, load in enumerate(speeds):
+        h.network.host(f"c0/n{i}").set_load(load)
+    reports = {}
+    h.runtime.stats_callback = lambda r: reports.update({r.worker: r})
+    h.runtime.add_nodes(h.all_node_names())
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+    h.env.run(until=proc)
+    return {w: r.speed for w, r in reports.items()}, h
+
+
+def test_taskrate_accurate_for_regular_workload():
+    """Paper: counting tasks measures speed for equal-size tasks."""
+    # node 0,1 full speed; node 2,3 at half speed (load 1.0)
+    app = ParameterSweepApp(n_tasks=256, task_work=1.0, task_cv=0.0, n_batches=8)
+    speeds, h = _run_with_taskrate(app, speeds=[0.0, 0.0, 1.0, 1.0])
+    assert speeds, "expected at least one report"
+    fast = [v for k, v in speeds.items() if k in ("c0/n0", "c0/n1")]
+    slow = [v for k, v in speeds.items() if k in ("c0/n2", "c0/n3")]
+    # measured ratios recover the true 2x difference within 20%
+    if fast and slow:
+        ratio = np.mean(fast) / np.mean(slow)
+        assert 1.6 < ratio < 2.5, f"expected ~2x, measured {ratio:.2f}x"
+
+
+def test_taskrate_misleading_for_irregular_workload():
+    """Paper: task counting fails for irregular divide-and-conquer."""
+    app = BarnesHutSimulation(BarnesHutConfig(
+        n_bodies=512, n_iterations=8, work_per_interaction=2e-4,
+        max_bodies_per_leaf_task=56,
+    ))
+    speeds, h = _run_with_taskrate(app, speeds=[0.0, 0.0, 0.0, 0.0], seed=1)
+    assert speeds
+    values = np.array(list(speeds.values()))
+    # all four nodes have IDENTICAL true speed, yet the task-rate estimates
+    # disagree wildly because leaf costs vary by orders of magnitude
+    spread = values.max() / values.min()
+    assert spread > 1.5, (
+        f"irregular tasks should break counting; spread only {spread:.2f}x"
+    )
+
+
+# ----------------------------------------------------- load-aware benchmarking
+def test_skip_when_load_stable_unit():
+    cfg = BenchmarkConfig(work=1.0, max_overhead=0.1, skip_when_load_stable=True)
+    b = SpeedBenchmark(cfg, np.random.default_rng(0))
+    # first run always happens
+    assert b.should_run(0.0, observed_load=0.0)
+    b.record(now=0.0, elapsed=1.0)
+    b.note_load(0.0)
+    # due again at t=10; load unchanged -> skipped, rescheduled
+    assert not b.should_run(10.0, observed_load=0.0)
+    assert b.skips == 1
+    assert not b.due(10.5)  # pushed one interval out
+    # load changed -> runs
+    assert b.should_run(25.0, observed_load=2.0)
+
+
+def test_skip_disabled_always_runs_on_schedule():
+    cfg = BenchmarkConfig(work=1.0, max_overhead=0.1, skip_when_load_stable=False)
+    b = SpeedBenchmark(cfg, np.random.default_rng(0))
+    b.record(now=0.0, elapsed=1.0)
+    b.note_load(0.0)
+    assert b.should_run(10.0, observed_load=0.0)
+    assert b.skips == 0
+
+
+def test_load_tolerance_validation():
+    with pytest.raises(ValueError):
+        BenchmarkConfig(load_tolerance=-1.0)
+
+
+def test_skip_reduces_bench_time_end_to_end():
+    """Paper §5.1: with load monitoring 'the benchmarks would only need to
+    be run at the beginning of the computation'."""
+    from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+
+    def run(skip: bool) -> float:
+        h = make_harness(
+            cluster_sizes=(4,),
+            config=WorkerConfig(
+                monitoring_period=PERIOD,
+                collect_stats=True,
+                benchmark=BenchmarkConfig(
+                    work=0.5, max_overhead=0.05, skip_when_load_stable=skip
+                ),
+            ),
+        )
+        h.runtime.add_nodes(h.all_node_names())
+        app = SyntheticIterativeApp(
+            balanced_tree(depth=6, fanout=2, leaf_work=0.2), n_iterations=40
+        )
+        driver = AppDriver(h.runtime, app)
+        proc = driver.start()
+        h.env.run(until=proc)
+        return sum(
+            w.account.lifetime("bench") for w in h.runtime.all_workers_ever()
+        )
+
+    bench_with_skip = run(skip=True)
+    bench_without = run(skip=False)
+    # constant load: only the initial measurements remain
+    assert bench_with_skip < bench_without / 2
+    assert bench_with_skip > 0  # the first run did happen
+
+
+def test_benchmark_reruns_after_load_event():
+    """A load change must trigger a re-measurement despite skipping."""
+    from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+
+    h = make_harness(
+        cluster_sizes=(2,),
+        config=WorkerConfig(
+            monitoring_period=PERIOD,
+            collect_stats=True,
+            benchmark=BenchmarkConfig(
+                work=0.5, max_overhead=0.05, skip_when_load_stable=True
+            ),
+        ),
+    )
+    reports = []
+    h.runtime.stats_callback = reports.append
+    h.runtime.add_nodes(h.all_node_names())
+
+    def loader(env, network):
+        yield env.timeout(30.0)
+        network.host("c0/n1").set_load(3.0)
+
+    h.env.process(loader(h.env, h.network))
+    app = SyntheticIterativeApp(
+        balanced_tree(depth=6, fanout=2, leaf_work=0.2), n_iterations=60
+    )
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+    h.env.run(until=proc)
+    w1 = h.runtime.worker("c0/n1")
+    assert w1.bench.runs >= 2  # initial + after the load change
+    late = [r.speed for r in reports if r.worker == "c0/n1" and r.sent_at > 60.0]
+    assert late and late[-1] == pytest.approx(0.25, rel=0.2)  # 1/(1+3)
+
+
+# ------------------------------------------------------------------ autobench
+def test_sample_benchmark_work_meets_target():
+    from repro.apps.dctree import balanced_tree
+
+    tree = balanced_tree(depth=6, fanout=2, leaf_work=1.0)
+    rng = np.random.default_rng(0)
+    work = sample_benchmark_work(tree, rng, target_work=5.0)
+    assert 5.0 <= work <= 6.0  # overshoot bounded by one leaf
+
+
+def test_sample_benchmark_reproducible():
+    from repro.apps.dctree import balanced_tree
+
+    tree = balanced_tree(depth=5, fanout=3, leaf_work=0.7)
+    a = sample_benchmark_work(tree, np.random.default_rng(9), 3.0)
+    b = sample_benchmark_work(tree, np.random.default_rng(9), 3.0)
+    assert a == b
+
+
+def test_sample_benchmark_validation():
+    from repro.apps.dctree import balanced_tree
+
+    with pytest.raises(ValueError):
+        sample_benchmark_work(
+            balanced_tree(depth=2), np.random.default_rng(0), 0.0
+        )
+
+
+def test_auto_benchmark_config_scales_with_resources():
+    """More expected nodes -> smaller per-node share -> smaller benchmark."""
+    from repro.apps.dctree import balanced_tree
+
+    tree = balanced_tree(depth=8, fanout=2, leaf_work=0.05)
+    small = auto_benchmark_config(tree, np.random.default_rng(0), expected_nodes=32)
+    big = auto_benchmark_config(tree, np.random.default_rng(0), expected_nodes=4)
+    assert small.work < big.work
+    assert 0 < small.work < tree.total_work()
+
+
+def test_auto_benchmark_coarse_leaves_floor():
+    """With coarse leaves the sample can't go below one leaf's work."""
+    cfg = BarnesHutConfig(n_bodies=512, n_iterations=1)
+    sim = BarnesHutSimulation(cfg)
+    tree = next(iter(sim.iterations())).tree
+    bench = auto_benchmark_config(tree, np.random.default_rng(0), expected_nodes=64)
+    min_leaf = min(t.work for t in tree.iter_subtree() if t.is_leaf)
+    assert bench.work >= min_leaf
+
+
+def test_auto_benchmark_validation():
+    from repro.apps.dctree import balanced_tree
+
+    tree = balanced_tree(depth=2)
+    with pytest.raises(ValueError):
+        auto_benchmark_config(tree, np.random.default_rng(0), expected_nodes=0)
+    with pytest.raises(ValueError):
+        auto_benchmark_config(
+            tree, np.random.default_rng(0), expected_nodes=4, target_fraction=0.0
+        )
+
+
+def test_auto_benchmark_usable_end_to_end():
+    """An auto-generated benchmark drives a full adaptive run."""
+    from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+
+    tree = balanced_tree(depth=6, fanout=2, leaf_work=0.2)
+    bench = auto_benchmark_config(
+        tree, np.random.default_rng(0), expected_nodes=4, max_overhead=0.05
+    )
+    h = make_harness(
+        cluster_sizes=(4,),
+        config=WorkerConfig(
+            monitoring_period=PERIOD, collect_stats=True, benchmark=bench
+        ),
+    )
+    reports = []
+    h.runtime.stats_callback = reports.append
+    h.runtime.add_nodes(h.all_node_names())
+    app = SyntheticIterativeApp(tree, n_iterations=30)
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+    h.env.run(until=proc)
+    assert reports
+    assert all(r.speed == pytest.approx(1.0, rel=0.1) for r in reports)

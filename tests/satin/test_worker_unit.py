@@ -1,0 +1,171 @@
+"""Worker-level unit tests: accounting categories, steal counters,
+back-off, reported-speed priority, departure edge cases."""
+
+import pytest
+
+from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.satin import (
+    AppDriver,
+    BenchmarkConfig,
+    RandomStealing,
+    TaskRateConfig,
+    WorkerConfig,
+)
+from repro.satin.worker import _Backoff
+
+from ..conftest import make_harness
+
+
+def run_app(h, depth=6, leaf_work=0.2, iters=3):
+    h.runtime.add_nodes(h.all_node_names())
+    app = SyntheticIterativeApp(
+        balanced_tree(depth=depth, fanout=2, leaf_work=leaf_work),
+        n_iterations=iters,
+    )
+    driver = AppDriver(h.runtime, app)
+    proc = driver.start()
+    h.env.run(until=proc)
+    return driver
+
+
+# ------------------------------------------------------------------ back-off
+def test_backoff_grows_and_caps():
+    import numpy as np
+
+    b = _Backoff(0.002, 0.064, np.random.default_rng(0))
+    delays = [b.next() for _ in range(10)]
+    # grows roughly geometrically (jittered) and caps
+    assert delays[0] < 0.003
+    assert max(delays) <= 0.064 * 1.25
+    assert delays[-1] > delays[0]
+
+
+def test_backoff_reset():
+    import numpy as np
+
+    b = _Backoff(0.002, 0.064, np.random.default_rng(0))
+    for _ in range(8):
+        b.next()
+    b.reset()
+    assert b.next() < 0.003
+
+
+# --------------------------------------------------------------- accounting
+def test_accounting_splits_comm_by_cluster():
+    h = make_harness(cluster_sizes=(2, 2))
+    run_app(h, depth=7, leaf_work=0.3)
+    intra = sum(w.account.lifetime("comm_intra") for w in h.runtime.all_workers_ever())
+    inter = sum(w.account.lifetime("comm_inter") for w in h.runtime.all_workers_ever())
+    assert intra > 0  # local steals happened
+    assert inter > 0  # cross-cluster traffic happened
+    busy = sum(w.account.lifetime("busy") for w in h.runtime.all_workers_ever())
+    assert busy > intra + inter  # compute dominates on a healthy LAN/WAN
+
+
+def test_idle_time_accumulates_when_underloaded():
+    h = make_harness(cluster_sizes=(8,))
+    run_app(h, depth=3, leaf_work=0.5)  # 8 leaves for 8 workers
+    idle = sum(w.account.lifetime("idle") for w in h.runtime.all_workers_ever())
+    assert idle > 0
+
+
+def test_steal_counters_consistent():
+    h = make_harness(cluster_sizes=(3, 3))
+    run_app(h, depth=7, leaf_work=0.2)
+    for w in h.runtime.all_workers_ever():
+        assert 0 <= w.steals_successful <= w.steals_attempted
+
+
+def test_bench_time_accounted():
+    h = make_harness(
+        cluster_sizes=(2,),
+        config=WorkerConfig(
+            monitoring_period=5.0,
+            collect_stats=True,
+            benchmark=BenchmarkConfig(work=0.5, max_overhead=0.05),
+        ),
+    )
+    run_app(h, depth=6, leaf_work=0.2, iters=10)
+    for w in h.runtime.all_workers_ever():
+        assert w.account.lifetime("bench") > 0
+        assert w.bench.runs >= 1
+
+
+# ----------------------------------------------------------- reported speed
+def test_reported_speed_prefers_benchmark():
+    h = make_harness(
+        cluster_sizes=(1,),
+        config=WorkerConfig(
+            monitoring_period=5.0,
+            collect_stats=True,
+            benchmark=BenchmarkConfig(work=0.5, max_overhead=0.05, noise=0.0),
+            task_rate=TaskRateConfig(nominal_task_work=123.0),  # absurd
+        ),
+    )
+    run_app(h, depth=5, leaf_work=0.2, iters=5)
+    w = h.runtime.worker("c0/n0")
+    # benchmark wins over the absurd task-rate estimate
+    assert w.reported_speed == pytest.approx(1.0, rel=0.05)
+
+
+def test_reported_speed_falls_back_to_effective():
+    h = make_harness(cluster_sizes=(1,))
+    h.runtime.add_node("c0/n0")
+    w = h.runtime.worker("c0/n0")
+    h.network.host("c0/n0").set_load(1.0)
+    assert w.reported_speed == pytest.approx(0.5)
+
+
+# -------------------------------------------------------------- departures
+def test_interrupting_idle_worker_departs_cleanly():
+    h = make_harness(cluster_sizes=(2,))
+    h.runtime.add_nodes(h.all_node_names())
+    h.env.run(until=1.0)  # both idle (no work submitted)
+    h.runtime.remove_node("c0/n1")
+    h.env.run(until=2.0)
+    assert not h.runtime.worker_alive("c0/n1")
+    assert h.runtime.size == 1
+    assert not h.registry.is_member("c0/n1")
+
+
+def test_crash_of_idle_worker_is_clean():
+    h = make_harness(cluster_sizes=(2,), detection_delay=0.5)
+    h.runtime.add_nodes(h.all_node_names())
+    h.env.run(until=1.0)
+    h.network.host("c0/n1").crash(h.env.now)
+    h.runtime.crash_node("c0/n1")
+    h.env.run(until=3.0)
+    assert h.runtime.size == 1
+    assert not h.registry.is_member("c0/n1")
+    assert h.runtime.recovery.tracked_count == 0
+
+
+def test_double_crash_is_idempotent():
+    h = make_harness(cluster_sizes=(2,), detection_delay=0.5)
+    h.runtime.add_nodes(h.all_node_names())
+    h.env.run(until=1.0)
+    h.network.host("c0/n1").crash(h.env.now)
+    h.runtime.crash_node("c0/n1")
+    h.runtime.crash_node("c0/n1")  # second call must not blow up
+    h.env.run(until=3.0)
+    assert h.runtime.size == 1
+
+
+def test_worker_departure_cause_recorded():
+    h = make_harness(cluster_sizes=(3,))
+    h.runtime.add_nodes(h.all_node_names())
+    h.env.run(until=1.0)
+    h.runtime.remove_node("c0/n1")
+    h.network.host("c0/n2").crash(h.env.now)
+    h.runtime.crash_node("c0/n2")
+    h.env.run(until=2.0)
+    assert h.runtime.worker("c0/n1").departure_cause == "leave"
+    assert h.runtime.worker("c0/n2").departure_cause == "crash"
+    assert h.runtime.worker("c0/n0").departure_cause is None
+
+
+def test_rs_policy_counts_remote_attempts_too():
+    h = make_harness(cluster_sizes=(2, 2), policy=RandomStealing())
+    run_app(h, depth=7, leaf_work=0.2)
+    inter = sum(w.account.lifetime("comm_inter") for w in h.runtime.all_workers_ever())
+    assert inter > 0  # RS blocks on wide-area steals synchronously

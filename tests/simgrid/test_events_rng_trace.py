@@ -1,0 +1,247 @@
+"""Unit tests for scripted events, RNG streams, and tracing."""
+
+import numpy as np
+import pytest
+
+from repro.simgrid.engine import Environment
+from repro.simgrid.events import (
+    BandwidthEvent,
+    CpuLoadEvent,
+    CrashEvent,
+    EventInjector,
+)
+from repro.simgrid.network import Network
+from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+from repro.simgrid.rng import RngStreams, stable_hash
+from repro.simgrid.trace import Trace
+
+
+def small_grid():
+    def cluster(name, n):
+        return ClusterSpec(
+            name=name,
+            nodes=tuple(NodeSpec(f"{name}/n{i}", name) for i in range(n)),
+        )
+
+    return GridSpec(clusters=(cluster("a", 3), cluster("b", 2)))
+
+
+# ----------------------------------------------------------------- events
+def test_cpu_load_event_on_cluster():
+    env = Environment()
+    net = Network(env, small_grid())
+    inj = EventInjector(env, net, [CpuLoadEvent(time=5.0, load=4.0, cluster="a")])
+    inj.start()
+    env.run()
+    assert env.now == 5.0
+    for h in net.hosts_in_cluster("a"):
+        assert h.external_load == 4.0
+    for h in net.hosts_in_cluster("b"):
+        assert h.external_load == 0.0
+
+
+def test_cpu_load_event_count_limits_targets():
+    env = Environment()
+    net = Network(env, small_grid())
+    inj = EventInjector(
+        env, net, [CpuLoadEvent(time=1.0, load=2.0, cluster="a", count=2)]
+    )
+    inj.start()
+    env.run()
+    loaded = sorted(h.name for h in net.hosts_in_cluster("a") if h.external_load > 0)
+    assert loaded == ["a/n0", "a/n1"]
+
+
+def test_cpu_load_event_explicit_nodes():
+    env = Environment()
+    net = Network(env, small_grid())
+    inj = EventInjector(
+        env, net, [CpuLoadEvent(time=1.0, load=1.0, nodes=("b/n1",))]
+    )
+    inj.start()
+    env.run()
+    assert net.host("b/n1").external_load == 1.0
+    assert net.host("b/n0").external_load == 0.0
+
+
+def test_cpu_load_event_validation():
+    env = Environment()
+    net = Network(env, small_grid())
+    with pytest.raises(ValueError):
+        CpuLoadEvent(time=0, load=1, nodes=("x",), cluster="a").targets(net)
+    with pytest.raises(ValueError):
+        CpuLoadEvent(time=0, load=1).targets(net)
+
+
+def test_bandwidth_event():
+    env = Environment()
+    net = Network(env, small_grid())
+    inj = EventInjector(env, net, [BandwidthEvent(time=2.0, cluster="b", bandwidth=100.0)])
+    inj.start()
+    env.run()
+    assert net.uplink_bandwidth("b") == 100.0
+
+
+def test_crash_event_cluster():
+    env = Environment()
+    net = Network(env, small_grid())
+    inj = EventInjector(env, net, [CrashEvent(time=3.0, clusters=("a",))])
+    inj.start()
+    env.run()
+    assert all(not h.alive for h in net.hosts_in_cluster("a"))
+    assert all(h.alive for h in net.hosts_in_cluster("b"))
+    assert net.host("a/n0").crash_time == 3.0
+
+
+def test_events_applied_in_time_order_and_logged():
+    env = Environment()
+    net = Network(env, small_grid())
+    inj = EventInjector(
+        env,
+        net,
+        [
+            BandwidthEvent(time=10.0, cluster="a", bandwidth=1.0),
+            CpuLoadEvent(time=5.0, load=1.0, cluster="b"),
+        ],
+    )
+    inj.start()
+    env.run()
+    times = [t for t, _ in inj.applied]
+    assert times == [5.0, 10.0]
+    kinds = [d["kind"] for _, d in inj.applied]
+    assert kinds == ["cpu_load", "bandwidth"]
+
+
+def test_listener_notified():
+    env = Environment()
+    net = Network(env, small_grid())
+    seen = []
+
+    class Listener:
+        def on_grid_event(self, event, details):
+            seen.append((env.now, details["kind"]))
+
+    inj = EventInjector(env, net, [CrashEvent(time=1.0, nodes=("a/n0",))])
+    inj.add_listener(Listener())
+    inj.start()
+    env.run()
+    assert seen == [(1.0, "crash")]
+
+
+def test_empty_script_is_noop():
+    env = Environment()
+    net = Network(env, small_grid())
+    EventInjector(env, net, []).start()
+    env.run()
+    assert env.now == 0.0
+
+
+def test_crash_event_requires_targets():
+    env = Environment()
+    net = Network(env, small_grid())
+    with pytest.raises(ValueError):
+        CrashEvent(time=0).targets(net)
+
+
+# -------------------------------------------------------------------- rng
+def test_rng_streams_reproducible():
+    a = RngStreams(42).stream("workload").random(5)
+    b = RngStreams(42).stream("workload").random(5)
+    assert np.allclose(a, b)
+
+
+def test_rng_streams_independent_by_name():
+    streams = RngStreams(42)
+    a = streams.stream("one").random(5)
+    b = streams.stream("two").random(5)
+    assert not np.allclose(a, b)
+
+
+def test_rng_stream_cached():
+    streams = RngStreams(0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_rng_different_seeds_differ():
+    a = RngStreams(1).stream("s").random(5)
+    b = RngStreams(2).stream("s").random(5)
+    assert not np.allclose(a, b)
+
+
+def test_rng_spawn_child_differs():
+    parent = RngStreams(7)
+    child = parent.spawn("child")
+    assert not np.allclose(parent.stream("s").random(5), child.stream("s").random(5))
+
+
+def test_stable_hash_is_stable():
+    assert stable_hash("abc") == stable_hash("abc")
+    assert stable_hash("abc") != stable_hash("abd")
+
+
+def test_rng_seed_validation():
+    with pytest.raises(ValueError):
+        RngStreams(-1)
+    with pytest.raises(ValueError):
+        RngStreams("seed")  # type: ignore[arg-type]
+
+
+# ------------------------------------------------------------------ trace
+def test_trace_record_and_series():
+    tr = Trace()
+    tr.record("wae", 0.0, 0.5)
+    tr.record("wae", 10.0, 0.6)
+    s = tr.series("wae")
+    assert list(s.times) == [0.0, 10.0]
+    assert list(s.values) == [0.5, 0.6]
+    assert s.last == 0.6
+    assert s.mean() == pytest.approx(0.55)
+    assert s.max() == 0.6
+    assert s.min() == 0.5
+
+
+def test_trace_empty_series():
+    tr = Trace()
+    s = tr.series("nothing")
+    assert len(s) == 0
+    assert np.isnan(s.mean())
+    with pytest.raises(ValueError):
+        _ = s.last
+
+
+def test_trace_between():
+    tr = Trace()
+    for t in range(10):
+        tr.record("m", float(t), t)
+    sub = tr.series("m").between(2.0, 5.0)
+    assert list(sub.values) == [2, 3, 4]
+
+
+def test_trace_object_values():
+    tr = Trace()
+    tr.record("decisions", 1.0, {"action": "remove"})
+    s = tr.series("decisions")
+    assert s.values[0] == {"action": "remove"}
+
+
+def test_trace_log_entries():
+    tr = Trace()
+    tr.log(1.0, "remove_nodes", nodes=["a"])
+    tr.log(2.0, "add_nodes", count=3)
+    assert len(tr.entries()) == 2
+    assert tr.entries("add_nodes")[0][2] == {"count": 3}
+
+
+def test_trace_names_and_contains():
+    tr = Trace()
+    tr.record("b", 0.0, 1)
+    tr.record("a", 0.0, 1)
+    assert tr.names == ["a", "b"]
+    assert "a" in tr
+    assert "zz" not in tr
+
+
+def test_series_iter():
+    tr = Trace()
+    tr.record("m", 1.0, 10.0)
+    assert list(tr.series("m")) == [(1.0, 10.0)]

@@ -1,0 +1,194 @@
+"""Hypothesis property tests on the simulation substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simgrid.engine import Environment
+from repro.simgrid.network import Network
+from repro.simgrid.queues import Store
+from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+
+
+# ------------------------------------------------------------------- engine
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_clock_monotone_and_events_ordered(delays):
+    """Whatever the schedule, observed firing times are sorted and match."""
+    env = Environment()
+    observed = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        observed.append((env.now, delay))
+
+    for d in delays:
+        env.process(proc(env, d))
+    env.run()
+    times = [t for t, _ in observed]
+    assert times == sorted(times)
+    assert sorted(d for _, d in observed) == sorted(delays)
+    assert env.now == max(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    chain=st.lists(
+        st.floats(min_value=0.001, max_value=10.0), min_size=1, max_size=15
+    )
+)
+def test_sequential_waits_sum(chain):
+    env = Environment()
+
+    def proc(env):
+        for d in chain:
+            yield env.timeout(d)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == pytest.approx(sum(chain))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    items=st.lists(st.integers(), min_size=0, max_size=40),
+)
+def test_store_is_fifo_for_any_sequence(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in items:
+            store.put(item)
+            yield env.timeout(0.1)
+
+    def consumer(env):
+        for _ in items:
+            got = yield store.get()
+            received.append(got)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == items
+
+
+# ------------------------------------------------------------------ network
+def _grid():
+    return GridSpec(
+        clusters=(
+            ClusterSpec(
+                name="a",
+                nodes=(NodeSpec("a/n0", "a"), NodeSpec("a/n1", "a")),
+                uplink_bandwidth=1e5,
+            ),
+            ClusterSpec(
+                name="b",
+                nodes=(NodeSpec("b/n0", "b"),),
+                uplink_bandwidth=2e5,
+            ),
+        )
+    )
+
+
+def _transfer_time(src, dst, nbytes):
+    env = Environment()
+    net = Network(env, _grid())
+    out = {}
+
+    def proc(env):
+        out["t"] = yield from net.transfer(src, dst, nbytes)
+
+    env.process(proc(env))
+    env.run()
+    return out["t"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=st.floats(min_value=0.0, max_value=1e7),
+    b=st.floats(min_value=0.0, max_value=1e7),
+)
+def test_transfer_time_monotone_in_bytes(a, b):
+    lo, hi = sorted([a, b])
+    assert _transfer_time("a/n0", "b/n0", lo) <= _transfer_time(
+        "a/n0", "b/n0", hi
+    ) + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(nbytes=st.floats(min_value=0.0, max_value=1e7))
+def test_wan_never_faster_than_lan(nbytes):
+    lan = _transfer_time("a/n0", "a/n1", nbytes)
+    wan = _transfer_time("a/n0", "b/n0", nbytes)
+    assert wan >= lan - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(nbytes=st.floats(min_value=1.0, max_value=1e7))
+def test_transfer_time_lower_bounds(nbytes):
+    """Latency + serialisation at min path bandwidth is a hard floor."""
+    t = _transfer_time("a/n0", "b/n0", nbytes)
+    path_bw = 1e5  # min of both uplinks
+    latency = 2 * 2.5e-3
+    assert t >= nbytes / path_bw + latency - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    loads=st.lists(st.floats(min_value=0.0, max_value=20.0), min_size=1, max_size=5)
+)
+def test_effective_speed_decreases_with_load(loads):
+    from repro.simgrid.resources import Host
+
+    host = Host(NodeSpec("x", "c", base_speed=2.0))
+    speeds = []
+    for load in sorted(loads):
+        host.set_load(load)
+        speeds.append(host.effective_speed)
+    assert speeds == sorted(speeds, reverse=True)
+    assert all(0 < s <= 2.0 for s in speeds)
+
+
+# ---------------------------------------------------------------- interrupts
+@settings(max_examples=40, deadline=None)
+@given(
+    wait=st.floats(min_value=0.1, max_value=100.0),
+    interrupt_at=st.floats(min_value=0.05, max_value=120.0),
+)
+def test_interrupted_wait_ends_at_min_of_both(wait, interrupt_at):
+    """A process waiting `wait` and interrupted at `interrupt_at` resumes
+    at whichever comes first — never both, never neither."""
+    env = Environment()
+    outcome = {}
+
+    def victim(env):
+        try:
+            yield env.timeout(wait)
+            outcome["how"] = "timeout"
+        except Exception:
+            outcome["how"] = "interrupt"
+        outcome["when"] = env.now
+
+    def attacker(env, v):
+        yield env.timeout(interrupt_at)
+        if v.is_alive:
+            v.interrupt("stop")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    expected_when = min(wait, interrupt_at)
+    assert outcome["when"] == pytest.approx(expected_when)
+    if interrupt_at < wait:
+        assert outcome["how"] == "interrupt"
+    elif wait < interrupt_at:
+        assert outcome["how"] == "timeout"

@@ -1,0 +1,109 @@
+"""Unit tests for grid topology specs and Host runtime state."""
+
+import pytest
+
+from repro.simgrid.resources import (
+    ClusterSpec,
+    GridSpec,
+    Host,
+    NodeSpec,
+    das2_like_grid,
+)
+
+
+def make_cluster(name="c0", n=3, speed=1.0, **kw):
+    nodes = tuple(
+        NodeSpec(name=f"{name}/n{i}", cluster=name, base_speed=speed) for i in range(n)
+    )
+    return ClusterSpec(name=name, nodes=nodes, **kw)
+
+
+def test_node_speed_positive():
+    with pytest.raises(ValueError):
+        NodeSpec(name="x", cluster="c", base_speed=0.0)
+
+
+def test_cluster_requires_nodes():
+    with pytest.raises(ValueError):
+        ClusterSpec(name="c", nodes=())
+
+
+def test_cluster_rejects_foreign_nodes():
+    node = NodeSpec(name="n", cluster="other")
+    with pytest.raises(ValueError):
+        ClusterSpec(name="c", nodes=(node,))
+
+
+def test_cluster_size_and_speed():
+    c = make_cluster(n=4, speed=2.0)
+    assert c.size == 4
+    assert c.total_speed == 8.0
+
+
+def test_grid_duplicate_cluster_names_rejected():
+    with pytest.raises(ValueError):
+        GridSpec(clusters=(make_cluster("a"), make_cluster("a")))
+
+
+def test_grid_lookup():
+    grid = GridSpec(clusters=(make_cluster("a"), make_cluster("b")))
+    assert grid.cluster("a").name == "a"
+    assert grid.node("b/n0").cluster == "b"
+    with pytest.raises(KeyError):
+        grid.cluster("zz")
+    with pytest.raises(KeyError):
+        grid.node("zz")
+
+
+def test_grid_totals():
+    grid = GridSpec(clusters=(make_cluster("a", n=2), make_cluster("b", n=3)))
+    assert grid.total_nodes == 5
+    assert grid.cluster_names == ("a", "b")
+    assert len(list(grid.iter_nodes())) == 5
+
+
+def test_with_cluster_replaces():
+    grid = GridSpec(clusters=(make_cluster("a"), make_cluster("b")))
+    bigger = make_cluster("a", n=10)
+    grid2 = grid.with_cluster(bigger)
+    assert grid2.cluster("a").size == 10
+    assert grid.cluster("a").size == 3  # original untouched
+
+
+def test_das2_like_shape():
+    grid = das2_like_grid()
+    assert len(grid.clusters) == 5
+    sizes = sorted(c.size for c in grid.clusters)
+    assert sizes == [32, 32, 32, 32, 72]
+    assert grid.total_nodes == 200
+
+
+def test_das2_like_scaled():
+    grid = das2_like_grid(large_cluster_nodes=6, small_cluster_nodes=4, small_clusters=2)
+    assert grid.total_nodes == 14
+    assert len(grid.clusters) == 3
+
+
+def test_host_effective_speed_under_load():
+    h = Host(NodeSpec(name="n", cluster="c", base_speed=2.0))
+    assert h.effective_speed == 2.0
+    h.set_load(1.0)  # one competing job halves the speed
+    assert h.effective_speed == 1.0
+    h.set_load(4.0)
+    assert h.effective_speed == pytest.approx(0.4)
+
+
+def test_host_load_validation():
+    h = Host(NodeSpec(name="n", cluster="c"))
+    with pytest.raises(ValueError):
+        h.set_load(-0.1)
+
+
+def test_host_crash_idempotent():
+    h = Host(NodeSpec(name="n", cluster="c"))
+    assert h.alive
+    h.crash(time=5.0)
+    assert not h.alive
+    assert h.crash_time == 5.0
+    h.crash(time=9.0)  # second crash ignored
+    assert h.crash_time == 5.0

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface.
+
+CLI tests use a miniature scenario registered on the fly so they run in
+well under a second each.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro import cli
+from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.experiments import SCENARIOS
+from repro.experiments.scenarios import ScenarioSpec, scaled_das2
+
+
+@pytest.fixture()
+def tiny_scenario():
+    """Register a fast throwaway scenario; unregister afterwards."""
+    grid = scaled_das2(nodes_per_cluster=3, clusters=2)
+    spec = ScenarioSpec(
+        id="tiny",
+        paper_ref="test",
+        description="miniature scenario for CLI tests",
+        grid=grid,
+        initial_layout=(("vu", 3),),
+        app_factory=lambda: SyntheticIterativeApp(
+            balanced_tree(depth=5, fanout=2, leaf_work=0.1), n_iterations=6
+        ),
+        monitoring_period=5.0,
+        max_sim_time=600.0,
+    )
+    SCENARIOS["tiny"] = spec
+    yield spec
+    del SCENARIOS["tiny"]
+
+
+def test_list_prints_all_scenarios(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    for sid in ["s1", "s2a", "s4", "s6"]:
+        assert sid in out
+
+
+def test_run_prints_summary(tiny_scenario, capsys):
+    assert cli.main(["run", "tiny", "--variant", "none"]) == 0
+    out = capsys.readouterr().out
+    assert "tiny/none" in out
+    assert "completed" in out
+    assert "runtime:" in out
+
+
+def test_run_writes_json(tiny_scenario, tmp_path, capsys):
+    path = tmp_path / "out.json"
+    assert cli.main(["run", "tiny", "--variant", "adapt", "--json", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert data["scenario"] == "tiny"
+    assert data["variant"] == "adapt"
+    assert data["completed"] is True
+    assert len(data["iteration_durations"]) == 6
+    assert isinstance(data["decisions"], list)
+
+
+def test_compare_prints_series(tiny_scenario, capsys):
+    assert cli.main(["compare", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "no adaptation" in out
+    assert "with adaptation" in out
+    assert "runtimes:" in out
+
+
+def test_fig1_subset(tiny_scenario, capsys):
+    assert cli.main(["fig1", "--scenarios", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "tiny" in out
+    assert "monitor" in out
+
+
+def test_unknown_scenario_raises(capsys):
+    with pytest.raises(KeyError):
+        cli.main(["run", "nonsense"])
+
+
+def test_bad_variant_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["run", "s1", "--variant", "bogus"])
+
+
+def test_no_command_rejected():
+    with pytest.raises(SystemExit):
+        cli.main([])

@@ -1,0 +1,147 @@
+"""Tests for scheduler-side benchmark probing and node repair."""
+
+import pytest
+
+from repro.simgrid import Environment, EventInjector, Network, RepairEvent
+from repro.simgrid.events import CrashEvent
+from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+from repro.zorilla import AllocationConstraints, ResourcePool, probe_and_allocate
+
+
+def grid(speeds={"a": 1.0, "b": 2.0, "c": 0.5}, n=3):
+    clusters = tuple(
+        ClusterSpec(
+            name=name,
+            nodes=tuple(
+                NodeSpec(f"{name}/n{i}", name, base_speed=speed) for i in range(n)
+            ),
+        )
+        for name, speed in speeds.items()
+    )
+    return GridSpec(clusters=clusters)
+
+
+def run_probe(net, pool, count, work=2.0, constraints=None):
+    out = {}
+
+    def proc(env):
+        out["granted"], out["speeds"] = yield from probe_and_allocate(
+            pool, net, count, work, constraints
+        )
+
+    net.env.process(proc(net.env))
+    net.env.run()
+    return out["granted"], out["speeds"]
+
+
+def test_probe_measures_each_cluster():
+    env = Environment()
+    net = Network(env, grid())
+    pool = ResourcePool(net)
+    granted, speeds = run_probe(net, pool, count=3)
+    assert speeds == pytest.approx({"a": 1.0, "b": 2.0, "c": 0.5})
+    # probing runs in parallel: elapsed = slowest probe (work/0.5 = 4 s)
+    assert env.now == pytest.approx(4.0)
+    assert all(n.startswith("b/") for n in granted)  # fastest cluster first
+
+
+def test_probe_sees_effective_speed_not_clock():
+    """A nominally fast but loaded cluster measures slow — the accuracy
+    argument for application benchmarks over clock-speed ranking."""
+    env = Environment()
+    net = Network(env, grid())
+    net.host("b/n0").set_load(9.0)  # the representative of b is loaded
+    pool = ResourcePool(net)
+    granted, speeds = run_probe(net, pool, count=3)
+    assert speeds["b"] == pytest.approx(0.2)
+    assert all(n.startswith("a/") for n in granted)  # a measures fastest now
+    # nominal-speed ranking would have chosen b:
+    nominal = pool.fastest_free_speed()
+    assert nominal == 2.0
+
+
+def test_probe_respects_constraints():
+    env = Environment()
+    net = Network(env, grid())
+    pool = ResourcePool(net)
+    constraints = AllocationConstraints(blacklisted_clusters=frozenset({"b"}))
+    granted, speeds = run_probe(net, pool, count=3, constraints=constraints)
+    assert "b" not in speeds
+    assert all(not n.startswith("b/") for n in granted)
+
+
+def test_probe_empty_pool():
+    env = Environment()
+    net = Network(env, grid())
+    pool = ResourcePool(net)
+    pool.allocate(9)  # drain everything
+    granted, speeds = run_probe(net, pool, count=2)
+    assert granted == []
+    assert speeds == {}
+
+
+def test_probe_validation():
+    env = Environment()
+    net = Network(env, grid())
+    pool = ResourcePool(net)
+
+    def proc(env):
+        yield from probe_and_allocate(pool, net, 1, benchmark_work=0.0)
+
+    env.process(proc(env))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+# --------------------------------------------------------------------- repair
+def test_repair_event_revives_hosts():
+    env = Environment()
+    net = Network(env, grid())
+    inj = EventInjector(
+        env,
+        net,
+        [
+            CrashEvent(time=1.0, clusters=("a",)),
+            RepairEvent(time=5.0, clusters=("a",)),
+        ],
+    )
+    inj.start()
+    env.run(until=2.0)
+    assert all(not h.alive for h in net.hosts_in_cluster("a"))
+    env.run(until=6.0)
+    assert all(h.alive for h in net.hosts_in_cluster("a"))
+    assert all(h.external_load == 0.0 for h in net.hosts_in_cluster("a"))
+
+
+def test_repaired_nodes_allocatable_again():
+    env = Environment()
+    net = Network(env, grid())
+    pool = ResourcePool(net)
+    net.host("b/n0").crash(0.0)
+    granted = pool.allocate(9)
+    assert "b/n0" not in granted
+    assert len(granted) == 8
+    pool.release(granted)
+    net.host("b/n0").revive()
+    granted = pool.allocate(9)
+    assert "b/n0" in granted
+
+
+def test_repair_validation():
+    env = Environment()
+    net = Network(env, grid())
+    with pytest.raises(ValueError):
+        RepairEvent(time=0.0).targets(net)
+
+
+def test_revive_idempotent_and_resets_load():
+    from repro.simgrid.resources import Host
+
+    h = Host(NodeSpec("x", "c"))
+    h.set_load(5.0)
+    h.crash(1.0)
+    h.revive()
+    assert h.alive
+    assert h.external_load == 0.0
+    h.revive()  # no-op on a live host
+    assert h.alive

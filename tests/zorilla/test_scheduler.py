@@ -1,0 +1,153 @@
+"""Unit tests for the Zorilla-like resource pool."""
+
+import pytest
+
+from repro.simgrid import Environment, Network
+from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+from repro.zorilla import AllocationConstraints, ResourcePool
+
+
+def grid(sizes={"a": 4, "b": 2, "c": 3}, speeds=None):
+    speeds = speeds or {}
+    clusters = []
+    for name, n in sizes.items():
+        nodes = tuple(
+            NodeSpec(f"{name}/n{i}", name, base_speed=speeds.get(name, 1.0))
+            for i in range(n)
+        )
+        clusters.append(ClusterSpec(name=name, nodes=nodes))
+    return GridSpec(clusters=tuple(clusters))
+
+
+def make_pool(sizes={"a": 4, "b": 2, "c": 3}, speeds=None):
+    env = Environment()
+    net = Network(env, grid(sizes, speeds))
+    return ResourcePool(net), net
+
+
+def test_pool_starts_with_all_nodes_free():
+    pool, _ = make_pool()
+    assert pool.free_count() == 9
+    assert pool.allocated_nodes == set()
+
+
+def test_allocate_fills_largest_cluster_first():
+    pool, _ = make_pool()
+    granted = pool.allocate(4)
+    assert len(granted) == 4
+    assert all(n.startswith("a/") for n in granted)  # locality: one cluster
+
+
+def test_allocate_spills_to_next_cluster():
+    pool, _ = make_pool()
+    granted = pool.allocate(6)
+    clusters = {n.split("/")[0] for n in granted}
+    assert len(granted) == 6
+    assert clusters == {"a", "c"}  # a(4) then c(3, larger than b)
+
+
+def test_allocate_prefers_current_clusters():
+    pool, _ = make_pool()
+    granted = pool.allocate(2, prefer_clusters=["b"])
+    assert all(n.startswith("b/") for n in granted)
+
+
+def test_allocate_returns_fewer_when_scarce():
+    pool, _ = make_pool(sizes={"a": 2})
+    assert len(pool.allocate(10)) == 2
+    assert pool.allocate(1) == []
+
+
+def test_allocate_zero_or_negative():
+    pool, _ = make_pool()
+    assert pool.allocate(0) == []
+    assert pool.allocate(-3) == []
+
+
+def test_blacklisted_nodes_skipped():
+    pool, _ = make_pool(sizes={"a": 3})
+    constraints = AllocationConstraints(blacklisted_nodes=frozenset({"a/n0", "a/n1"}))
+    granted = pool.allocate(3, constraints)
+    assert granted == ["a/n2"]
+
+
+def test_blacklisted_cluster_skipped():
+    pool, _ = make_pool()
+    constraints = AllocationConstraints(blacklisted_clusters=frozenset({"a"}))
+    granted = pool.allocate(9, constraints)
+    assert all(not n.startswith("a/") for n in granted)
+    assert len(granted) == 5
+
+
+def test_min_bandwidth_constraint():
+    pool, net = make_pool()
+    net.set_uplink_bandwidth("b", 1e3)
+    constraints = AllocationConstraints(min_uplink_bandwidth=1e6)
+    granted = pool.allocate(9, constraints)
+    assert all(not n.startswith("b/") for n in granted)
+
+
+def test_dead_hosts_not_allocated():
+    pool, net = make_pool(sizes={"a": 3})
+    net.host("a/n1").crash(0.0)
+    granted = pool.allocate(3)
+    assert "a/n1" not in granted
+    assert len(granted) == 2
+
+
+def test_mark_allocated_and_release_cycle():
+    pool, _ = make_pool(sizes={"a": 2})
+    pool.mark_allocated(["a/n0"])
+    assert pool.free_nodes == {"a/n1"}
+    with pytest.raises(ValueError):
+        pool.mark_allocated(["a/n0"])  # already taken
+    pool.release(["a/n0"])
+    assert pool.free_count() == 2
+
+
+def test_released_blacklisted_node_not_regranted():
+    pool, _ = make_pool(sizes={"a": 2})
+    granted = pool.allocate(2)
+    pool.release(granted)
+    constraints = AllocationConstraints(blacklisted_nodes=frozenset(granted))
+    assert pool.allocate(2, constraints) == []
+
+
+def test_retire_removes_permanently():
+    pool, _ = make_pool(sizes={"a": 2})
+    pool.retire(["a/n0"])
+    assert pool.free_count() == 1
+    granted = pool.allocate(5)
+    assert granted == ["a/n1"]
+
+
+def test_prefer_fast_ranks_by_nominal_speed():
+    pool, _ = make_pool(sizes={"a": 2, "b": 2}, speeds={"a": 1.0, "b": 3.0})
+    granted = pool.allocate(2, prefer_fast=True)
+    assert all(n.startswith("b/") for n in granted)
+
+
+def test_fastest_free_speed():
+    pool, _ = make_pool(sizes={"a": 1, "b": 1}, speeds={"a": 1.0, "b": 2.5})
+    assert pool.fastest_free_speed() == 2.5
+    pool.allocate(2, prefer_fast=True)  # takes b then a
+    assert pool.fastest_free_speed() is None
+
+
+def test_constraints_merge():
+    a = AllocationConstraints(
+        blacklisted_nodes=frozenset({"x"}), min_uplink_bandwidth=1e5
+    )
+    b = AllocationConstraints(
+        blacklisted_clusters=frozenset({"c"}), min_uplink_bandwidth=2e5
+    )
+    merged = a.merged_with(b)
+    assert merged.blacklisted_nodes == frozenset({"x"})
+    assert merged.blacklisted_clusters == frozenset({"c"})
+    assert merged.min_uplink_bandwidth == 2e5
+
+
+def test_allocation_log():
+    pool, _ = make_pool(sizes={"a": 2})
+    pool.allocate(1)
+    assert pool.log[-1][1] == "allocate"
