@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import RunResult, run_scenario, scenario
+from repro.api import RunResult, run_scenario, scenario
 
 _CACHE: dict[tuple[str, str, int], RunResult] = {}
 

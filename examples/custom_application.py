@@ -20,18 +20,20 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.core import AdaptationCoordinator, AdaptationPolicy, CoordinatorConfig, PolicyConfig
-from repro.registry import Registry
-from repro.satin import (
+from repro.api import (
+    AdaptationCoordinator,
+    AdaptationPolicy,
     AppDriver,
+    CoordinatorConfig,
+    Harness,
     Iteration,
-    SatinRuntime,
+    PolicyConfig,
+    ResourcePool,
     TaskNode,
     WorkerConfig,
-    auto_benchmark_config,
 )
-from repro.simgrid import Environment, Network, RngStreams, das2_like_grid
-from repro.zorilla import ResourcePool
+from repro.satin import auto_benchmark_config
+from repro.simgrid import das2_like_grid
 
 
 # ----------------------------------------------------------------------
@@ -82,10 +84,8 @@ class MergeSortApp:
 # Step 2: a grid, a runtime, the coordinator — and off it goes.
 # ----------------------------------------------------------------------
 def main() -> None:
-    env = Environment()
     grid = das2_like_grid(large_cluster_nodes=8, small_cluster_nodes=6,
                           small_clusters=2)
-    network = Network(env, grid)
 
     # derive the speed benchmark automatically from the first dataset's
     # task graph (no programmer-chosen problem size needed)
@@ -96,14 +96,13 @@ def main() -> None:
     )
     print(f"auto-generated benchmark: {bench.work:.2f} work units per run")
 
-    runtime = SatinRuntime(
-        env=env,
-        network=network,
-        registry=Registry(env),
+    harness = Harness.build(
+        grid,
+        seed=0,
         config=WorkerConfig(monitoring_period=30.0, collect_stats=True,
                             benchmark=bench),
-        rng=RngStreams(0),
     )
+    env, network, runtime = harness.env, harness.network, harness.runtime
     pool = ResourcePool(network)
     initial = pool.allocate(4)
     runtime.add_nodes(initial)

@@ -11,13 +11,16 @@ shifts the load toward the fast cluster.
 Run:  python examples/heterogeneous_search.py
 """
 
+from repro.api import (
+    AppDriver,
+    ClusterSpec,
+    GridSpec,
+    Harness,
+    NodeSpec,
+)
 from repro.apps.nqueens import NQueensApp, count_solutions
 from repro.apps.sat import SatApp, dpll
 from repro.apps.tsp import TspApp, solve_tsp
-from repro.registry import Registry
-from repro.satin import AppDriver, SatinRuntime, WorkerConfig
-from repro.simgrid import Environment, Network, RngStreams
-from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
 
 
 def build_grid() -> GridSpec:
@@ -34,15 +37,8 @@ def build_grid() -> GridSpec:
 
 
 def run_app(app, label: str) -> None:
-    env = Environment()
-    network = Network(env, build_grid())
-    runtime = SatinRuntime(
-        env=env,
-        network=network,
-        registry=Registry(env),
-        config=WorkerConfig(),
-        rng=RngStreams(0),
-    )
+    harness = Harness.build(build_grid(), seed=0)
+    env, network, runtime = harness.env, harness.network, harness.runtime
     runtime.add_nodes([h.name for h in network.hosts.values()])
     driver = AppDriver(runtime, app)
     done = driver.start()

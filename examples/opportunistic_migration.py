@@ -17,19 +17,22 @@ current nodes for faster free ones.
 Run:  python examples/opportunistic_migration.py
 """
 
-from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
-from repro.core import (
+from repro.api import (
     AdaptationCoordinator,
     AdaptationPolicy,
+    AppDriver,
+    BenchmarkConfig,
+    ClusterSpec,
     CoordinatorConfig,
-    OpportunisticPolicy,
+    GridSpec,
+    Harness,
+    NodeSpec,
     PolicyConfig,
+    ResourcePool,
+    WorkerConfig,
 )
-from repro.registry import Registry
-from repro.satin import AppDriver, BenchmarkConfig, SatinRuntime, WorkerConfig
-from repro.simgrid import Environment, Network, RngStreams
-from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
-from repro.zorilla import ResourcePool
+from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.core import OpportunisticPolicy
 
 
 def build_grid() -> GridSpec:
@@ -46,19 +49,16 @@ def build_grid() -> GridSpec:
 
 
 def run(opportunistic: bool) -> tuple[float, list[str]]:
-    env = Environment()
-    network = Network(env, build_grid())
-    runtime = SatinRuntime(
-        env=env,
-        network=network,
-        registry=Registry(env),
+    harness = Harness.build(
+        build_grid(),
+        seed=0,
         config=WorkerConfig(
             monitoring_period=30.0,
             collect_stats=True,
             benchmark=BenchmarkConfig(work=0.5, max_overhead=0.03),
         ),
-        rng=RngStreams(0),
     )
+    env, network, runtime = harness.env, harness.network, harness.runtime
     pool = ResourcePool(network)
     initial = [f"slow/n{i}" for i in range(6)]
     pool.mark_allocated(initial)

@@ -12,12 +12,8 @@ from well-connected clusters.
 Run:  python examples/overloaded_link.py
 """
 
-from repro.experiments import (
-    ascii_series,
-    format_iteration_series,
-    run_scenario,
-    scenario,
-)
+from repro.api import run_scenario, scenario
+from repro.experiments import ascii_series, format_iteration_series
 
 
 def main() -> None:

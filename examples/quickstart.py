@@ -9,18 +9,22 @@ scenario 2 in miniature.
 Run:  python examples/quickstart.py
 """
 
-from repro.apps.barneshut import BarnesHutConfig, BarnesHutSimulation
-from repro.core import (
+from repro.api import (
     AdaptationCoordinator,
     AdaptationPolicy,
+    AppDriver,
+    BenchmarkConfig,
+    ClusterSpec,
     CoordinatorConfig,
+    GridSpec,
+    Harness,
+    NodeSpec,
+    Observability,
     PolicyConfig,
+    ResourcePool,
+    WorkerConfig,
 )
-from repro.registry import Registry
-from repro.satin import AppDriver, BenchmarkConfig, SatinRuntime, WorkerConfig
-from repro.simgrid import Environment, Network, RngStreams
-from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
-from repro.zorilla import ResourcePool
+from repro.apps.barneshut import BarnesHutConfig, BarnesHutSimulation
 
 
 def build_grid() -> GridSpec:
@@ -36,24 +40,24 @@ def build_grid() -> GridSpec:
 
 
 def main() -> None:
-    env = Environment()
-    grid = build_grid()
-    network = Network(env, grid)
-    registry = Registry(env, detection_delay=5.0)
-
-    # Worker configuration: collect statistics every 60 simulated seconds,
-    # measure speed with a small application benchmark (<=3% overhead).
-    runtime = SatinRuntime(
-        env=env,
-        network=network,
-        registry=registry,
+    # One constructor wires environment, network, registry, RNG streams and
+    # the Satin runtime; telemetry is enabled so the run's full adaptation
+    # timeline is recorded as typed events.
+    harness = Harness.build(
+        build_grid(),
+        seed=0,
+        # collect statistics every 60 simulated seconds, measure speed
+        # with a small application benchmark (<=3% overhead)
         config=WorkerConfig(
             monitoring_period=60.0,
             collect_stats=True,
             benchmark=BenchmarkConfig(work=1.5, max_overhead=0.03),
         ),
-        rng=RngStreams(0),
+        detection_delay=5.0,
+        obs=Observability.enabled(kinds=["wae_sample", "node_add",
+                                         "node_remove", "coordinator_decision"]),
     )
+    env, network, runtime = harness.env, harness.network, harness.runtime
 
     # Start on just 4 nodes of one cluster — an "arbitrary set of
     # resources", as the paper puts it.
@@ -93,6 +97,9 @@ def main() -> None:
     durations = runtime.trace.series("iteration_duration").values
     print("\niteration durations (s):",
           " ".join(f"{d:.0f}" for d in durations))
+    print("\nevent stream (first 8 of", len(harness.obs.bus), "events):")
+    for event in harness.obs.bus.events[:8]:
+        print(f"  {event.to_dict()}")
 
 
 if __name__ == "__main__":

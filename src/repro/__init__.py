@@ -1,3 +1,28 @@
-"""repro: reproduction of "Self-adaptive applications on the grid" (PPoPP 2007)."""
+"""repro: reproduction of "Self-adaptive applications on the grid" (PPoPP 2007).
 
-__version__ = "1.0.0"
+The public API lives in :mod:`repro.api` and is re-exported lazily here,
+so ``import repro`` stays cheap while ``from repro import run_scenario``
+works without knowing internal module paths.
+"""
+
+import importlib
+from typing import TYPE_CHECKING
+
+__version__ = "1.1.0"
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .api import *  # noqa: F401,F403
+
+
+def __getattr__(name: str):
+    api = importlib.import_module(".api", __name__)
+    if name == "api":
+        return api
+    if name in api.__all__:
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    api = importlib.import_module(".api", __name__)
+    return sorted(set(globals()) | set(api.__all__))

@@ -1,0 +1,95 @@
+"""The public façade of the repro package.
+
+Everything an application, example, or notebook needs lives here, so
+downstream code imports one module instead of reaching into deep module
+paths::
+
+    from repro.api import Harness, build_grid, run_scenario, scenario
+
+    harness = Harness.build(build_grid((4, 4)), seed=1)
+    result = run_scenario(scenario("s4"), "adapt")
+
+The same names are re-exported lazily from the package root (``from
+repro import run_scenario`` also works). Internal modules keep their
+explicit deep imports; the façade is for *consumers*.
+"""
+
+from __future__ import annotations
+
+from .core.coordinator import AdaptationCoordinator, CoordinatorConfig
+from .core.policy import AdaptationPolicy, PolicyConfig
+from .experiments import (
+    SCENARIOS,
+    VARIANTS,
+    RunResult,
+    ScenarioSpec,
+    run_scenario,
+    scaled_das2,
+    scenario,
+)
+from .harness import Harness, build_grid
+from .obs import (
+    EVENT_KINDS,
+    CsvSink,
+    JsonlSink,
+    MetricsRegistry,
+    Observability,
+    TraceBus,
+    write_events,
+)
+from .registry.registry import Registry
+from .satin.app import AppDriver, Iteration
+from .satin.benchmarking import BenchmarkConfig
+from .satin.runtime import SatinRuntime
+from .satin.stealing import ClusterAwareRandomStealing, RandomStealing
+from .satin.task import TaskNode
+from .satin.worker import WorkerConfig
+from .simgrid.engine import Environment
+from .simgrid.network import Network
+from .simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+from .simgrid.rng import RngStreams
+from .zorilla.scheduler import ResourcePool
+
+__all__ = [
+    # simulation substrate
+    "Environment",
+    "Network",
+    "GridSpec",
+    "ClusterSpec",
+    "NodeSpec",
+    "RngStreams",
+    "build_grid",
+    # runtime + registry
+    "Harness",
+    "SatinRuntime",
+    "WorkerConfig",
+    "Registry",
+    "AppDriver",
+    "Iteration",
+    "TaskNode",
+    "BenchmarkConfig",
+    "RandomStealing",
+    "ClusterAwareRandomStealing",
+    "ResourcePool",
+    # adaptation
+    "AdaptationCoordinator",
+    "CoordinatorConfig",
+    "AdaptationPolicy",
+    "PolicyConfig",
+    # experiments
+    "run_scenario",
+    "scenario",
+    "scaled_das2",
+    "SCENARIOS",
+    "VARIANTS",
+    "RunResult",
+    "ScenarioSpec",
+    # telemetry
+    "Observability",
+    "MetricsRegistry",
+    "TraceBus",
+    "JsonlSink",
+    "CsvSink",
+    "write_events",
+    "EVENT_KINDS",
+]

@@ -7,12 +7,16 @@ Usage (after installing the package)::
     python -m repro compare s4
     python -m repro fig1 --scenarios s1,s4
     python -m repro run s3 --json out.json
+    python -m repro trace s4 --variant adapt --out s4.jsonl
+    python -m repro metrics s1
 
 ``run`` executes one scenario under one variant and prints the run
 summary (plus the full measurement record as JSON if requested);
 ``compare`` runs the non-adaptive and adaptive variants and prints the
 paper-figure iteration series; ``fig1`` assembles the runtime table
-across scenarios and variants.
+across scenarios and variants; ``trace`` dumps a run's full adaptation
+timeline as typed events (JSONL/CSV); ``metrics`` prints a run's
+counters, gauges and histogram summaries.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from .experiments import (
     run_scenario,
     scenario,
 )
+from .obs import EVENT_KINDS, Observability, write_events
 
 __all__ = ["main", "build_parser"]
 
@@ -73,6 +78,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated scenario ids (default: all)",
     )
     p_fig1.add_argument("--seed", type=int, default=0)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one scenario and dump its typed event stream"
+    )
+    p_trace.add_argument("scenario", help="scenario id, e.g. s4")
+    p_trace.add_argument("--variant", choices=VARIANTS, default="adapt")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="output file (default: stdout); .csv selects CSV format",
+    )
+    p_trace.add_argument(
+        "--format", choices=("jsonl", "csv"), default=None,
+        help="output format (default: inferred from --out, else jsonl)",
+    )
+    p_trace.add_argument(
+        "--events", default="lifecycle",
+        help=(
+            "which event kinds to record: 'lifecycle' (everything except "
+            "per-steal events, the default), 'all', or a comma-separated "
+            f"subset of {', '.join(EVENT_KINDS)}"
+        ),
+    )
+
+    p_met = sub.add_parser(
+        "metrics", help="run one scenario and print its telemetry metrics"
+    )
+    p_met.add_argument("scenario", help="scenario id, e.g. s4")
+    p_met.add_argument("--variant", choices=VARIANTS, default="adapt")
+    p_met.add_argument("--seed", type=int, default=0)
+    p_met.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the metric rows as JSON",
+    )
 
     p_exp = sub.add_parser(
         "export", help="run scenarios and export tidy CSVs for plotting"
@@ -141,6 +180,14 @@ def _print_run_summary(result: RunResult) -> None:
         print(f"  learned min bandwidth: {result.learned_min_bandwidth:.0f} B/s")
 
 
+def _scenario(sid: str):
+    """Scenario lookup with a clean CLI error instead of a traceback."""
+    try:
+        return scenario(sid)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+
+
 def _cmd_list() -> int:
     for sid in sorted(SCENARIOS):
         spec = SCENARIOS[sid]
@@ -150,7 +197,7 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = scenario(args.scenario)
+    spec = _scenario(args.scenario)
     result = run_scenario(spec, args.variant, seed=args.seed)
     _print_run_summary(result)
     if args.json is not None:
@@ -161,7 +208,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    spec = scenario(args.scenario)
+    spec = _scenario(args.scenario)
     none = run_scenario(spec, "none", seed=args.seed)
     adapt = run_scenario(spec, "adapt", seed=args.seed)
     print(format_iteration_series(
@@ -176,9 +223,64 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
     sids = [s.strip() for s in args.scenarios.split(",") if s.strip()]
     table = {}
     for sid in sids:
-        spec = scenario(sid)
+        spec = _scenario(sid)
         table[sid] = {v: run_scenario(spec, v, seed=args.seed) for v in VARIANTS}
     print(format_fig1(table))
+    return 0
+
+
+def _parse_event_kinds(spec: str) -> Optional[list[str]]:
+    """--events value → kinds filter (None = record everything)."""
+    spec = spec.strip()
+    if spec == "all":
+        return None
+    if spec == "lifecycle":
+        return [k for k in EVENT_KINDS if k != "steal_attempt"]
+    kinds = [k.strip() for k in spec.split(",") if k.strip()]
+    unknown = set(kinds) - set(EVENT_KINDS)
+    if unknown:
+        raise SystemExit(
+            f"unknown event kinds {sorted(unknown)}; "
+            f"choose from {', '.join(EVENT_KINDS)}"
+        )
+    return kinds
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    spec = _scenario(args.scenario)
+    obs = Observability.enabled(kinds=_parse_event_kinds(args.events))
+    run_scenario(spec, args.variant, seed=args.seed, obs=obs)
+    events = obs.bus.events
+    if args.out is None:
+        write_events(events, sys.stdout, fmt=args.format or "jsonl")
+        return 0
+    n = write_events(events, args.out, fmt=args.format)
+    counts = ", ".join(f"{k}={v}" for k, v in obs.bus.counts().items())
+    print(f"wrote {n} events to {args.out} ({counts})")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    spec = _scenario(args.scenario)
+    obs = Observability.enabled()
+    run_scenario(spec, args.variant, seed=args.seed, obs=obs)
+    rows = obs.metrics.to_rows()
+    if not rows:
+        print("no metrics recorded")
+        return 0
+    name_w = max(len(r["name"]) for r in rows)
+    label_w = max(len(r["labels"]) for r in rows)
+    for row in rows:
+        stats = " ".join(
+            f"{k}={row[k]:.6g}"
+            for k in ("value", "count", "sum", "min", "max", "p50", "p90", "p99")
+            if k in row
+        )
+        print(f"{row['name']:<{name_w}}  {row['labels']:<{label_w}}  {stats}")
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(rows, fh, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -191,7 +293,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
         if v not in VARIANTS:
             raise SystemExit(f"unknown variant {v!r}; choose from {VARIANTS}")
     runs = [
-        run_scenario(scenario(sid), v, seed=args.seed)
+        run_scenario(_scenario(sid), v, seed=args.seed)
         for sid in sids
         for v in variants
     ]
@@ -211,6 +313,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "fig1":
         return _cmd_fig1(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "export":
         return _cmd_export(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

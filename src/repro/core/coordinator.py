@@ -32,12 +32,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Generator, Optional
 
+from ..obs import CoordinatorDecision, WaeSample
 from ..satin.accounting import NodeReport
 from ..satin.runtime import SatinRuntime
 from ..simgrid.engine import Event
 from ..simgrid.queues import Store
 from ..zorilla.scheduler import ResourcePool
 from .blacklist import Blacklist
+from .efficiency import wae_components
 from .opportunistic import Migrate
 from .policy import (
     AdaptationPolicy,
@@ -114,6 +116,7 @@ class AdaptationCoordinator:
         #: minimum-bandwidth requirement.
         self.bandwidth_estimator: Optional[Any] = None
         self.trace = runtime.trace
+        self.obs = runtime.obs
 
         self.latest: dict[str, NodeReport] = {}
         #: nodes we added whose first report has not arrived yet
@@ -191,6 +194,15 @@ class AdaptationCoordinator:
             if snap.nodes:
                 wae = snap.wae()
                 self.trace.record("wae", self.env.now, wae)
+                if self.obs.bus.wants(WaeSample.kind):
+                    comps = wae_components(
+                        [n.speed for n in snap.nodes],
+                        [n.overhead for n in snap.nodes],
+                    )
+                    self.obs.bus.emit(WaeSample(
+                        time=self.env.now, wae=wae, nodes=len(snap.nodes),
+                        spread=float(comps.max() - comps.min()),
+                    ))
                 if self.tuner is not None:
                     event = self.tuner.on_wae(self.env.now, wae)
                     if event is not None:
@@ -219,6 +231,14 @@ class AdaptationCoordinator:
                             self._act_guarded(decision), name="coord:act"
                         )
                     self.decisions.append((self.env.now, decision))
+                    described = decision.describe()
+                    self.obs.metrics.counter(
+                        "coordinator_decisions", decision=described["decision"]
+                    ).inc()
+                    if self.obs.bus.wants(CoordinatorDecision.kind):
+                        self.obs.bus.emit(CoordinatorDecision(
+                            time=self.env.now, **described
+                        ))
             yield self.env.timeout(cfg.monitoring_period)
 
     def _act_guarded(self, decision: Decision) -> Generator[Event, Any, None]:

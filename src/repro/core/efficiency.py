@@ -32,6 +32,7 @@ __all__ = [
     "EAGER_EFFICIENCY_BOUND",
     "efficiency",
     "normalize_speeds",
+    "wae_components",
     "weighted_average_efficiency",
 ]
 
@@ -67,13 +68,15 @@ def normalize_speeds(speeds: Sequence[float]) -> np.ndarray:
     return s / s.max()
 
 
-def weighted_average_efficiency(
+def wae_components(
     speeds: Sequence[float], overheads: Sequence[float]
-) -> float:
-    """The paper's WAE: mean of ``speed_norm_i * (1 - overhead_i)``.
+) -> np.ndarray:
+    """Per-node WAE contributions: ``speed_norm_i * (1 - overhead_i)``.
 
-    ``speeds`` are raw measured speeds (any consistent unit); they are
-    normalised to the fastest here. Result lies in (0, 1].
+    The WAE is the mean of these; the telemetry layer also records their
+    spread (max − min) per sample, which shows *how unevenly* the grid is
+    performing — a wide spread with a mid-range WAE is the signature of a
+    few bad nodes dragging down an otherwise healthy resource set.
     """
     s = normalize_speeds(speeds)
     o = np.asarray(list(overheads), dtype=float)
@@ -82,4 +85,15 @@ def weighted_average_efficiency(
         raise ValueError(
             f"speeds and overheads differ in length: {s.size} vs {o.size}"
         )
-    return float(np.mean(s * (1.0 - o)))
+    return s * (1.0 - o)
+
+
+def weighted_average_efficiency(
+    speeds: Sequence[float], overheads: Sequence[float]
+) -> float:
+    """The paper's WAE: mean of ``speed_norm_i * (1 - overhead_i)``.
+
+    ``speeds`` are raw measured speeds (any consistent unit); they are
+    normalised to the fastest here. Result lies in (0, 1].
+    """
+    return float(np.mean(wae_components(speeds, overheads)))

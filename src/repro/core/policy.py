@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, ClassVar, Optional, Sequence
 
 from .badness import BadnessCoefficients, rank_nodes, worst_cluster
 from .efficiency import EAGER_EFFICIENCY_BOUND, weighted_average_efficiency
@@ -128,27 +128,49 @@ class GridSnapshot:
 class Decision:
     """Base class for the coordinator's verdicts."""
 
+    #: telemetry identifier of the decision type (subclasses override;
+    #: extensions that don't get their lowercased class name).
+    kind: ClassVar[str] = ""
+
     wae: float
     reason: str = ""
+
+    def describe(self) -> dict[str, Any]:
+        """Flat telemetry payload: one dict shape for every decision type,
+        consumed by the coordinator_decision trace event."""
+        return {
+            "decision": self.kind or type(self).__name__.lower(),
+            "wae": self.wae,
+            "reason": self.reason,
+            "count": getattr(self, "count", 0),
+            "nodes": tuple(getattr(self, "nodes", ())),
+            "cluster": getattr(self, "cluster", ""),
+        }
 
 
 @dataclass(frozen=True)
 class NoAction(Decision):
-    pass
+    kind: ClassVar[str] = "no_action"
 
 
 @dataclass(frozen=True)
 class AddNodes(Decision):
+    kind: ClassVar[str] = "add_nodes"
+
     count: int = 0
 
 
 @dataclass(frozen=True)
 class RemoveNodes(Decision):
+    kind: ClassVar[str] = "remove_nodes"
+
     nodes: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
 class RemoveCluster(Decision):
+    kind: ClassVar[str] = "remove_cluster"
+
     cluster: str = ""
     nodes: tuple[str, ...] = ()
 

@@ -23,16 +23,15 @@ import numpy as np
 from ..core.bwestimator import BandwidthEstimator
 from ..core.coordinator import AdaptationCoordinator, CoordinatorConfig
 from ..core.policy import AdaptationPolicy, Decision
-from ..registry.registry import Registry
+from ..harness import Harness
+from ..obs import Observability
 from ..satin.app import AppDriver
 from ..satin.benchmarking import BenchmarkConfig
 from ..satin.runtime import SatinRuntime
 from ..satin.worker import WorkerConfig
-from ..simgrid.engine import AnyOf, Environment
+from ..simgrid.engine import AnyOf
 from ..simgrid.events import CrashEvent, EventInjector, GridEvent
-from ..simgrid.network import Network
-from ..simgrid.rng import RngStreams
-from ..simgrid.trace import Series, Trace
+from ..simgrid.trace import Series
 from ..zorilla.scheduler import ResourcePool
 from .scenarios import ScenarioSpec
 
@@ -107,25 +106,27 @@ def _worker_config(spec: ScenarioSpec, variant: str) -> WorkerConfig:
 
 
 def run_scenario(
-    spec: ScenarioSpec, variant: str, seed: int = 0
+    spec: ScenarioSpec, variant: str, seed: int = 0,
+    obs: Optional[Observability] = None,
 ) -> RunResult:
-    """Execute one scenario under one variant; returns the measurements."""
+    """Execute one scenario under one variant; returns the measurements.
+
+    Pass an enabled :class:`~repro.obs.Observability` to capture the
+    run's full event stream and metrics (``repro trace`` / ``repro
+    metrics`` do); by default telemetry is disabled and costs nothing.
+    """
     if variant not in VARIANTS:
         raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
 
-    env = Environment()
-    network = Network(env, spec.grid)
-    registry = Registry(env, detection_delay=spec.crash_detection_delay)
-    rng = RngStreams(seed)
-    trace = Trace()
-    runtime = SatinRuntime(
-        env=env,
-        network=network,
-        registry=registry,
+    harness = Harness.build(
+        spec.grid,
+        seed=seed,
         config=_worker_config(spec, variant),
-        rng=rng,
-        trace=trace,
+        detection_delay=spec.crash_detection_delay,
+        obs=obs,
     )
+    env, network, runtime = harness.env, harness.network, harness.runtime
+    trace = harness.trace
 
     injector = EventInjector(env, network, list(spec.events))
     injector.add_listener(_CrashBridge(runtime))
@@ -164,6 +165,11 @@ def run_scenario(
     guard = env.timeout(spec.max_sim_time)
     env.run(until=AnyOf(env, [proc, guard]))
     completed = proc.triggered
+
+    if harness.obs.is_enabled:
+        harness.capture_engine_metrics()
+        harness.obs.metrics.gauge("run_completed").set(1.0 if completed else 0.0)
+        harness.obs.metrics.gauge("final_workers").set(runtime.size)
 
     iteration_series = trace.series("iteration_duration")
     time_by_category: dict[str, float] = {}

@@ -1,0 +1,93 @@
+"""repro.obs — the telemetry subsystem.
+
+One subscription-based observability layer for the whole stack:
+
+* :class:`MetricsRegistry` — counters / gauges / histograms keyed by
+  ``(name, labels)``, with cheap no-op instruments when disabled;
+* :class:`TraceBus` + the typed events in :mod:`repro.obs.events` — an
+  ordered, deterministic stream of everything adaptation-relevant that
+  happens during a run;
+* the sinks in :mod:`repro.obs.sinks` — JSONL / CSV persistence.
+
+The :class:`Observability` bundle ties a registry and a bus together and
+is what gets threaded through the runtime: every layer reaches telemetry
+through ``runtime.obs``. The default is :meth:`Observability.disabled`,
+so un-instrumented use (unit tests, library embedding) pays only no-op
+calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .bus import TraceBus
+from .events import (
+    EVENT_KINDS,
+    CoordinatorDecision,
+    Crash,
+    MonitoringPeriod,
+    NodeAdd,
+    NodeRemove,
+    RecoveryRestart,
+    StealAttempt,
+    TraceEvent,
+    WaeSample,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .sinks import CsvSink, JsonlSink, write_events
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TraceBus",
+    "TraceEvent",
+    "StealAttempt",
+    "WaeSample",
+    "NodeAdd",
+    "NodeRemove",
+    "Crash",
+    "RecoveryRestart",
+    "MonitoringPeriod",
+    "CoordinatorDecision",
+    "EVENT_KINDS",
+    "JsonlSink",
+    "CsvSink",
+    "write_events",
+]
+
+
+@dataclass
+class Observability:
+    """A run's telemetry handles: one metrics registry + one trace bus."""
+
+    metrics: MetricsRegistry
+    bus: TraceBus
+
+    @classmethod
+    def enabled(cls, kinds: Optional[Iterable[str]] = None) -> "Observability":
+        """Full telemetry; ``kinds`` optionally filters the event stream."""
+        return cls(metrics=MetricsRegistry(enabled=True),
+                   bus=TraceBus(enabled=True, kinds=kinds))
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """No-op telemetry: instruments and emissions cost ~nothing."""
+        return cls(metrics=MetricsRegistry(enabled=False),
+                   bus=TraceBus(enabled=False))
+
+    @property
+    def is_enabled(self) -> bool:
+        return self.metrics.enabled or self.bus.enabled
+
+    def capture_engine(self, env) -> None:
+        """Record the simulation engine's event-loop statistics.
+
+        ``env`` is a :class:`repro.simgrid.engine.Environment` (duck-typed
+        here to keep :mod:`repro.obs` free of upward dependencies).
+        """
+        for name, value in env.stats().items():
+            self.metrics.gauge(f"engine_{name}").set(value)

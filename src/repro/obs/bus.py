@@ -1,0 +1,100 @@
+"""The trace bus: one ordered stream of typed events per run.
+
+Instrumented code emits :class:`~repro.obs.events.TraceEvent` instances;
+the bus stamps each with a sequence number, keeps the ordered in-memory
+stream, and fans events out to subscribers (sinks). Because the
+simulation is single-threaded and deterministic, the stream is *bitwise
+reproducible*: the same scenario, variant and seed yield the same event
+sequence — which is what makes traces diffable across code changes.
+
+Hot call sites guard construction with :meth:`TraceBus.wants` so a
+disabled bus (or one filtered to other kinds) costs one method call and
+no allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from .events import EVENT_KINDS, TraceEvent
+
+__all__ = ["TraceBus"]
+
+
+class TraceBus:
+    """Ordered, subscribable stream of trace events."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        kinds: Optional[Iterable[str]] = None,
+        keep: bool = True,
+    ) -> None:
+        """
+        ``kinds`` restricts the bus to a subset of event kinds (None =
+        everything); ``keep=False`` disables the in-memory stream for
+        sink-only usage (long runs streaming straight to disk).
+        """
+        self.enabled = enabled
+        self._kinds: Optional[frozenset[str]] = None
+        if kinds is not None:
+            kinds = frozenset(kinds)
+            unknown = kinds - set(EVENT_KINDS)
+            if unknown:
+                raise ValueError(
+                    f"unknown event kinds {sorted(unknown)}; "
+                    f"choose from {list(EVENT_KINDS)}"
+                )
+            self._kinds = kinds
+        self._keep = keep
+        self._events: list[TraceEvent] = []
+        self._subscribers: list[Callable[[TraceEvent], None]] = []
+        self._seq = 0
+
+    # -- emission ----------------------------------------------------------
+    def wants(self, kind: str) -> bool:
+        """Whether an event of ``kind`` would be accepted (guard for hot
+        call sites: skip constructing the event when False)."""
+        return self.enabled and (self._kinds is None or kind in self._kinds)
+
+    def emit(self, event: TraceEvent) -> None:
+        """Stamp ``event`` with the next sequence number and publish it."""
+        if not self.wants(event.kind):
+            return
+        event.seq = self._seq
+        self._seq += 1
+        if self._keep:
+            self._events.append(event)
+        for fn in self._subscribers:
+            fn(event)
+
+    # -- subscription ------------------------------------------------------
+    def subscribe(self, fn: Callable[[TraceEvent], None]) -> None:
+        """``fn(event)`` is called synchronously on every accepted event."""
+        self._subscribers.append(fn)
+
+    def unsubscribe(self, fn: Callable[[TraceEvent], None]) -> None:
+        if fn in self._subscribers:
+            self._subscribers.remove(fn)
+
+    # -- the stream --------------------------------------------------------
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The in-memory stream, in emission order."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def by_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def counts(self) -> dict[str, int]:
+        """Events per kind, keyed in taxonomy order (absent kinds omitted)."""
+        raw: dict[str, int] = {}
+        for e in self._events:
+            raw[e.kind] = raw.get(e.kind, 0) + 1
+        return {k: raw[k] for k in EVENT_KINDS if k in raw}
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -1,0 +1,168 @@
+"""Typed trace events: the observable vocabulary of a run.
+
+Every adaptation-relevant occurrence in the simulated system is described
+by one of the event classes below. Events are plain dataclasses — they
+carry the *simulated* timestamp of the occurrence plus a small typed
+payload, and know how to render themselves as a flat JSON-safe dict.
+The sequence number is stamped by the :class:`~repro.obs.bus.TraceBus`
+at emission, giving a total order even among same-time events.
+
+The taxonomy follows the paper's measurement model: steal traffic and
+monitoring rollovers come from the Satin runtime layer, membership
+changes and crash recovery from the malleability/fault layer, WAE
+samples and decisions from the adaptation coordinator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar
+
+__all__ = [
+    "TraceEvent",
+    "StealAttempt",
+    "WaeSample",
+    "NodeAdd",
+    "NodeRemove",
+    "Crash",
+    "RecoveryRestart",
+    "MonitoringPeriod",
+    "CoordinatorDecision",
+    "EVENT_KINDS",
+]
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """Base: a timestamped occurrence; subclasses add typed payloads."""
+
+    kind: ClassVar[str] = "event"
+
+    #: simulated time of the occurrence (seconds)
+    time: float
+    #: emission order, stamped by the bus (-1 until emitted)
+    seq: int = field(init=False, default=-1)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-safe representation (tuples become lists)."""
+        out: dict[str, Any] = {"seq": self.seq, "time": self.time, "kind": self.kind}
+        for f in fields(self):
+            if f.name in ("time", "seq"):
+                continue
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+
+@dataclass(slots=True)
+class StealAttempt(TraceEvent):
+    """One steal attempt completed (timestamped at protocol end)."""
+
+    kind: ClassVar[str] = "steal_attempt"
+
+    thief: str
+    victim: str
+    #: "sync" (blocking, RS or CRS-local) or "async" (CRS wide-area helper)
+    mode: str
+    #: "intra" or "inter" — victim's cluster relative to the thief's
+    scope: str
+    success: bool
+
+
+@dataclass(slots=True)
+class WaeSample(TraceEvent):
+    """The coordinator computed the weighted average efficiency."""
+
+    kind: ClassVar[str] = "wae_sample"
+
+    wae: float
+    #: number of nodes contributing reports to this sample
+    nodes: int
+    #: max − min per-node WAE component: how unevenly the grid performs
+    spread: float
+
+
+@dataclass(slots=True)
+class NodeAdd(TraceEvent):
+    """A node joined the computation (initial set or malleability add)."""
+
+    kind: ClassVar[str] = "node_add"
+
+    node: str
+    cluster: str
+    nworkers: int
+
+
+@dataclass(slots=True)
+class NodeRemove(TraceEvent):
+    """A node finished leaving the computation."""
+
+    kind: ClassVar[str] = "node_remove"
+
+    node: str
+    #: "leave" (graceful, work handed off) or "crash" (work lost)
+    cause: str
+    nworkers: int
+
+
+@dataclass(slots=True)
+class Crash(TraceEvent):
+    """A participating node's host died (before detection)."""
+
+    kind: ClassVar[str] = "crash"
+
+    node: str
+
+
+@dataclass(slots=True)
+class RecoveryRestart(TraceEvent):
+    """Crash recovery re-queued one displaced frame for re-execution."""
+
+    kind: ClassVar[str] = "recovery_restart"
+
+    #: the crashed node the frame was recovered from
+    crashed: str
+    frame: int
+    #: the live worker the frame was re-queued at
+    target: str
+
+
+@dataclass(slots=True)
+class MonitoringPeriod(TraceEvent):
+    """A worker closed a monitoring period and reported its statistics."""
+
+    kind: ClassVar[str] = "monitoring_period"
+
+    worker: str
+    cluster: str
+    speed: float
+    overhead: float
+    ic_overhead: float
+
+
+@dataclass(slots=True)
+class CoordinatorDecision(TraceEvent):
+    """The adaptation coordinator took (or declined) a decision."""
+
+    kind: ClassVar[str] = "coordinator_decision"
+
+    #: "no_action", "add_nodes", "remove_nodes", "remove_cluster", ...
+    decision: str
+    wae: float
+    reason: str
+    count: int = 0
+    nodes: tuple[str, ...] = ()
+    cluster: str = ""
+
+
+#: all event kinds, in taxonomy order
+EVENT_KINDS: tuple[str, ...] = (
+    StealAttempt.kind,
+    WaeSample.kind,
+    NodeAdd.kind,
+    NodeRemove.kind,
+    Crash.kind,
+    RecoveryRestart.kind,
+    MonitoringPeriod.kind,
+    CoordinatorDecision.kind,
+)

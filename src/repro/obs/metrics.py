@@ -1,0 +1,240 @@
+"""Metrics: counters, gauges, and histograms keyed by (name, labels).
+
+The registry hands out *bound instruments*: a call site asks once for
+``registry.counter("steals_attempted", worker="c0/n1")`` and then calls
+``inc()`` on the returned object in its hot path. When the registry is
+disabled every factory returns a shared no-op instrument, so instrumented
+code pays one attribute lookup and an empty method call — no branching,
+no dict access, no allocation.
+
+Instruments are cached: asking twice for the same ``(name, labels)`` key
+returns the same object, so counts accumulate across call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: label key → value pairs, sorted, as a hashable identity
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def summary(self) -> dict[str, float]:
+        return {"value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down (set to the latest observation)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def summary(self) -> dict[str, float]:
+        return {"value": self._value}
+
+
+class Histogram:
+    """Distribution of observed values with exact percentiles.
+
+    Observations are kept raw (simulation runs produce at most a few
+    hundred thousand samples per instrument); percentiles are computed on
+    demand by linear interpolation over the sorted sample.
+    """
+
+    __slots__ = ("name", "labels", "_values")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return float(np.sum(self._values)) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (p in [0, 100]) of the observations."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p!r}")
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        return float(np.percentile(self._values, p))
+
+    def summary(self) -> dict[str, float]:
+        if not self._values:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": float(np.min(self._values)),
+            "max": float(np.max(self._values)),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class _NullInstrument:
+    """Shared no-op stand-in returned by a disabled registry."""
+
+    __slots__ = ()
+    name = ""
+    labels: LabelKey = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, p: float) -> float:
+        raise ValueError("disabled registry records no observations")
+
+    def summary(self) -> dict[str, float]:
+        return {}
+
+
+_NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Factory and store for all instruments of one run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: dict[tuple[str, LabelKey], Any] = {}
+
+    # -- factories ---------------------------------------------------------
+    def _get(self, cls: type, name: str, labels: dict[str, Any]) -> Any:
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1])
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        return self._get(Histogram, name, labels)
+
+    # -- inspection --------------------------------------------------------
+    def __iter__(self) -> Iterator[Any]:
+        """Instruments in deterministic (name, labels) order."""
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> list[str]:
+        return sorted({name for name, _ in self._instruments})
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Shortcut: the current value of a counter or gauge (0 if absent)."""
+        instrument = self._instruments.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0.0
+
+    def total(self, name: str) -> float:
+        """Sum of a counter's value across all label sets."""
+        return sum(
+            inst.value
+            for (n, _), inst in self._instruments.items()
+            if n == name and isinstance(inst, Counter)
+        )
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """Flat, deterministic dump: one row per instrument.
+
+        Each row has ``name``, ``type``, ``labels`` (a ``k=v`` string) and
+        the instrument's summary statistics. This is what ``repro metrics``
+        prints and what the CSV export writes.
+        """
+        rows = []
+        for instrument in self:
+            rows.append(
+                {
+                    "name": instrument.name,
+                    "type": type(instrument).__name__.lower(),
+                    "labels": ",".join(f"{k}={v}" for k, v in instrument.labels),
+                    **instrument.summary(),
+                }
+            )
+        return rows

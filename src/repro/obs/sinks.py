@@ -1,0 +1,108 @@
+"""Sinks: persist a trace-event stream as JSONL or CSV.
+
+A sink is just a subscriber with a ``close()``; attach one to a
+:class:`~repro.obs.bus.TraceBus` with ``bus.subscribe(sink.write)`` to
+stream during the run, or dump a finished stream with
+:func:`write_events`.
+
+* **JSONL** — one ``json.dumps`` of the event's flat dict per line, keys
+  sorted. The natural format for heterogeneous events; diffable because
+  the stream is deterministic.
+* **CSV** — one row per event over the *union* of all field names seen
+  (sorted), empty cells where an event kind lacks a field. CSV is
+  buffered and written on ``close()`` since the header cannot be known
+  until the stream ends.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import IO, Any, Iterable, Optional, Union
+
+from .events import TraceEvent
+
+__all__ = ["JsonlSink", "CsvSink", "write_events"]
+
+
+class _FileOwner:
+    """Shared open/close logic over a path or an already-open stream."""
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        if isinstance(target, (str, Path)):
+            self._fh: IO[str] = open(target, "w", encoding="utf-8", newline="")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+
+    def _close_file(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+
+class JsonlSink(_FileOwner):
+    """Write each event as one sorted-key JSON line."""
+
+    def write(self, event: TraceEvent) -> None:
+        self._fh.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        self._close_file()
+
+
+class CsvSink(_FileOwner):
+    """Write the stream as one CSV table over the union of event fields."""
+
+    #: columns that always lead, in this order
+    _LEADING = ("seq", "time", "kind")
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        super().__init__(target)
+        self._rows: list[dict[str, Any]] = []
+
+    def write(self, event: TraceEvent) -> None:
+        row = event.to_dict()
+        for key, value in row.items():
+            if isinstance(value, list):
+                row[key] = ";".join(str(v) for v in value)
+        self._rows.append(row)
+
+    def close(self) -> None:
+        extra = sorted(
+            {key for row in self._rows for key in row} - set(self._LEADING)
+        )
+        writer = csv.DictWriter(
+            self._fh, fieldnames=[*self._LEADING, *extra], restval=""
+        )
+        writer.writeheader()
+        writer.writerows(self._rows)
+        self._close_file()
+
+
+def write_events(
+    events: Iterable[TraceEvent],
+    target: Union[str, Path, IO[str]],
+    fmt: Optional[str] = None,
+) -> int:
+    """Dump ``events`` to ``target``; returns the number written.
+
+    ``fmt`` is "jsonl" or "csv"; when None it is inferred from the
+    target's file extension (defaulting to jsonl).
+    """
+    if fmt is None:
+        suffix = Path(target).suffix if isinstance(target, (str, Path)) else ""
+        fmt = "csv" if suffix == ".csv" else "jsonl"
+    if fmt not in ("jsonl", "csv"):
+        raise ValueError(f"format must be 'jsonl' or 'csv', got {fmt!r}")
+    sink = JsonlSink(target) if fmt == "jsonl" else CsvSink(target)
+    n = 0
+    try:
+        for event in events:
+            sink.write(event)
+            n += 1
+    finally:
+        sink.close()
+    return n

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from ..obs import RecoveryRestart
 from .task import Frame, FrameState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -56,10 +57,12 @@ class RecoveryManager:
 
         Only frames whose delivery target differs from their location need
         tracking; for others the call is a no-op (their loss is covered by
-        the re-execution of a tracked ancestor).
+        the re-execution of a tracked ancestor). Stale frames — orphans of
+        a superseded execution attempt — are never tracked: their results
+        will be dropped on delivery, so their loss needs no recovery.
         """
         target = frame.parent.owner if frame.parent is not None else None
-        if target == location:
+        if target == location or self.is_stale(frame):
             self._tracked.pop(frame.id, None)
             return
         self._tracked[frame.id] = (frame, location)
@@ -77,6 +80,23 @@ class RecoveryManager:
 
     # -- stale-result detection -----------------------------------------------
     @staticmethod
+    def is_stale(frame: Frame) -> bool:
+        """Whether ``frame`` belongs to a superseded execution attempt.
+
+        A crash restart bumps the attempt epoch of the restarted frame, so
+        every frame spawned under the *old* attempt — at any depth — has an
+        ancestor link whose recorded epoch no longer matches. Such orphans
+        may keep executing (pure re-execution discards their results), but
+        they need no fault-recovery bookkeeping.
+        """
+        cur = frame
+        while cur.parent is not None:
+            if cur.parent_epoch != cur.parent.attempts:
+                return True
+            cur = cur.parent
+        return False
+
+    @staticmethod
     def delivery_valid(frame: Frame) -> bool:
         """Whether a completed frame's result may be applied to its parent."""
         parent = frame.parent
@@ -90,6 +110,17 @@ class RecoveryManager:
 
     def note_dropped(self) -> None:
         self.dropped_stale += 1
+        self._runtime.obs.metrics.counter("stale_results_dropped").inc()
+
+    def _note_restart(self, crashed: str, frame: Frame, target: str) -> None:
+        self.recovered += 1
+        obs = self._runtime.obs
+        obs.metrics.counter("frames_recovered").inc()
+        if obs.bus.wants(RecoveryRestart.kind):
+            obs.bus.emit(RecoveryRestart(
+                time=self._runtime.env.now, crashed=crashed,
+                frame=frame.id, target=target,
+            ))
 
     # -- crash recovery -----------------------------------------------------
     def recover_from_crash(self, crashed: str) -> list[Frame]:
@@ -115,7 +146,7 @@ class RecoveryManager:
                 frame.reset_for_retry()
                 runtime.place_frame(frame, target)
                 requeued.append(frame)
-                self.recovered += 1
+                self._note_restart(crashed, frame, target)
                 continue
             dest = parent.owner
             if (
@@ -129,7 +160,22 @@ class RecoveryManager:
                 frame.reset_for_retry()
                 runtime.place_frame(frame, dest)
                 requeued.append(frame)
-                self.recovered += 1
+                self._note_restart(crashed, frame, dest)
             # else: the delivery target is itself gone or restarted; the
             # frame is regenerated by an ancestor's re-execution.
+        self.purge_stale()
         return requeued
+
+    def purge_stale(self) -> int:
+        """Drop tracked frames orphaned by the restarts just performed.
+
+        Restarting a frame bumps its attempt epoch, which turns every
+        tracked descendant of the old attempt into an orphan; returns the
+        number of entries dropped.
+        """
+        stale = [
+            fid for fid, (frame, _) in self._tracked.items() if self.is_stale(frame)
+        ]
+        for fid in stale:
+            del self._tracked[fid]
+        return len(stale)

@@ -24,6 +24,7 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from ..obs import Crash, NodeAdd, NodeRemove, Observability
 from ..registry.registry import Registry
 from ..simgrid.engine import Environment, Event, SimulationError
 from ..simgrid.network import Network
@@ -66,6 +67,7 @@ class SatinRuntime:
         trace: Optional[Trace] = None,
         policy: Optional[StealPolicy] = None,
         handoff: Optional[HandoffStrategy] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.env = env
         self.network = network
@@ -73,6 +75,9 @@ class SatinRuntime:
         self.config = config
         self.rng = rng
         self.trace = trace if trace is not None else Trace()
+        #: telemetry handles shared by every layer of this run; disabled
+        #: by default so un-instrumented use pays only no-op calls.
+        self.obs = obs if obs is not None else Observability.disabled()
         self.policy = policy if policy is not None else ClusterAwareRandomStealing()
         self.handoff_strategy = handoff if handoff is not None else DefaultHandoff()
 
@@ -106,6 +111,17 @@ class SatinRuntime:
         existing = self._workers.get(node_name)
         if existing is not None and existing.alive:
             raise SimulationError(f"node {node_name!r} already participates")
+        if (
+            existing is not None
+            and existing.leaving
+            and self.registry.is_member(node_name)
+        ):
+            # The previous incarnation's graceful departure is still in
+            # flight (its hand-off transfers take simulated time). Finalize
+            # its membership now so the node can rejoin; the old worker
+            # object keeps draining its frames and is recognised as
+            # superseded when it finally reports its departure.
+            self.registry.leave(node_name)
         worker = Worker(
             runtime=self,
             host=host,
@@ -114,13 +130,20 @@ class SatinRuntime:
             rng=self.rng.stream(f"worker/{node_name}"),
         )
         self._workers[node_name] = worker
-        self._alive.append(node_name)
+        if node_name not in self._alive:
+            self._alive.append(node_name)
         self._waiting.setdefault(node_name, set())
         if self.master is None:
             self.master = node_name
         self.registry.join(node_name, host.cluster)
         worker.start()
         self.trace.record("nworkers", self.env.now, len(self._alive))
+        self.obs.metrics.counter("nodes_added", cluster=host.cluster).inc()
+        if self.obs.bus.wants(NodeAdd.kind):
+            self.obs.bus.emit(NodeAdd(
+                time=self.env.now, node=node_name, cluster=host.cluster,
+                nworkers=len(self._alive),
+            ))
         return worker
 
     def add_nodes(self, node_names: Sequence[str]) -> list[Worker]:
@@ -143,20 +166,37 @@ class SatinRuntime:
             worker.interrupt_helpers()
             if worker.process is not None and worker.process.is_alive:
                 worker.process.interrupt("crash")
+            self.obs.metrics.counter("nodes_crashed", cluster=worker.cluster).inc()
+            if self.obs.bus.wants(Crash.kind):
+                self.obs.bus.emit(Crash(time=self.env.now, node=node_name))
         self.registry.report_crash(node_name)
 
     def worker_departed(self, worker: Worker, cause: str) -> None:
         """Called by the worker at the end of its departure handling."""
         name = worker.name
+        self._departed_workers.append(worker)
+        if self._workers.get(name) is not worker:
+            # A newer incarnation of this node joined while our graceful
+            # departure was in flight: membership, the waiting set, and the
+            # _alive entry now belong to it — only retire this worker object.
+            return
         if name in self._alive:
             self._alive.remove(name)
-        self._departed_workers.append(worker)
         if cause == "leave":
             # Re-home frames divided at the leaver that still wait for
             # children: their combine must run somewhere alive, and child
             # results must find them. (Frame state is small — no transfer.)
-            for frame in list(self._waiting.get(name, ())):
+            # Sorted by frame id: Frame uses identity hashing, so bare set
+            # iteration order would depend on memory addresses and make
+            # re-homing (and every RNG draw after it) non-deterministic.
+            for frame in sorted(self._waiting.get(name, ()), key=lambda f: f.id):
                 self._waiting[name].discard(frame)
+                if self.recovery.is_stale(frame):
+                    # An orphan of a superseded attempt: its combine result
+                    # would be dropped anyway, so let it die with the leaver
+                    # instead of carrying its bookkeeping forward.
+                    self.recovery.untrack(frame)
+                    continue
                 target = self.choose_handoff_target(frame, exclude={name})
                 if target is None:
                     raise SimulationError("no live workers left to re-home frames")
@@ -165,6 +205,12 @@ class SatinRuntime:
                 self.recovery.track(frame, target)
             self.registry.leave(name)
         self.trace.record("nworkers", self.env.now, len(self._alive))
+        self.obs.metrics.counter("nodes_removed", cause=cause).inc()
+        if self.obs.bus.wants(NodeRemove.kind):
+            self.obs.bus.emit(NodeRemove(
+                time=self.env.now, node=name, cause=cause,
+                nworkers=len(self._alive),
+            ))
 
     # registry listener ------------------------------------------------------
     def on_crash(self, member: str) -> None:

@@ -58,6 +58,13 @@ class StealPolicy:
     #: whether wide-area steals are issued asynchronously (CRS) or the
     #: thief blocks on every attempt (RS).
     wide_area_async: bool = False
+    #: short policy identifier, used as a telemetry label and in trace
+    #: headers so a dumped event stream records which algorithm produced it.
+    name: str = "steal"
+
+    def describe(self) -> dict[str, object]:
+        """Telemetry metadata: which stealing algorithm is running."""
+        return {"policy": self.name, "wide_area_async": self.wide_area_async}
 
     def local_victim(
         self, me: str, peers: PeerDirectory, rng: np.random.Generator
@@ -76,6 +83,7 @@ class RandomStealing(StealPolicy):
     """Uniform random victim over *all* peers; every steal is synchronous."""
 
     wide_area_async = False
+    name = "rs"
 
     def local_victim(
         self, me: str, peers: PeerDirectory, rng: np.random.Generator
@@ -93,6 +101,7 @@ class ClusterAwareRandomStealing(StealPolicy):
     """CRS: synchronous intra-cluster steals + one async wide-area steal."""
 
     wide_area_async = True
+    name = "crs"
 
     def local_victim(
         self, me: str, peers: PeerDirectory, rng: np.random.Generator

@@ -36,6 +36,7 @@ from typing import Any, Generator, Optional, Protocol
 
 import numpy as np
 
+from ..obs import MonitoringPeriod, Observability, StealAttempt
 from ..simgrid.engine import AnyOf, Environment, Event, Interrupt
 from ..simgrid.network import Network
 from ..simgrid.resources import Host
@@ -91,6 +92,9 @@ class RuntimeServices(Protocol):
     env: Environment
     network: Network
     peers: PeerDirectory
+    #: telemetry bundle; minimal fakes may omit it (the worker falls back
+    #: to a disabled Observability).
+    obs: Observability
 
     def worker_alive(self, name: str) -> bool: ...
     def host(self, name: str) -> Host: ...
@@ -166,6 +170,26 @@ class Worker:
         self.executed_tasks = 0
         self.steals_attempted = 0
         self.steals_successful = 0
+
+        # Bound telemetry instruments (no-ops when telemetry is disabled);
+        # getattr keeps minimal RuntimeServices fakes in tests working.
+        self.obs: Observability = (
+            getattr(runtime, "obs", None) or Observability.disabled()
+        )
+        metrics = self.obs.metrics
+        self._m_steal_attempted = {
+            mode: metrics.counter("steals_attempted", worker=self.name, mode=mode)
+            for mode in ("sync", "async")
+        }
+        self._m_steal_successful = {
+            mode: metrics.counter("steals_successful", worker=self.name, mode=mode)
+            for mode in ("sync", "async")
+        }
+        self._h_steal_latency = {
+            mode: metrics.histogram("steal_latency_seconds", mode=mode)
+            for mode in ("sync", "async")
+        }
+        self._m_reports = metrics.counter("monitoring_reports", worker=self.name)
 
     # ------------------------------------------------------------------ api
     def start(self) -> None:
@@ -315,6 +339,21 @@ class Worker:
         peer_cluster = self.runtime.host(peer).cluster
         return "comm_intra" if peer_cluster == self.cluster else "comm_inter"
 
+    def _note_steal(
+        self, victim: str, mode: str, category: str, success: bool, latency: float
+    ) -> None:
+        self._m_steal_attempted[mode].inc()
+        if success:
+            self._m_steal_successful[mode].inc()
+        self._h_steal_latency[mode].observe(latency)
+        bus = self.obs.bus
+        if bus.wants(StealAttempt.kind):
+            bus.emit(StealAttempt(
+                time=self.env.now, thief=self.name, victim=victim, mode=mode,
+                scope="intra" if category == "comm_intra" else "inter",
+                success=success,
+            ))
+
     def _sync_steal(self, victim: str) -> Generator[Event, Any, bool]:
         """One synchronous steal attempt; True if a frame was obtained."""
         self.steals_attempted += 1
@@ -336,6 +375,7 @@ class Worker:
             raise
         finally:
             self.account.add(category, self.env.now - t0)
+        self._note_steal(victim, "sync", category, frame is not None, self.env.now - t0)
         if frame is None:
             return False
         self.steals_successful += 1
@@ -362,6 +402,7 @@ class Worker:
         net = self.runtime.network
         frame: Optional[Frame] = None
         delivered = False
+        t_start = self.env.now
         try:
             yield from net.transfer(self.name, victim, self.config.steal_request_bytes)
             frame = self.runtime.try_steal(victim, self.name)
@@ -391,6 +432,10 @@ class Worker:
             if frame is not None and not delivered:
                 self.runtime.return_stolen(frame, victim)
         finally:
+            self._note_steal(
+                victim, "async", self._comm_category(victim), delivered,
+                self.env.now - t_start,
+            )
             self._remote_outstanding = False
             proc = self.env.active_process
             if proc in self._helper_procs:
@@ -409,6 +454,14 @@ class Worker:
         report = self.account.rollover(
             now, worker=self.name, cluster=self.cluster, speed=self.reported_speed
         )
+        self._m_reports.inc()
+        bus = self.obs.bus
+        if bus.wants(MonitoringPeriod.kind):
+            bus.emit(MonitoringPeriod(
+                time=now, worker=self.name, cluster=self.cluster,
+                speed=report.speed, overhead=report.overhead,
+                ic_overhead=report.ic_overhead,
+            ))
         self.runtime.report_stats(self, report)
 
     def _run_benchmark(self) -> Generator[Event, Any, None]:

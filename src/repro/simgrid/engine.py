@@ -375,6 +375,7 @@ class Environment:
         self._seq = count()
         self._active: Optional[Process] = None
         self._event_count = 0
+        self._max_queue_len = 0
 
     # -- clock -----------------------------------------------------------
     @property
@@ -391,6 +392,20 @@ class Environment:
     def event_count(self) -> int:
         """Total number of events processed so far (for perf accounting)."""
         return self._event_count
+
+    @property
+    def max_queue_len(self) -> int:
+        """High-water mark of the event queue (scheduling pressure)."""
+        return self._max_queue_len
+
+    def stats(self) -> dict[str, float]:
+        """Event-loop statistics, captured by the telemetry layer."""
+        return {
+            "events_processed": float(self._event_count),
+            "queue_len": float(len(self._queue)),
+            "max_queue_len": float(self._max_queue_len),
+            "sim_time": self._now,
+        }
 
     # -- event factories ---------------------------------------------------
     def event(self) -> Event:
@@ -416,6 +431,8 @@ class Environment:
         heapq.heappush(
             self._queue, (self._now + delay, priority, next(self._seq), event)
         )
+        if len(self._queue) > self._max_queue_len:
+            self._max_queue_len = len(self._queue)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

@@ -1,45 +1,19 @@
-"""Shared fixtures: miniature grids wired to a Satin runtime."""
+"""Shared fixtures: miniature grids wired to a Satin runtime.
 
-from dataclasses import dataclass, field
+Construction lives in :mod:`repro.harness` (the one constructor shared
+with the experiment runner); this module only keeps the historical
+``make_grid`` / ``make_harness`` signatures as thin shims so existing
+tests read unchanged.
+"""
 
 import pytest
 
-from repro.registry import Registry
-from repro.satin import SatinRuntime, WorkerConfig
-from repro.simgrid import Environment, Network, RngStreams
-from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+from repro.harness import Harness, build_grid
 
 
 def make_grid(cluster_sizes, speeds=None, **link_kw):
-    """GridSpec with clusters c0, c1, ... of the given sizes.
-
-    ``speeds`` optionally maps cluster index -> node speed (default 1.0).
-    """
-    speeds = speeds or {}
-    clusters = []
-    for ci, size in enumerate(cluster_sizes):
-        name = f"c{ci}"
-        nodes = tuple(
-            NodeSpec(f"{name}/n{i}", name, base_speed=speeds.get(ci, 1.0))
-            for i in range(size)
-        )
-        clusters.append(ClusterSpec(name=name, nodes=nodes, **link_kw))
-    return GridSpec(clusters=tuple(clusters))
-
-
-@dataclass
-class Harness:
-    """Everything a satin-level test needs, pre-wired."""
-
-    env: Environment
-    grid: GridSpec
-    network: Network
-    registry: Registry
-    runtime: SatinRuntime
-    rng: RngStreams
-
-    def all_node_names(self):
-        return [n.name for n in self.grid.iter_nodes()]
+    """Deprecated shim: use :func:`repro.harness.build_grid`."""
+    return build_grid(cluster_sizes, speeds, **link_kw)
 
 
 def make_harness(
@@ -51,20 +25,14 @@ def make_harness(
     detection_delay=1.0,
     **link_kw,
 ) -> Harness:
-    env = Environment()
-    grid = make_grid(cluster_sizes, speeds, **link_kw)
-    network = Network(env, grid)
-    registry = Registry(env, detection_delay=detection_delay)
-    rng = RngStreams(seed)
-    runtime = SatinRuntime(
-        env=env,
-        network=network,
-        registry=registry,
-        config=config if config is not None else WorkerConfig(),
-        rng=rng,
+    """Deprecated shim: use :meth:`repro.harness.Harness.build`."""
+    return Harness.build(
+        build_grid(cluster_sizes, speeds, **link_kw),
+        seed=seed,
+        config=config,
         policy=policy,
+        detection_delay=detection_delay,
     )
-    return Harness(env, grid, network, registry, runtime, rng)
 
 
 @pytest.fixture

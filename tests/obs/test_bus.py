@@ -1,0 +1,161 @@
+"""Unit tests for the trace bus and its sinks: ordering, filtering,
+determinism of a seeded run's event stream, and sink round-trips."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.apps.dctree import balanced_tree
+from repro.harness import Harness, build_grid
+from repro.obs import (
+    EVENT_KINDS,
+    CsvSink,
+    JsonlSink,
+    NodeAdd,
+    Observability,
+    StealAttempt,
+    TraceBus,
+    WaeSample,
+    write_events,
+)
+
+
+def _add(t, node="c0/n0", n=1):
+    return NodeAdd(time=t, node=node, cluster="c0", nworkers=n)
+
+
+# -- ordering and stamping --------------------------------------------------
+def test_emit_stamps_consecutive_seq():
+    bus = TraceBus()
+    for t in (0.0, 1.5, 1.5, 3.0):
+        bus.emit(_add(t))
+    assert [e.seq for e in bus.events] == [0, 1, 2, 3]
+    assert [e.time for e in bus.events] == [0.0, 1.5, 1.5, 3.0]
+    assert len(bus) == 4
+    assert bus.counts() == {"node_add": 4}
+
+
+def test_counts_follow_taxonomy_order():
+    bus = TraceBus()
+    bus.emit(WaeSample(time=1.0, wae=0.4, nodes=2, spread=0.1))
+    bus.emit(_add(2.0))
+    assert list(bus.counts()) == ["wae_sample", "node_add"]
+    assert list(bus.counts()) == [
+        k for k in EVENT_KINDS if k in ("node_add", "wae_sample")
+    ]
+
+
+# -- filtering --------------------------------------------------------------
+def test_kinds_filter_drops_other_events():
+    bus = TraceBus(kinds=["node_add"])
+    assert bus.wants("node_add")
+    assert not bus.wants("steal_attempt")
+    bus.emit(_add(1.0))
+    bus.emit(StealAttempt(time=2.0, thief="a", victim="b", mode="sync",
+                          scope="intra", success=True))
+    assert bus.counts() == {"node_add": 1}
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown event kinds"):
+        TraceBus(kinds=["node_add", "bogus"])
+
+
+def test_disabled_bus_accepts_nothing():
+    bus = TraceBus(enabled=False)
+    bus.emit(_add(1.0))
+    assert not bus.wants("node_add")
+    assert len(bus) == 0
+
+
+def test_keep_false_streams_to_subscribers_only():
+    bus = TraceBus(keep=False)
+    seen = []
+    bus.subscribe(seen.append)
+    bus.emit(_add(1.0))
+    bus.emit(_add(2.0))
+    assert len(bus) == 0
+    assert [e.seq for e in seen] == [0, 1]
+    bus.unsubscribe(seen.append)
+    bus.emit(_add(3.0))
+    assert len(seen) == 2
+
+
+# -- determinism ------------------------------------------------------------
+def _churny_run(seed: int) -> list[dict]:
+    """A small run with joins, steals and a graceful leave."""
+    h = Harness.build(build_grid((2, 2)), seed=seed,
+                      obs=Observability.enabled())
+    h.runtime.add_nodes(h.all_node_names())
+
+    def leaver(env):
+        yield env.timeout(2.0)
+        h.runtime.remove_node("c1/n1")
+
+    h.env.process(leaver(h.env))
+    done = h.runtime.submit_root(balanced_tree(depth=5, fanout=2, leaf_work=0.4))
+    h.env.run(until=done)
+    return [e.to_dict() for e in h.obs.bus.events]
+
+
+def test_same_seed_yields_identical_event_stream():
+    first = _churny_run(seed=7)
+    second = _churny_run(seed=7)
+    assert first == second
+    kinds = {e["kind"] for e in first}
+    assert {"node_add", "node_remove", "steal_attempt"} <= kinds
+
+
+# -- sinks ------------------------------------------------------------------
+def test_jsonl_sink_round_trip():
+    buf = io.StringIO()
+    events = [_add(1.0), WaeSample(time=2.0, wae=0.45, nodes=3, spread=0.2)]
+    bus = TraceBus()
+    for e in events:
+        bus.emit(e)
+    assert write_events(bus.events, buf, fmt="jsonl") == 2
+    lines = buf.getvalue().strip().splitlines()
+    parsed = [json.loads(line) for line in lines]
+    assert parsed == [e.to_dict() for e in bus.events]
+    assert parsed[1]["kind"] == "wae_sample"
+    assert parsed[1]["wae"] == 0.45
+
+
+def test_csv_sink_union_header():
+    buf = io.StringIO()
+    bus = TraceBus()
+    bus.emit(_add(1.0))
+    bus.emit(WaeSample(time=2.0, wae=0.45, nodes=3, spread=0.2))
+    sink = CsvSink(buf)
+    for e in bus.events:
+        sink.write(e)
+    sink.close()
+    rows = list(csv.DictReader(io.StringIO(buf.getvalue())))
+    header = rows[0].keys()
+    assert list(header)[:3] == ["seq", "time", "kind"]
+    assert {"node", "wae", "cluster", "spread"} <= set(header)
+    assert rows[0]["kind"] == "node_add" and rows[0]["wae"] == ""
+    assert rows[1]["kind"] == "wae_sample" and rows[1]["node"] == ""
+
+
+def test_write_events_infers_format_from_suffix(tmp_path):
+    bus = TraceBus()
+    bus.emit(_add(1.0))
+    jsonl = tmp_path / "trace.jsonl"
+    csvf = tmp_path / "trace.csv"
+    write_events(bus.events, jsonl)
+    write_events(bus.events, csvf)
+    assert json.loads(jsonl.read_text().strip())["kind"] == "node_add"
+    assert csvf.read_text().startswith("seq,time,kind")
+    with pytest.raises(ValueError):
+        write_events(bus.events, jsonl, fmt="xml")
+
+
+def test_sink_does_not_close_caller_stream():
+    buf = io.StringIO()
+    sink = JsonlSink(buf)
+    sink.write(_add(1.0))
+    sink.close()
+    assert not buf.closed

@@ -1,0 +1,116 @@
+"""Unit tests for the metrics registry: labels, caching, histograms."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+# -- label handling ---------------------------------------------------------
+def test_same_name_different_labels_are_distinct_instruments():
+    reg = MetricsRegistry()
+    a = reg.counter("steals", worker="c0/n0")
+    b = reg.counter("steals", worker="c0/n1")
+    assert a is not b
+    a.inc()
+    a.inc()
+    b.inc()
+    assert reg.value("steals", worker="c0/n0") == 2
+    assert reg.value("steals", worker="c0/n1") == 1
+    assert reg.total("steals") == 3
+
+
+def test_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    a = reg.counter("steals", worker="w", mode="sync")
+    b = reg.counter("steals", mode="sync", worker="w")
+    assert a is b
+
+
+def test_label_values_are_stringified():
+    reg = MetricsRegistry()
+    assert reg.counter("x", n=1) is reg.counter("x", n="1")
+
+
+def test_same_key_returns_cached_instrument_accumulating():
+    reg = MetricsRegistry()
+    reg.counter("hits").inc()
+    reg.counter("hits").inc(2.5)
+    assert reg.value("hits") == 3.5
+
+
+def test_type_mismatch_rejected():
+    reg = MetricsRegistry()
+    reg.counter("metric")
+    with pytest.raises(TypeError):
+        reg.gauge("metric")
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("c").inc(-1)
+
+
+def test_gauge_set_and_add():
+    g = MetricsRegistry().gauge("g")
+    g.set(5)
+    g.add(-2)
+    assert g.value == 3.0
+
+
+# -- disabled registry ------------------------------------------------------
+def test_disabled_registry_returns_shared_noop():
+    reg = MetricsRegistry(enabled=False)
+    c = reg.counter("steals", worker="w")
+    h = reg.histogram("lat")
+    assert c is h  # one shared null instrument
+    c.inc()
+    h.observe(1.0)
+    reg.gauge("g").set(9)
+    assert len(reg) == 0
+    assert reg.total("steals") == 0
+    assert reg.names() == []
+
+
+# -- histograms -------------------------------------------------------------
+def test_histogram_percentiles():
+    h = MetricsRegistry().histogram("latency")
+    for v in range(1, 101):  # 1..100
+        h.observe(float(v))
+    assert h.count == 100
+    assert h.sum == pytest.approx(5050.0)
+    assert h.percentile(0) == 1.0
+    assert h.percentile(100) == 100.0
+    assert h.percentile(50) == pytest.approx(50.5)
+    assert h.percentile(90) == pytest.approx(90.1)
+    summary = h.summary()
+    assert summary["min"] == 1.0 and summary["max"] == 100.0
+    assert summary["p50"] == pytest.approx(50.5)
+
+
+def test_histogram_percentile_validation():
+    h = MetricsRegistry().histogram("lat")
+    with pytest.raises(ValueError):
+        h.percentile(101)
+    with pytest.raises(ValueError):
+        h.percentile(50)  # empty histogram
+    assert h.summary() == {"count": 0, "sum": 0.0}
+
+
+# -- inspection -------------------------------------------------------------
+def test_iteration_and_rows_are_deterministic():
+    reg = MetricsRegistry()
+    reg.counter("z_metric").inc()
+    reg.counter("a_metric", worker="w2").inc()
+    reg.counter("a_metric", worker="w1").inc()
+    reg.histogram("lat").observe(2.0)
+    keys = [(i.name, i.labels) for i in reg]
+    assert keys == sorted(keys)
+    rows = reg.to_rows()
+    assert [r["name"] for r in rows] == ["a_metric", "a_metric", "lat", "z_metric"]
+    assert rows[0]["labels"] == "worker=w1"
+    assert rows[0]["type"] == "counter"
+    assert {"count", "sum", "p50"} <= set(rows[2])
+    assert isinstance(reg.counter("z_metric"), Counter)
+    assert isinstance(reg.gauge("g"), Gauge)
+    assert isinstance(reg.histogram("lat"), Histogram)

@@ -1,0 +1,129 @@
+"""Regression tests for recovery-manager bookkeeping around churn.
+
+The churn property test exposed three leaks that these pin down directly:
+
+* graceful leaves must not strand entries in the recovery manager's
+  tracked-frame table (the runtime once forgot to untrack frames handed
+  off by a leaver, so ``tracked_count`` grew without bound under churn);
+* frames orphaned by a crash restart (stale attempt epochs) must never
+  be tracked, and :meth:`purge_stale` must evict already-tracked ones;
+* a node rejoining while its previous incarnation's graceful departure
+  is still in flight must supersede it instead of raising.
+"""
+
+from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.satin import AppDriver
+from repro.satin.fault import RecoveryManager
+from repro.satin.task import Frame, TaskNode, tree_stats
+
+from ..conftest import make_harness
+
+
+def _run_with_churn(h, tree, churner, n_iter=1):
+    h.runtime.add_nodes(h.all_node_names())
+    app = SyntheticIterativeApp(tree, n_iterations=n_iter)
+    driver = AppDriver(h.runtime, app)
+    done = driver.start()
+    h.env.process(churner(h.env, h.runtime))
+    h.env.run(until=done)
+    return driver
+
+
+# -- graceful leave must untrack --------------------------------------------
+def test_graceful_leave_leaves_bookkeeping_clean():
+    h = make_harness(cluster_sizes=(2, 2))
+    tree = balanced_tree(depth=7, fanout=2, leaf_work=0.5)
+
+    def leaver(env, runtime):
+        yield env.timeout(5.0)
+        runtime.remove_node("c1/n0")
+        yield env.timeout(5.0)
+        runtime.remove_node("c0/n1")
+
+    _run_with_churn(h, tree, leaver)
+    assert h.runtime.total_executed_leaves() == tree_stats(tree).leaves
+    # every displaced frame completed and was untracked: nothing may
+    # remain in the recovery table once the application is done
+    assert h.runtime.recovery.tracked_count == 0
+
+
+def test_leave_and_rejoin_cycles_do_not_accumulate_tracking():
+    h = make_harness(cluster_sizes=(2, 2), detection_delay=0.5)
+    tree = balanced_tree(depth=7, fanout=2, leaf_work=0.4)
+
+    def churner(env, runtime):
+        for _ in range(3):
+            yield env.timeout(3.0)
+            runtime.remove_node("c1/n1")
+            yield env.timeout(3.0)
+            if not runtime.worker_alive("c1/n1"):
+                runtime.add_node("c1/n1")
+
+    _run_with_churn(h, tree, churner, n_iter=2)
+    assert h.runtime.recovery.tracked_count == 0
+
+
+# -- stale frames are never tracked -----------------------------------------
+class _FakeObsRuntime:
+    """Just enough runtime for a RecoveryManager unit test."""
+
+    def __init__(self):
+        from repro.obs import Observability
+
+        self.obs = Observability.disabled()
+
+
+def _parent_and_child():
+    parent = Frame(TaskNode(work=1.0, children=(TaskNode(work=1.0),)))
+    parent.owner = "a"
+    child = Frame(parent.node.children[0], parent=parent,
+                  parent_epoch=parent.attempts)
+    return parent, child
+
+
+def test_track_refuses_stale_frame():
+    manager = RecoveryManager(_FakeObsRuntime())
+    parent, child = _parent_and_child()
+    parent.reset_for_retry()  # bumps the epoch: child is now an orphan
+    assert manager.is_stale(child)
+    manager.track(child, "b")
+    assert manager.tracked_count == 0
+
+
+def test_purge_stale_evicts_orphans():
+    manager = RecoveryManager(_FakeObsRuntime())
+    parent, child = _parent_and_child()
+    manager.track(child, "b")
+    assert manager.tracked_count == 1
+    parent.reset_for_retry()
+    assert manager.purge_stale() == 1
+    assert manager.tracked_count == 0
+
+
+def test_track_releases_entry_when_frame_returns_home():
+    manager = RecoveryManager(_FakeObsRuntime())
+    parent, child = _parent_and_child()
+    manager.track(child, "b")
+    manager.track(child, "a")  # back at its delivery target
+    assert manager.tracked_count == 0
+
+
+# -- rejoin racing an in-flight departure -----------------------------------
+def test_rejoin_during_in_flight_departure_supersedes():
+    h = make_harness(cluster_sizes=(2, 2))
+    tree = balanced_tree(depth=7, fanout=2, leaf_work=0.5)
+
+    def churner(env, runtime):
+        yield env.timeout(5.0)
+        runtime.remove_node("c1/n0")
+        # one tick for the leave interrupt to land, then rejoin while the
+        # departure hand-off is still in flight: the new incarnation must
+        # supersede it (this used to raise "already a member")
+        yield env.timeout(0.1)
+        runtime.add_node("c1/n0")
+
+    _run_with_churn(h, tree, churner)
+    assert h.runtime.total_executed_leaves() == tree_stats(tree).leaves
+    assert h.registry.is_member("c1/n0")
+    assert h.runtime.worker_alive("c1/n0")
+    assert h.runtime.recovery.tracked_count == 0

@@ -78,8 +78,8 @@ def test_fig1_subset(tiny_scenario, capsys):
     assert "monitor" in out
 
 
-def test_unknown_scenario_raises(capsys):
-    with pytest.raises(KeyError):
+def test_unknown_scenario_exits_cleanly(capsys):
+    with pytest.raises(SystemExit, match="unknown scenario"):
         cli.main(["run", "nonsense"])
 
 
