@@ -1,0 +1,98 @@
+"""Micro-guard: disabled observability must cost (essentially) nothing.
+
+The profiling tier (spans + attribution ledger) is opt-in; the default
+run wires the shared no-op instruments. These benchmarks pin that
+contract from three sides: structurally (the no-op singletons really are
+installed and record nothing), behaviourally (instrumentation does not
+perturb the simulation), and at the per-call level (a disabled hook is a
+couple of attribute lookups, not hidden bookkeeping).
+"""
+
+import time
+
+from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.harness import Harness, build_grid
+from repro.obs.attribution import DISABLED_LEDGER, NULL_RECORDER
+from repro.obs.spans import NULL_SPAN_TRACKER
+from repro.satin.app import AppDriver
+
+
+def run_synthetic(profile: bool) -> Harness:
+    """A mid-size synthetic run (8 workers, ~500 tasks/iteration)."""
+    h = Harness.build(build_grid((4, 4)), seed=0, profile=profile)
+    h.runtime.add_nodes(h.all_node_names())
+    app = SyntheticIterativeApp(
+        balanced_tree(depth=7, fanout=2, leaf_work=0.5), n_iterations=2
+    )
+    driver = AppDriver(h.runtime, app)
+    h.env.run(until=driver.start())
+    return h
+
+
+def test_disabled_observability_is_structurally_inert():
+    h = run_synthetic(profile=False)
+    assert not h.obs.profiling_enabled
+    assert h.obs.attribution is DISABLED_LEDGER
+    assert h.obs.spans is NULL_SPAN_TRACKER
+    for name in h.runtime.alive_worker_names():
+        worker = h.runtime.worker(name)
+        assert worker._ledger is NULL_RECORDER
+        assert worker._spans is NULL_SPAN_TRACKER
+    # nothing was recorded anywhere
+    assert len(h.obs.bus) == 0
+    assert h.obs.attribution.rows() == []
+    assert h.obs.spans.spans == {}
+
+
+def test_profiling_does_not_perturb_the_simulation():
+    """Instrumentation observes; it must not change a single event."""
+    disabled = run_synthetic(profile=False)
+    profiled = run_synthetic(profile=True)
+    assert disabled.env.now == profiled.env.now
+    assert (
+        disabled.runtime.total_executed_leaves()
+        == profiled.runtime.total_executed_leaves()
+    )
+    profiled.obs.attribution.finalize(float(profiled.env.now))
+    assert profiled.obs.attribution.rows()  # and it did record
+    assert profiled.obs.spans.spans
+
+
+def test_noop_instruments_per_call_cost(benchmark):
+    """The disabled hooks are attribute lookups + truthiness tests."""
+    N = 100_000
+
+    def spin():
+        enter = NULL_RECORDER.enter
+        leave = NULL_RECORDER.exit
+        spans = NULL_SPAN_TRACKER
+        hits = 0
+        for _ in range(N):
+            enter("work", 0.0)
+            leave(1.0)
+            if spans.enabled:       # the guard workers use on hot paths
+                hits += 1
+        return hits
+
+    assert benchmark(spin) == 0
+    # generous cross-machine bound: well under 2 µs per hook pair
+    assert benchmark.stats.stats.mean / N < 2e-6
+
+
+def test_disabled_run_not_slower_than_profiled(benchmark):
+    """Run-level guard: the default path carries no hidden recording.
+
+    Without a pre-instrumentation binary to diff against, the sharpest
+    run-level statement is relative: a disabled run must not be slower
+    than the fully profiled run beyond benchmark noise (profiling does
+    strictly more work). A regression that makes the disabled path
+    record anyway collapses the gap from the other side and is caught by
+    the structural test above.
+    """
+    t0 = time.perf_counter()
+    run_synthetic(profile=True)
+    profiled_seconds = time.perf_counter() - t0
+
+    benchmark.pedantic(run_synthetic, args=(False,), rounds=3, iterations=1)
+    disabled_seconds = benchmark.stats.stats.min
+    assert disabled_seconds <= profiled_seconds * 1.25

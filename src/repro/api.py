@@ -21,8 +21,12 @@ from .core.policy import AdaptationPolicy, PolicyConfig
 from .experiments import (
     SCENARIOS,
     VARIANTS,
+    ProfileResult,
     RunResult,
     ScenarioSpec,
+    explain_decisions,
+    format_profile,
+    profile_scenario,
     run_scenario,
     scaled_das2,
     scenario,
@@ -30,11 +34,15 @@ from .experiments import (
 from .harness import Harness, build_grid
 from .obs import (
     EVENT_KINDS,
+    AttributionLedger,
     CsvSink,
     JsonlSink,
     MetricsRegistry,
     Observability,
+    SpanTracker,
     TraceBus,
+    critical_path,
+    read_events,
     write_events,
 )
 from .registry.registry import Registry
@@ -84,6 +92,14 @@ __all__ = [
     "VARIANTS",
     "RunResult",
     "ScenarioSpec",
+    # profiling
+    "ProfileResult",
+    "profile_scenario",
+    "format_profile",
+    "explain_decisions",
+    "SpanTracker",
+    "AttributionLedger",
+    "critical_path",
     # telemetry
     "Observability",
     "MetricsRegistry",
@@ -91,5 +107,6 @@ __all__ = [
     "JsonlSink",
     "CsvSink",
     "write_events",
+    "read_events",
     "EVENT_KINDS",
 ]

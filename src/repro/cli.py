@@ -9,6 +9,7 @@ Usage (after installing the package)::
     python -m repro run s3 --json out.json
     python -m repro trace s4 --variant adapt --out s4.jsonl
     python -m repro metrics s1
+    python -m repro profile s4 --explain-decisions
 
 ``run`` executes one scenario under one variant and prints the run
 summary (plus the full measurement record as JSON if requested);
@@ -16,7 +17,9 @@ summary (plus the full measurement record as JSON if requested);
 paper-figure iteration series; ``fig1`` assembles the runtime table
 across scenarios and variants; ``trace`` dumps a run's full adaptation
 timeline as typed events (JSONL/CSV); ``metrics`` prints a run's
-counters, gauges and histogram summaries.
+counters, gauges and histogram summaries; ``profile`` runs with the
+full profiling tier and prints the per-node/per-period attribution
+table, the critical path, and (on request) per-decision explanations.
 """
 
 from __future__ import annotations
@@ -32,7 +35,10 @@ from .experiments import (
     RunResult,
     format_fig1,
     format_iteration_series,
+    format_profile,
+    format_time_shares,
     improvement,
+    profile_scenario,
     run_scenario,
     scenario,
 )
@@ -113,6 +119,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the metric rows as JSON",
     )
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one scenario with profiling and print the attribution",
+    )
+    p_prof.add_argument("scenario", help="scenario id, e.g. s4")
+    p_prof.add_argument("--variant", choices=VARIANTS, default="adapt")
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument(
+        "--format", choices=("table", "json", "csv"), default="table",
+        help="table = rollups + critical path, json = full machine-readable "
+             "profile, csv = the raw per-period ledger",
+    )
+    p_prof.add_argument(
+        "--top", type=int, default=5,
+        help="how many critical-path segments to show (default 5)",
+    )
+    p_prof.add_argument(
+        "--explain-decisions", action="store_true",
+        help="name, per coordinator decision, the dominating WAE/badness term",
+    )
+    p_prof.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the profile to FILE instead of stdout",
+    )
+
     p_exp = sub.add_parser(
         "export", help="run scenarios and export tidy CSVs for plotting"
     )
@@ -166,6 +197,8 @@ def _print_run_summary(result: RunResult) -> None:
           f"({result.iterations_done} iterations)")
     print(f"  mean iteration: {result.mean_iteration_duration:.1f} s")
     print(f"  final workers:  {len(result.final_workers)}")
+    if result.time_by_category:
+        print(f"  time shares:    {format_time_shares(result.time_by_category)}")
     if len(result.wae):
         print("  wae:            "
               + " ".join(f"{v:.2f}" for v in result.wae.values))
@@ -230,19 +263,31 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
 
 
 def _parse_event_kinds(spec: str) -> Optional[list[str]]:
-    """--events value → kinds filter (None = record everything)."""
+    """--events value → kinds filter (None = record everything).
+
+    Unknown (or no) kinds are a usage error: one line on stderr naming
+    the valid kinds, exit status 2 (argparse's usage-error convention).
+    """
     spec = spec.strip()
     if spec == "all":
         return None
     if spec == "lifecycle":
-        return [k for k in EVENT_KINDS if k != "steal_attempt"]
+        # everything except the two per-occurrence firehoses
+        return [k for k in EVENT_KINDS if k not in ("steal_attempt", "span")]
     kinds = [k.strip() for k in spec.split(",") if k.strip()]
-    unknown = set(kinds) - set(EVENT_KINDS)
-    if unknown:
-        raise SystemExit(
-            f"unknown event kinds {sorted(unknown)}; "
-            f"choose from {', '.join(EVENT_KINDS)}"
+    unknown = sorted(set(kinds) - set(EVENT_KINDS))
+    if unknown or not kinds:
+        what = (
+            f"unknown event kind(s) {', '.join(unknown)}"
+            if unknown
+            else "no event kinds given"
         )
+        print(
+            f"repro trace: error: {what}; valid kinds: "
+            f"{', '.join(EVENT_KINDS)} (or 'all' / 'lifecycle')",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     return kinds
 
 
@@ -284,6 +329,21 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    spec = _scenario(args.scenario)
+    profile = profile_scenario(spec, args.variant, seed=args.seed)
+    text = format_profile(
+        profile, fmt=args.format, top=args.top, explain=args.explain_decisions
+    )
+    if args.out is None:
+        sys.stdout.write(text)
+        return 0
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from .experiments.export import export_runs
 
@@ -317,6 +377,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "export":
         return _cmd_export(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -38,9 +38,13 @@ from typing import Mapping, Sequence
 __all__ = [
     "BadnessCoefficients",
     "node_badness",
+    "badness_terms",
     "cluster_badness",
+    "cluster_badness_terms",
     "rank_nodes",
     "rank_clusters",
+    "explain_nodes",
+    "explain_clusters",
     "worst_cluster",
 ]
 
@@ -58,6 +62,32 @@ class BadnessCoefficients:
             raise ValueError("badness coefficients must be >= 0")
 
 
+def badness_terms(
+    speed: float,
+    ic_overhead: float,
+    in_worst_cluster: bool,
+    coefficients: BadnessCoefficients = BadnessCoefficients(),
+) -> dict[str, float]:
+    """The three weighted terms of proc_badness, separately.
+
+    Keys: ``slow_speed`` (α/speed), ``ic_overhead`` (β·ic), and
+    ``worst_cluster`` (γ or 0). Their sum, taken in this order, is
+    bit-identical to :func:`node_badness` — which is what lets the
+    profile explainer name the *dominating* term of every removal
+    decision without re-deriving the ranking.
+    """
+    if speed <= 0:
+        raise ValueError("speed must be > 0")
+    if not 0 <= ic_overhead <= 1:
+        raise ValueError("ic_overhead must be in [0, 1]")
+    c = coefficients
+    return {
+        "slow_speed": c.alpha * (1.0 / speed),
+        "ic_overhead": c.beta * ic_overhead,
+        "worst_cluster": c.gamma * (1.0 if in_worst_cluster else 0.0),
+    }
+
+
 def node_badness(
     speed: float,
     ic_overhead: float,
@@ -65,16 +95,23 @@ def node_badness(
     coefficients: BadnessCoefficients = BadnessCoefficients(),
 ) -> float:
     """proc_badness per the paper's formula. ``speed`` is normalised (0, 1]."""
+    return sum(badness_terms(speed, ic_overhead, in_worst_cluster, coefficients).values())
+
+
+def cluster_badness_terms(
+    speed: float,
+    ic_overhead: float,
+    coefficients: BadnessCoefficients = BadnessCoefficients(),
+) -> dict[str, float]:
+    """The two weighted terms of cluster_badness (no locality term)."""
     if speed <= 0:
-        raise ValueError("speed must be > 0")
+        raise ValueError("cluster speed must be > 0")
     if not 0 <= ic_overhead <= 1:
         raise ValueError("ic_overhead must be in [0, 1]")
-    c = coefficients
-    return (
-        c.alpha * (1.0 / speed)
-        + c.beta * ic_overhead
-        + c.gamma * (1.0 if in_worst_cluster else 0.0)
-    )
+    return {
+        "slow_speed": coefficients.alpha * (1.0 / speed),
+        "ic_overhead": coefficients.beta * ic_overhead,
+    }
 
 
 def cluster_badness(
@@ -83,22 +120,18 @@ def cluster_badness(
     coefficients: BadnessCoefficients = BadnessCoefficients(),
 ) -> float:
     """cluster_badness per the paper. ``speed`` is normalised (0, 1]."""
-    if speed <= 0:
-        raise ValueError("cluster speed must be > 0")
-    if not 0 <= ic_overhead <= 1:
-        raise ValueError("ic_overhead must be in [0, 1]")
-    return coefficients.alpha * (1.0 / speed) + coefficients.beta * ic_overhead
+    return sum(cluster_badness_terms(speed, ic_overhead, coefficients).values())
 
 
-def rank_clusters(
+def explain_clusters(
     cluster_speeds: Mapping[str, float],
     cluster_ic_overheads: Mapping[str, float],
     coefficients: BadnessCoefficients = BadnessCoefficients(),
-) -> list[tuple[str, float]]:
-    """Clusters ordered worst-first by cluster badness.
+) -> list[tuple[str, float, dict[str, float]]]:
+    """Clusters worst-first as ``(name, badness, terms)`` triples.
 
     ``cluster_speeds`` are summed node speeds; they are normalised to the
-    fastest cluster here.
+    fastest cluster here. ``terms`` is :func:`cluster_badness_terms`.
     """
     if set(cluster_speeds) != set(cluster_ic_overheads):
         raise ValueError("cluster maps must have identical keys")
@@ -107,19 +140,30 @@ def rank_clusters(
     fastest = max(cluster_speeds.values())
     if fastest <= 0:
         raise ValueError("cluster speeds must be > 0")
-    scored = [
-        (
-            name,
-            cluster_badness(
-                cluster_speeds[name] / fastest,
-                cluster_ic_overheads[name],
-                coefficients,
-            ),
+    scored = []
+    for name in cluster_speeds:
+        terms = cluster_badness_terms(
+            cluster_speeds[name] / fastest,
+            cluster_ic_overheads[name],
+            coefficients,
         )
-        for name in cluster_speeds
-    ]
+        scored.append((name, sum(terms.values()), terms))
     scored.sort(key=lambda item: (-item[1], item[0]))
     return scored
+
+
+def rank_clusters(
+    cluster_speeds: Mapping[str, float],
+    cluster_ic_overheads: Mapping[str, float],
+    coefficients: BadnessCoefficients = BadnessCoefficients(),
+) -> list[tuple[str, float]]:
+    """Clusters ordered worst-first by cluster badness."""
+    return [
+        (name, total)
+        for name, total, _ in explain_clusters(
+            cluster_speeds, cluster_ic_overheads, coefficients
+        )
+    ]
 
 
 def worst_cluster(
@@ -132,17 +176,19 @@ def worst_cluster(
     return ranking[0][0] if ranking else None
 
 
-def rank_nodes(
+def explain_nodes(
     node_speeds: Mapping[str, float],
     node_ic_overheads: Mapping[str, float],
     node_clusters: Mapping[str, str],
     coefficients: BadnessCoefficients = BadnessCoefficients(),
-) -> list[tuple[str, float]]:
-    """Nodes ordered worst-first by proc badness.
+) -> list[tuple[str, float, dict[str, float]]]:
+    """Nodes worst-first as ``(name, badness, terms)`` triples.
 
     Speeds are normalised to the fastest node; the worst cluster (for the
     γ term) is computed from the same inputs, aggregating node speeds by
     sum and ic_overheads by mean, exactly as the paper describes.
+    ``terms`` is :func:`badness_terms`, so ``max(terms, key=terms.get)``
+    names what drove each node to the front of the removal queue.
     """
     keys = set(node_speeds)
     if keys != set(node_ic_overheads) or keys != set(node_clusters):
@@ -164,17 +210,29 @@ def rank_nodes(
     cluster_ic = {c: cluster_ic_sum[c] / cluster_n[c] for c in cluster_speed}
     worst = worst_cluster(cluster_speed, cluster_ic, coefficients)
 
-    scored = [
-        (
-            node,
-            node_badness(
-                node_speeds[node] / fastest,
-                node_ic_overheads[node],
-                node_clusters[node] == worst,
-                coefficients,
-            ),
+    scored = []
+    for node in keys:
+        terms = badness_terms(
+            node_speeds[node] / fastest,
+            node_ic_overheads[node],
+            node_clusters[node] == worst,
+            coefficients,
         )
-        for node in keys
-    ]
+        scored.append((node, sum(terms.values()), terms))
     scored.sort(key=lambda item: (-item[1], item[0]))
     return scored
+
+
+def rank_nodes(
+    node_speeds: Mapping[str, float],
+    node_ic_overheads: Mapping[str, float],
+    node_clusters: Mapping[str, str],
+    coefficients: BadnessCoefficients = BadnessCoefficients(),
+) -> list[tuple[str, float]]:
+    """Nodes ordered worst-first by proc badness."""
+    return [
+        (node, total)
+        for node, total, _ in explain_nodes(
+            node_speeds, node_ic_overheads, node_clusters, coefficients
+        )
+    ]

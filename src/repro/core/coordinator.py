@@ -122,6 +122,10 @@ class AdaptationCoordinator:
         #: nodes we added whose first report has not arrived yet
         self._awaiting_first_report: set[str] = set()
         self.decisions: list[tuple[float, Decision]] = []
+        #: the exact GridSnapshot each decision was taken on, index-aligned
+        #: with :attr:`decisions` — what lets the profile explainer
+        #: recompute every WAE/badness term the policy actually saw.
+        self.decision_snapshots: list[GridSnapshot] = []
         #: messages that arrived at the coordinator's mailbox (the load a
         #: hierarchical collector reduces — see ABL-4).
         self.messages_received = 0
@@ -231,6 +235,7 @@ class AdaptationCoordinator:
                             self._act_guarded(decision), name="coord:act"
                         )
                     self.decisions.append((self.env.now, decision))
+                    self.decision_snapshots.append(snap)
                     described = decision.describe()
                     self.obs.metrics.counter(
                         "coordinator_decisions", decision=described["decision"]

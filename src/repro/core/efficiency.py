@@ -32,6 +32,7 @@ __all__ = [
     "EAGER_EFFICIENCY_BOUND",
     "efficiency",
     "normalize_speeds",
+    "wae_breakdown",
     "wae_components",
     "weighted_average_efficiency",
 ]
@@ -86,6 +87,36 @@ def wae_components(
             f"speeds and overheads differ in length: {s.size} vs {o.size}"
         )
     return s * (1.0 - o)
+
+
+def wae_breakdown(
+    names: Iterable[str],
+    speeds: Sequence[float],
+    overheads: Sequence[float],
+) -> list[dict[str, float | str]]:
+    """Per-node WAE decomposition, one dict per node.
+
+    Each entry has ``node``, ``speed_norm``, ``overhead`` and
+    ``component`` (= speed_norm · (1 − overhead)); the WAE the coordinator
+    acted on is the mean of the components. The profile explainer uses
+    this to show which nodes pulled a ``wae_sample`` below a threshold.
+    """
+    names = list(names)
+    s = normalize_speeds(speeds)
+    components = wae_components(speeds, overheads)
+    if len(names) != components.size:
+        raise ValueError(
+            f"names and speeds differ in length: {len(names)} vs {components.size}"
+        )
+    return [
+        {
+            "node": name,
+            "speed_norm": float(s[i]),
+            "overhead": float(overheads[i]),
+            "component": float(components[i]),
+        }
+        for i, name in enumerate(names)
+    ]
 
 
 def weighted_average_efficiency(

@@ -1,24 +1,36 @@
 """The paper's evaluation, as code: scenarios, runner, and reports."""
 
 from .export import export_runs
+from .profiler import (
+    ProfileResult,
+    explain_decisions,
+    format_profile,
+    profile_scenario,
+)
 from .report import (
     ascii_series,
     format_fig1,
     format_iteration_series,
     format_scenario1_overhead,
+    format_time_shares,
     improvement,
 )
 from .runner import RunResult, VARIANTS, run_scenario
 from .scenarios import SCENARIOS, ScenarioSpec, scaled_das2, scenario
 
 __all__ = [
+    "ProfileResult",
     "RunResult",
     "ascii_series",
+    "explain_decisions",
     "format_fig1",
     "format_iteration_series",
+    "format_profile",
     "format_scenario1_overhead",
+    "format_time_shares",
     "improvement",
     "export_runs",
+    "profile_scenario",
     "SCENARIOS",
     "ScenarioSpec",
     "VARIANTS",

@@ -1,0 +1,375 @@
+"""Run profiling: attribution tables, critical paths, decision explainers.
+
+``profile_scenario`` executes one scenario with the profiling telemetry
+tier (:meth:`repro.obs.Observability.profiling`) and packages what the
+paper's text only asserts in prose:
+
+* the **attribution ledger** — every simulated second of every node,
+  classified work / recovery / idle / comm_intra / comm_inter / bench,
+  with the conservation guarantee checkable per period;
+* the **critical path** over the causal span DAG, with each segment
+  broken into queue / work / wait / comm time;
+* the **decision explainer** — for every coordinator decision, the
+  WAE/badness terms recomputed from the exact snapshot the policy saw,
+  naming the *dominating* term (why did node X go first?).
+
+Everything here is deterministic for a fixed seed: the simulation is,
+the ledger rows are sorted, and :func:`format_profile` emits sorted-key
+JSON — two runs produce byte-identical profiles.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from typing import Any, Union
+
+from ..core.badness import explain_clusters, explain_nodes
+from ..core.policy import Decision, GridSnapshot, PolicyConfig
+from ..obs import (
+    EVENT_KINDS,
+    LEDGER_CATEGORIES,
+    Observability,
+    PathSegment,
+    PeriodRow,
+    Span,
+    critical_path,
+)
+from ..obs.attribution import OVERLAP_CATEGORIES
+from .runner import RunResult, run_scenario
+from .scenarios import ScenarioSpec, scenario
+
+__all__ = [
+    "PROFILE_EVENT_KINDS",
+    "ProfileResult",
+    "profile_scenario",
+    "explain_decisions",
+    "format_profile",
+]
+
+#: kinds recorded on the bus during a profiling run: everything except
+#: the two high-volume per-occurrence streams (the span tracker keeps
+#: every span in memory regardless of the bus filter).
+PROFILE_EVENT_KINDS = tuple(
+    k for k in EVENT_KINDS if k not in ("steal_attempt", "span")
+)
+
+
+@dataclass
+class ProfileResult:
+    """One profiled run: measurements plus the full attribution record."""
+
+    spec: ScenarioSpec
+    variant: str
+    seed: int
+    result: RunResult
+    #: every closed period row, ordered by (node, start, index)
+    rows: list[PeriodRow]
+    spans: dict[str, Span]
+    span_counts: dict[str, int]
+    #: critical path, root-first (chain of completed spans)
+    path: list[PathSegment]
+    max_conservation_error: float
+    #: the run's telemetry bundle (events, metrics, raw trackers)
+    obs: Observability
+
+    # -- rollups -----------------------------------------------------------
+    def node_rollup(self) -> list[dict[str, Any]]:
+        """Whole-run attribution per node (sorted by node name)."""
+        return _rollup(self.rows, lambda r: (r.node, r.cluster))
+
+    def cluster_rollup(self) -> list[dict[str, Any]]:
+        """Whole-run attribution per cluster (sorted by cluster name)."""
+        return _rollup(self.rows, lambda r: (r.cluster, r.cluster))
+
+    def top_segments(self, k: int = 5) -> list[PathSegment]:
+        """The ``k`` longest critical-path segments (duration-descending)."""
+        ordered = sorted(self.path, key=lambda s: (-s.duration, s.sid))
+        return ordered[: max(k, 0)]
+
+    def explanations(self) -> list[dict[str, Any]]:
+        """Every decision explained from its own snapshot (see
+        :func:`explain_decisions`)."""
+        return explain_decisions(
+            self.result.decisions,
+            self.result.decision_snapshots,
+            self.spec.policy,
+        )
+
+
+def _rollup(rows: list[PeriodRow], key) -> list[dict[str, Any]]:
+    groups: dict[tuple[str, str], dict[str, Any]] = {}
+    for row in rows:
+        name, cluster = key(row)
+        g = groups.get((name, cluster))
+        if g is None:
+            g = groups[(name, cluster)] = {
+                "name": name,
+                "cluster": cluster,
+                "periods": 0,
+                "seconds": 0.0,
+                **{cat: 0.0 for cat in LEDGER_CATEGORIES},
+                **{f"overlap_{cat}": 0.0 for cat in OVERLAP_CATEGORIES},
+            }
+        g["periods"] += 1
+        g["seconds"] += row.length
+        for cat in LEDGER_CATEGORIES:
+            g[cat] += row.seconds[cat]
+        for cat in OVERLAP_CATEGORIES:
+            g[f"overlap_{cat}"] += row.overlap.get(cat, 0.0)
+    return [groups[k] for k in sorted(groups)]
+
+
+def profile_scenario(
+    spec: Union[str, ScenarioSpec],
+    variant: str = "adapt",
+    seed: int = 0,
+) -> ProfileResult:
+    """Run ``spec`` under ``variant`` with full profiling telemetry."""
+    if isinstance(spec, str):
+        spec = scenario(spec)
+    obs = Observability.profiling(kinds=PROFILE_EVENT_KINDS)
+    result = run_scenario(spec, variant, seed=seed, obs=obs)
+    spans = dict(obs.spans.spans)
+    return ProfileResult(
+        spec=spec,
+        variant=variant,
+        seed=seed,
+        result=result,
+        rows=obs.attribution.rows(),
+        spans=spans,
+        span_counts=obs.spans.counts(),
+        path=critical_path(spans),
+        max_conservation_error=obs.attribution.max_conservation_error(),
+        obs=obs,
+    )
+
+
+# ------------------------------------------------------------ decision explainer
+def explain_decisions(
+    decisions: list[tuple[float, Decision]],
+    snapshots: list[GridSnapshot],
+    policy: PolicyConfig,
+) -> list[dict[str, Any]]:
+    """Recompute, per decision, the terms the policy weighed.
+
+    ``decisions`` and ``snapshots`` are index-aligned (the coordinator
+    records both at decision time). For removals the badness terms of the
+    victims are recomputed from the snapshot with the run's coefficients
+    and the **dominating** term is named; for growth the WAE headroom
+    above E_max is the (single) term. The recomputation uses the same
+    functions the policy itself ranks with, so the numbers match what the
+    coordinator acted on exactly.
+    """
+    out: list[dict[str, Any]] = []
+    for i, (time, decision) in enumerate(decisions):
+        described = decision.describe()
+        entry: dict[str, Any] = {
+            "time": time,
+            "decision": described["decision"],
+            "wae": described["wae"],
+            "reason": described["reason"],
+            "nodes": sorted(described["nodes"]),
+            "cluster": described["cluster"],
+            "count": described["count"],
+            "terms": {},
+            "dominant_term": "",
+            "victims": [],
+        }
+        snap = snapshots[i] if i < len(snapshots) else None
+        if snap is not None and snap.nodes:
+            kind = described["decision"]
+            if kind == "remove_nodes":
+                ranked = explain_nodes(
+                    {v.name: v.speed for v in snap.nodes},
+                    {v.name: v.ic_overhead for v in snap.nodes},
+                    {v.name: v.cluster for v in snap.nodes},
+                    policy.coefficients,
+                )
+                victims = set(described["nodes"])
+                total_terms: dict[str, float] = {}
+                for name, badness, terms in ranked:
+                    if name not in victims:
+                        continue
+                    entry["victims"].append(
+                        {"node": name, "badness": badness, "terms": terms}
+                    )
+                    for term, value in terms.items():
+                        total_terms[term] = total_terms.get(term, 0.0) + value
+                entry["terms"] = total_terms
+                if total_terms:
+                    entry["dominant_term"] = max(
+                        total_terms, key=lambda t: (total_terms[t], t)
+                    )
+            elif kind == "remove_cluster":
+                for name, badness, terms in explain_clusters(
+                    snap.cluster_speeds(),
+                    snap.cluster_ic_overheads(),
+                    policy.coefficients,
+                ):
+                    if name == described["cluster"]:
+                        entry["terms"] = terms
+                        entry["dominant_term"] = max(
+                            terms, key=lambda t: (terms[t], t)
+                        )
+                        break
+            elif kind == "add_nodes":
+                entry["terms"] = {
+                    "wae_headroom": described["wae"] - policy.e_max
+                }
+                entry["dominant_term"] = "wae_headroom"
+        out.append(entry)
+    return out
+
+
+# ------------------------------------------------------------------ formatting
+_TABLE_CATS = [*LEDGER_CATEGORIES, *(f"overlap_{c}" for c in OVERLAP_CATEGORIES)]
+
+
+def _payload(
+    profile: ProfileResult, top: int, explain: bool
+) -> dict[str, Any]:
+    result = profile.result
+    payload: dict[str, Any] = {
+        "scenario": profile.spec.id,
+        "variant": profile.variant,
+        "seed": profile.seed,
+        "completed": result.completed,
+        "runtime_seconds": result.runtime_seconds,
+        "iterations_done": result.iterations_done,
+        "conservation": {
+            "max_error_seconds": profile.max_conservation_error,
+            "rows": len(profile.rows),
+        },
+        "nodes": profile.node_rollup(),
+        "clusters": profile.cluster_rollup(),
+        "periods": [row.to_dict() for row in profile.rows],
+        "critical_path": [seg.to_dict() for seg in profile.top_segments(top)],
+        "span_counts": profile.span_counts,
+    }
+    if explain:
+        payload["decisions"] = profile.explanations()
+    return payload
+
+
+def _format_table(profile: ProfileResult, top: int, explain: bool) -> str:
+    result = profile.result
+    lines = []
+    status = "completed" if result.completed else "hit time guard"
+    lines.append(
+        f"profile {profile.spec.id}/{profile.variant} (seed {profile.seed}): "
+        f"{status} in {result.runtime_seconds:.1f} s, "
+        f"{result.iterations_done} iterations"
+    )
+    lines.append(
+        f"conservation: max |sum - period| = "
+        f"{profile.max_conservation_error:.3e} s over {len(profile.rows)} "
+        f"period rows"
+    )
+
+    def table(rows: list[dict[str, Any]], label: str) -> None:
+        if not rows:
+            return
+        lines.append("")
+        lines.append(f"per-{label} attribution (seconds):")
+        widths = {cat: max(10, len(cat)) for cat in _TABLE_CATS}
+        header = f"{label:<12} {'periods':>7} {'total':>10}"
+        for cat in _TABLE_CATS:
+            header += f" {cat:>{widths[cat]}}"
+        lines.append(header)
+        for g in rows:
+            line = f"{g['name']:<12} {g['periods']:>7d} {g['seconds']:>10.1f}"
+            for cat in _TABLE_CATS:
+                line += f" {g[cat]:>{widths[cat]}.1f}"
+            lines.append(line)
+
+    table(profile.node_rollup(), "node")
+    table(profile.cluster_rollup(), "cluster")
+
+    segments = profile.top_segments(top)
+    if segments:
+        lines.append("")
+        lines.append(f"top {len(segments)} critical-path segments (by duration):")
+        lines.append(
+            f"{'span':<12} {'node':<10} {'start':>10} {'duration':>10} "
+            f"{'queue':>9} {'work':>9} {'wait':>9} {'comm':>9}"
+        )
+        for seg in segments:
+            lines.append(
+                f"{seg.sid:<12} {seg.node:<10} {seg.start:>10.2f} "
+                f"{seg.duration:>10.2f} {seg.queue:>9.2f} {seg.work:>9.2f} "
+                f"{seg.wait:>9.2f} {seg.comm:>9.2f}"
+            )
+        counts = profile.span_counts
+        lines.append(
+            "spans: "
+            + " ".join(f"{k}={counts[k]}" for k in sorted(counts))
+        )
+
+    if explain:
+        lines.append("")
+        lines.append("decisions:")
+        explanations = profile.explanations()
+        if not explanations:
+            lines.append("  (none)")
+        for e in explanations:
+            head = (
+                f"  t={e['time']:7.1f}s {e['decision']:<14} "
+                f"wae={e['wae']:.3f}"
+            )
+            if e["nodes"]:
+                head += f" nodes={','.join(e['nodes'])}"
+            if e["cluster"]:
+                head += f" cluster={e['cluster']}"
+            if e["count"]:
+                head += f" count={e['count']}"
+            lines.append(head)
+            if e["terms"]:
+                terms = " ".join(
+                    f"{t}={e['terms'][t]:.3f}" for t in sorted(e["terms"])
+                )
+                lines.append(
+                    f"            dominated by {e['dominant_term']} ({terms})"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _format_csv(profile: ProfileResult) -> str:
+    """All period rows as one CSV table (the raw attribution ledger)."""
+    buf = io.StringIO()
+    fieldnames = [
+        "node", "cluster", "period", "start", "end", "length", "final",
+        *LEDGER_CATEGORIES,
+        *(f"overlap_{c}" for c in OVERLAP_CATEGORIES),
+        "overhead", "ic_overhead",
+    ]
+    writer = csv.DictWriter(buf, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in profile.rows:
+        writer.writerow(row.to_dict())
+    return buf.getvalue()
+
+
+def format_profile(
+    profile: ProfileResult,
+    fmt: str = "table",
+    top: int = 5,
+    explain: bool = False,
+) -> str:
+    """Render a profile as ``table``, ``json`` or ``csv``.
+
+    The JSON form is ``json.dumps(..., sort_keys=True)`` over sorted
+    rows, so for a fixed seed the output is byte-stable across runs; the
+    CSV form is the raw per-period ledger.
+    """
+    if fmt == "table":
+        return _format_table(profile, top, explain)
+    if fmt == "json":
+        return json.dumps(
+            _payload(profile, top, explain), indent=2, sort_keys=True
+        ) + "\n"
+    if fmt == "csv":
+        return _format_csv(profile)
+    raise ValueError(f"format must be 'table', 'json' or 'csv', got {fmt!r}")

@@ -28,6 +28,7 @@ __all__ = [
     "format_iteration_series",
     "format_scenario1_overhead",
     "format_actions",
+    "format_time_shares",
     "ascii_series",
     "improvement",
 ]
@@ -38,6 +39,23 @@ def improvement(baseline: float, improved: float) -> float:
     if baseline <= 0:
         raise ValueError("baseline runtime must be > 0")
     return (baseline - improved) / baseline
+
+
+def format_time_shares(time_by_category: Mapping[str, float]) -> str:
+    """One-line percentage breakdown of accounted worker time.
+
+    E.g. ``busy 62.1% idle 20.3% comm_intra 9.8% comm_inter 6.4% bench
+    1.4%`` — the run summary's at-a-glance view of where the grid's time
+    went (``repro profile`` gives the per-node/per-period version).
+    """
+    total = sum(time_by_category.values())
+    if total <= 0:
+        return "no accounted time"
+    return " ".join(
+        f"{cat} {100.0 * seconds / total:.1f}%"
+        for cat, seconds in time_by_category.items()
+        if seconds > 0 or cat == "busy"
+    )
 
 
 def format_fig1(

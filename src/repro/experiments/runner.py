@@ -62,6 +62,9 @@ class RunResult:
     blacklisted_nodes: frozenset[str] = frozenset()
     blacklisted_clusters: frozenset[str] = frozenset()
     learned_min_bandwidth: Optional[float] = None
+    #: GridSnapshots index-aligned with ``decisions`` (profiling runs;
+    #: empty without a coordinator)
+    decision_snapshots: list[Any] = field(default_factory=list)
 
     @property
     def mean_iteration_duration(self) -> float:
@@ -166,6 +169,10 @@ def run_scenario(
     env.run(until=AnyOf(env, [proc, guard]))
     completed = proc.triggered
 
+    # Close every ledger recorder's trailing period (no-op when the
+    # attribution tier is disabled); departed workers already finalized.
+    harness.obs.attribution.finalize(float(env.now))
+
     if harness.obs.is_enabled:
         harness.capture_engine_metrics()
         harness.obs.metrics.gauge("run_completed").set(1.0 if completed else 0.0)
@@ -205,5 +212,8 @@ def run_scenario(
         ),
         learned_min_bandwidth=(
             coordinator.blacklist.min_bandwidth if coordinator else None
+        ),
+        decision_snapshots=(
+            list(coordinator.decision_snapshots) if coordinator else []
         ),
     )

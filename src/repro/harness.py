@@ -88,17 +88,25 @@ class Harness:
         detection_delay: float = 1.0,
         trace: Optional[Trace] = None,
         obs: Optional[Observability] = None,
+        profile: bool = False,
     ) -> "Harness":
         """Assemble a fresh, fully wired stack for ``spec``.
 
         Deterministic given ``seed``; no nodes are added — callers drive
-        membership (``runtime.add_nodes``) themselves.
+        membership (``runtime.add_nodes``) themselves. ``profile=True``
+        (when no explicit ``obs`` is passed) turns on the profiling tier —
+        spans + attribution ledger — instead of the disabled default.
         """
         env = Environment()
         network = Network(env, spec)
         registry = Registry(env, detection_delay=detection_delay)
         rng = RngStreams(seed)
-        obs = obs if obs is not None else Observability.disabled()
+        if obs is None:
+            obs = (
+                Observability.profiling() if profile else Observability.disabled()
+            )
+        if obs.attribution.enabled:
+            obs.attribution.watch(env)
         runtime = SatinRuntime(
             env=env,
             network=network,

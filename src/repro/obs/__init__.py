@@ -7,13 +7,20 @@ One subscription-based observability layer for the whole stack:
 * :class:`TraceBus` + the typed events in :mod:`repro.obs.events` — an
   ordered, deterministic stream of everything adaptation-relevant that
   happens during a run;
+* :class:`SpanTracker` (:mod:`repro.obs.spans`) — causal spans over the
+  task lifecycle, with deterministic ids and critical-path extraction;
+* :class:`AttributionLedger` (:mod:`repro.obs.attribution`) — the
+  per-node × per-monitoring-period time ledger whose categories sum to
+  the period length (conservation);
 * the sinks in :mod:`repro.obs.sinks` — JSONL / CSV persistence.
 
-The :class:`Observability` bundle ties a registry and a bus together and
-is what gets threaded through the runtime: every layer reaches telemetry
-through ``runtime.obs``. The default is :meth:`Observability.disabled`,
-so un-instrumented use (unit tests, library embedding) pays only no-op
-calls.
+The :class:`Observability` bundle ties these together and is what gets
+threaded through the runtime: every layer reaches telemetry through
+``runtime.obs``. The default is :meth:`Observability.disabled`, so
+un-instrumented use (unit tests, library embedding) pays only no-op
+calls; :meth:`Observability.enabled` adds metrics + events (PR-1
+behaviour); :meth:`Observability.profiling` additionally turns on spans
+and the attribution ledger (what ``repro profile`` uses).
 """
 
 from __future__ import annotations
@@ -21,6 +28,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from .attribution import (
+    DISABLED_LEDGER,
+    LEDGER_CATEGORIES,
+    AttributionLedger,
+    NodeRecorder,
+    PeriodRow,
+)
 from .bus import TraceBus
 from .events import (
     EVENT_KINDS,
@@ -30,12 +44,20 @@ from .events import (
     NodeAdd,
     NodeRemove,
     RecoveryRestart,
+    SpanTransition,
     StealAttempt,
     TraceEvent,
     WaeSample,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .sinks import CsvSink, JsonlSink, write_events
+from .sinks import CsvSink, JsonlSink, read_events, write_events
+from .spans import (
+    NULL_SPAN_TRACKER,
+    PathSegment,
+    Span,
+    SpanTracker,
+    critical_path,
+)
 
 __all__ = [
     "Observability",
@@ -53,25 +75,54 @@ __all__ = [
     "RecoveryRestart",
     "MonitoringPeriod",
     "CoordinatorDecision",
+    "SpanTransition",
     "EVENT_KINDS",
     "JsonlSink",
     "CsvSink",
     "write_events",
+    "read_events",
+    "Span",
+    "SpanTracker",
+    "PathSegment",
+    "critical_path",
+    "AttributionLedger",
+    "NodeRecorder",
+    "PeriodRow",
+    "LEDGER_CATEGORIES",
 ]
 
 
 @dataclass
 class Observability:
-    """A run's telemetry handles: one metrics registry + one trace bus."""
+    """A run's telemetry handles: metrics + trace bus (+ optional spans
+    and attribution ledger, the profiling tier)."""
 
     metrics: MetricsRegistry
     bus: TraceBus
+    spans: SpanTracker = NULL_SPAN_TRACKER
+    attribution: AttributionLedger = DISABLED_LEDGER
 
     @classmethod
     def enabled(cls, kinds: Optional[Iterable[str]] = None) -> "Observability":
         """Full telemetry; ``kinds`` optionally filters the event stream."""
         return cls(metrics=MetricsRegistry(enabled=True),
                    bus=TraceBus(enabled=True, kinds=kinds))
+
+    @classmethod
+    def profiling(cls, kinds: Optional[Iterable[str]] = None) -> "Observability":
+        """Telemetry plus causal spans and the attribution ledger.
+
+        Span transitions are emitted through the bus (subject to the
+        ``kinds`` filter — pass e.g. ``kinds=["span"]`` to keep only
+        them) *and* kept in the tracker for critical-path extraction.
+        """
+        bus = TraceBus(enabled=True, kinds=kinds)
+        return cls(
+            metrics=MetricsRegistry(enabled=True),
+            bus=bus,
+            spans=SpanTracker(bus=bus),
+            attribution=AttributionLedger(),
+        )
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -81,7 +132,12 @@ class Observability:
 
     @property
     def is_enabled(self) -> bool:
-        return self.metrics.enabled or self.bus.enabled
+        return self.metrics.enabled or self.bus.enabled or self.profiling_enabled
+
+    @property
+    def profiling_enabled(self) -> bool:
+        """True when spans or the attribution ledger are live."""
+        return self.spans.enabled or self.attribution.enabled
 
     def capture_engine(self, env) -> None:
         """Record the simulation engine's event-loop statistics.

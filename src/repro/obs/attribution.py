@@ -1,0 +1,326 @@
+"""Per-node × per-monitoring-period time attribution (the ledger).
+
+The paper's adaptation loop rests on a time-accounting claim: every
+simulated second a node participates decomposes into useful work, idle
+time, communication (intra/inter-cluster), benchmarking — and, after
+faults, re-execution of lost work. :class:`AttributionLedger` makes that
+claim checkable: each worker drives a :class:`NodeRecorder` through an
+``enter``/``exit`` state machine around every activity of its (serial)
+main loop, so the recorder can *prove conservation* — the per-period
+category sums equal the period length by construction, to float
+round-off.
+
+Categories (:data:`LEDGER_CATEGORIES`) refine the paper's accounting
+(:mod:`repro.satin.accounting`): ``busy`` splits into ``work`` (first
+executions) and ``recovery`` (re-execution of subtrees restarted after a
+crash), which is what lets a profile show *where* crash recovery cost
+went. CRS's asynchronous wide-area steal helper intentionally overlaps
+the main loop, so its communication is recorded separately via
+:meth:`NodeRecorder.charge_overlap` — overlap columns are excluded from
+conservation but included when recomputing the inter-cluster overhead
+fraction, which therefore matches the :class:`~repro.satin.accounting.NodeReport`
+values the coordinator actually used.
+
+Disabled-path cost: :data:`NULL_RECORDER` / :data:`DISABLED_LEDGER`
+mirror the metrics registry's shared no-op instruments — attribute
+lookups and empty method bodies only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = [
+    "LEDGER_CATEGORIES",
+    "OVERLAP_CATEGORIES",
+    "PeriodRow",
+    "NodeRecorder",
+    "AttributionLedger",
+    "NULL_RECORDER",
+    "DISABLED_LEDGER",
+]
+
+#: categories that partition a node's serial main-loop time (conserved)
+LEDGER_CATEGORIES = ("work", "recovery", "idle", "comm_intra", "comm_inter", "bench")
+#: categories an asynchronous helper may charge concurrently (not conserved)
+OVERLAP_CATEGORIES = ("comm_intra", "comm_inter")
+
+
+@dataclass
+class PeriodRow:
+    """One closed monitoring period of one node, fully attributed."""
+
+    node: str
+    cluster: str
+    #: period index, aligned with :attr:`NodeReport.period_index` (the
+    #: final partial period after the last rollover gets index = last + 1)
+    index: int
+    start: float
+    end: float
+    #: serial seconds per category; sums to ``end - start`` (conservation)
+    seconds: dict[str, float]
+    #: concurrent helper communication (CRS async steals); not conserved
+    overlap: dict[str, float]
+    #: True for the trailing partial period closed at finalize time (it
+    #: never produced a NodeReport, so report reconciliation skips it)
+    final: bool = False
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    @property
+    def accounted(self) -> float:
+        return sum(self.seconds.values())
+
+    @property
+    def conservation_error(self) -> float:
+        """|Σ categories − period length| in seconds."""
+        return abs(self.accounted - self.length)
+
+    @property
+    def busy(self) -> float:
+        """Useful-execution seconds (first runs + crash re-execution)."""
+        return self.seconds["work"] + self.seconds["recovery"]
+
+    @property
+    def overhead(self) -> float:
+        """Fraction of the period not spent executing (NodeReport.overhead)."""
+        if self.length <= 0:
+            return 0.0
+        return min(1.0, max(0.0, 1.0 - self.busy / self.length))
+
+    @property
+    def ic_overhead(self) -> float:
+        """Inter-cluster communication fraction, including async-helper
+        transfers (NodeReport.ic_overhead)."""
+        if self.length <= 0:
+            return 0.0
+        total = self.seconds["comm_inter"] + self.overlap.get("comm_inter", 0.0)
+        return min(1.0, total / self.length)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON/CSV-safe representation."""
+        out: dict[str, Any] = {
+            "node": self.node,
+            "cluster": self.cluster,
+            "period": self.index,
+            "start": self.start,
+            "end": self.end,
+            "length": self.length,
+            "final": self.final,
+        }
+        for cat in LEDGER_CATEGORIES:
+            out[cat] = self.seconds[cat]
+        for cat in OVERLAP_CATEGORIES:
+            out[f"overlap_{cat}"] = self.overlap.get(cat, 0.0)
+        out["overhead"] = self.overhead
+        out["ic_overhead"] = self.ic_overhead
+        return out
+
+
+class NodeRecorder:
+    """The attribution state machine of one worker incarnation.
+
+    The worker calls :meth:`enter` when an activity begins and
+    :meth:`exit` when it ends; because the main loop is serial and every
+    yield point sits inside such a bracket, the union of recorded
+    intervals is exactly the node's participation time. :meth:`rollover`
+    closes a monitoring period (called at the worker's report rollover,
+    between activities); :meth:`finalize` closes the trailing partial
+    period, charging any still-open activity up to the final instant —
+    which is what makes conservation hold even for workers interrupted
+    mid-activity by a crash.
+    """
+
+    enabled = True
+
+    def __init__(self, node: str, cluster: str, start: float) -> None:
+        self.node = node
+        self.cluster = cluster
+        self.rows: list[PeriodRow] = []
+        self._period_start = start
+        self._index = 0
+        self._seconds = dict.fromkeys(LEDGER_CATEGORIES, 0.0)
+        self._overlap = dict.fromkeys(OVERLAP_CATEGORIES, 0.0)
+        self._state: Optional[str] = None
+        self._state_t = start
+        self._finalized = False
+
+    # -- charging ----------------------------------------------------------
+    def enter(self, category: str, t: float) -> None:
+        """Begin an activity at time ``t``.
+
+        Entering while a previous activity is still open (its ``exit``
+        was skipped by an interrupt) first charges the open interval, so
+        the timeline self-heals.
+        """
+        if self._state is not None:
+            self._charge(self._state, t - self._state_t)
+        self._state = category
+        self._state_t = t
+
+    def exit(self, t: float) -> None:
+        """End the current activity at time ``t``."""
+        if self._state is not None:
+            self._charge(self._state, t - self._state_t)
+            self._state = None
+
+    def charge_overlap(self, category: str, t0: float, t1: float) -> None:
+        """Record concurrent helper communication over ``[t0, t1]``.
+
+        Overlap charges land in the period current at ``t1`` (matching
+        :meth:`TimeAccount.add`'s end-attribution rule); a charge arriving
+        after :meth:`finalize` is folded into the last closed row.
+        """
+        seconds = max(t1 - t0, 0.0)
+        if self._finalized:
+            if self.rows:
+                self.rows[-1].overlap[category] = (
+                    self.rows[-1].overlap.get(category, 0.0) + seconds
+                )
+            return
+        self._overlap[category] += seconds
+
+    def _charge(self, category: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds!r} for {category!r}")
+        self._seconds[category] += seconds
+
+    # -- period management -------------------------------------------------
+    def rollover(self, now: float) -> None:
+        """Close the current monitoring period at ``now``.
+
+        Called between activities; if one is open anyway, its elapsed part
+        is charged to this period and the activity continues in the next.
+        """
+        if self._state is not None:
+            self._charge(self._state, now - self._state_t)
+            self._state_t = now
+        self._close_period(now, final=False)
+
+    def finalize(self, now: Optional[float] = None) -> None:
+        """Close the trailing partial period; idempotent."""
+        if self._finalized:
+            return
+        if now is None:
+            now = self._state_t if self._state is not None else self._period_start
+        self.exit(now)
+        if now > self._period_start or any(v > 0 for v in self._seconds.values()):
+            self._close_period(now, final=True)
+        self._finalized = True
+
+    def _close_period(self, now: float, final: bool) -> None:
+        self.rows.append(PeriodRow(
+            node=self.node,
+            cluster=self.cluster,
+            index=self._index,
+            start=self._period_start,
+            end=now,
+            seconds=self._seconds,
+            overlap=self._overlap,
+            final=final,
+        ))
+        self._period_start = now
+        self._index += 1
+        self._seconds = dict.fromkeys(LEDGER_CATEGORIES, 0.0)
+        self._overlap = dict.fromkeys(OVERLAP_CATEGORIES, 0.0)
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+
+class _NullRecorder(NodeRecorder):
+    """Shared no-op recorder handed out by a disabled ledger."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # noqa: D107 - trivially empty state
+        super().__init__(node="", cluster="", start=0.0)
+
+    def enter(self, category: str, t: float) -> None:
+        pass
+
+    def exit(self, t: float) -> None:
+        pass
+
+    def charge_overlap(self, category: str, t0: float, t1: float) -> None:
+        pass
+
+    def rollover(self, now: float) -> None:
+        pass
+
+    def finalize(self, now: Optional[float] = None) -> None:
+        pass
+
+
+class AttributionLedger:
+    """All recorders of one run, plus run-level conservation accessors."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._recorders: list[NodeRecorder] = []
+        self._last_time: Optional[float] = None
+
+    # -- wiring ------------------------------------------------------------
+    def recorder(self, node: str, cluster: str, start: float) -> NodeRecorder:
+        """A fresh recorder for one worker incarnation joining at ``start``."""
+        rec = NodeRecorder(node, cluster, start)
+        self._recorders.append(rec)
+        return rec
+
+    def watch(self, env: Any) -> None:
+        """Track the engine clock so :meth:`finalize` needs no argument.
+
+        ``env`` is a :class:`repro.simgrid.engine.Environment`; its
+        state-transition clock hook fires on every time advance.
+        """
+        env.add_clock_listener(self._on_clock)
+
+    def _on_clock(self, old: float, new: float) -> None:
+        self._last_time = new
+
+    # -- results -----------------------------------------------------------
+    def finalize(self, now: Optional[float] = None) -> None:
+        """Close every recorder's trailing period (idempotent per node)."""
+        if now is None:
+            now = self._last_time
+        for rec in self._recorders:
+            rec.finalize(now)
+
+    def rows(self) -> list[PeriodRow]:
+        """Every closed period row, ordered by (node, start, index)."""
+        out = [row for rec in self._recorders for row in rec.rows]
+        out.sort(key=lambda r: (r.node, r.start, r.index))
+        return out
+
+    def max_conservation_error(self) -> float:
+        """Worst |Σ categories − period length| over all closed rows."""
+        return max((row.conservation_error for row in self.rows()), default=0.0)
+
+    @property
+    def recorders(self) -> list[NodeRecorder]:
+        return list(self._recorders)
+
+
+class _DisabledLedger(AttributionLedger):
+    """Ledger that hands out the shared no-op recorder and records nothing."""
+
+    enabled = False
+
+    def recorder(self, node: str, cluster: str, start: float) -> NodeRecorder:
+        return NULL_RECORDER
+
+    def watch(self, env: Any) -> None:
+        pass
+
+    def finalize(self, now: Optional[float] = None) -> None:
+        pass
+
+
+#: the shared no-op instances (the metrics `_NULL` idiom)
+NULL_RECORDER = _NullRecorder()
+DISABLED_LEDGER = _DisabledLedger()

@@ -28,6 +28,7 @@ __all__ = [
     "RecoveryRestart",
     "MonitoringPeriod",
     "CoordinatorDecision",
+    "SpanTransition",
     "EVENT_KINDS",
 ]
 
@@ -138,6 +139,10 @@ class MonitoringPeriod(TraceEvent):
     speed: float
     overhead: float
     ic_overhead: float
+    #: the worker-local period index (aligns the event with the matching
+    #: NodeReport and the attribution ledger's PeriodRow); -1 from writers
+    #: predating the attribution layer
+    period: int = -1
 
 
 @dataclass(slots=True)
@@ -155,6 +160,27 @@ class CoordinatorDecision(TraceEvent):
     cluster: str = ""
 
 
+@dataclass(slots=True)
+class SpanTransition(TraceEvent):
+    """A causal task span changed phase (see :mod:`repro.obs.spans`).
+
+    One event per lifecycle transition of one execution attempt:
+    ``spawned``, ``stolen``, ``migrated``, ``executing``, ``executed``,
+    ``combining``, ``combined``, ``result_returned``, ``orphaned``,
+    ``aborted``, ``restarted``. High-volume — like ``steal_attempt``,
+    excluded from the CLI's default "lifecycle" event selection.
+    """
+
+    kind: ClassVar[str] = "span"
+
+    #: deterministic span id, ``t<ordinal>#<attempt>``
+    span: str
+    phase: str
+    node: str
+    #: parent attempt's span id ("" for root frames)
+    parent: str = ""
+
+
 #: all event kinds, in taxonomy order
 EVENT_KINDS: tuple[str, ...] = (
     StealAttempt.kind,
@@ -165,4 +191,5 @@ EVENT_KINDS: tuple[str, ...] = (
     RecoveryRestart.kind,
     MonitoringPeriod.kind,
     CoordinatorDecision.kind,
+    SpanTransition.kind,
 )

@@ -23,7 +23,7 @@ from typing import IO, Any, Iterable, Optional, Union
 
 from .events import TraceEvent
 
-__all__ = ["JsonlSink", "CsvSink", "write_events"]
+__all__ = ["JsonlSink", "CsvSink", "write_events", "read_events"]
 
 
 class _FileOwner:
@@ -106,3 +106,33 @@ def write_events(
     finally:
         sink.close()
     return n
+
+
+def read_events(
+    target: Union[str, Path, IO[str]],
+    fmt: Optional[str] = None,
+) -> list[dict[str, Any]]:
+    """Load a dumped stream back as a list of flat event dicts.
+
+    The inverse of :func:`write_events` at the schema level: JSONL rows
+    come back with their JSON types; CSV rows come back as the header's
+    columns with *string* values (CSV carries no type information — an
+    empty CSV stream still yields the leading header, so the schema
+    survives the round trip). ``fmt`` is inferred from the extension when
+    None, exactly as in :func:`write_events`.
+    """
+    if fmt is None:
+        suffix = Path(target).suffix if isinstance(target, (str, Path)) else ""
+        fmt = "csv" if suffix == ".csv" else "jsonl"
+    if fmt not in ("jsonl", "csv"):
+        raise ValueError(f"format must be 'jsonl' or 'csv', got {fmt!r}")
+    if isinstance(target, (str, Path)):
+        with open(target, "r", encoding="utf-8", newline="") as fh:
+            return _read_stream(fh, fmt)
+    return _read_stream(target, fmt)
+
+
+def _read_stream(fh: IO[str], fmt: str) -> list[dict[str, Any]]:
+    if fmt == "jsonl":
+        return [json.loads(line) for line in fh if line.strip()]
+    return [dict(row) for row in csv.DictReader(fh)]

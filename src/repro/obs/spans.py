@@ -1,0 +1,380 @@
+"""Causal spans over the divide-and-conquer task lifecycle.
+
+A *span* is the observable lifetime of one execution attempt of one
+frame: spawned → (stolen/migrated)* → executing → executed → [waiting →
+combining → combined] → result-returned, or aborted/orphaned when fault
+recovery supersedes the attempt. Parent links survive steals, migrations
+and crash-recovery restarts, so the spans of a run form a DAG mirroring
+the spawn tree across attempts — the substrate for critical-path
+extraction (:func:`critical_path`).
+
+Span ids are deterministic and run-stable: the tracker numbers frames in
+spawn order (which the deterministic engine fixes for a given seed) and
+ids are ``t<ordinal>#<attempt>``, so two runs with the same seed produce
+byte-identical span streams even though the runtime's global frame-id
+counter differs between in-process runs. A restart opens a *new* span
+``t<ordinal>#<attempt+1>`` linked to the aborted one via ``retry_of``.
+
+Every phase change is appended to the span's transition list and, when a
+bus wants the ``span`` kind, emitted as a
+:class:`~repro.obs.events.SpanTransition` trace event. The shared
+:data:`NULL_SPAN_TRACKER` keeps the disabled path at an attribute lookup
+plus a truthiness test (callers guard on :attr:`SpanTracker.enabled`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from .events import SpanTransition
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .bus import TraceBus
+
+__all__ = [
+    "Span",
+    "SpanTracker",
+    "PathSegment",
+    "critical_path",
+    "NULL_SPAN_TRACKER",
+]
+
+
+@dataclass
+class Span:
+    """One execution attempt of one frame, with its causal links."""
+
+    sid: str
+    #: parent attempt's span id ("" for a root frame)
+    parent: str = ""
+    #: span id of the attempt this one re-executes ("" for first attempts)
+    retry_of: str = ""
+    leaf: bool = False
+    #: "open" | "completed" | "aborted" | "orphaned"
+    status: str = "open"
+    #: last known location of the frame
+    node: str = ""
+    #: "" until stolen, then "intra"/"inter" (the last steal's scope)
+    scope: str = ""
+    t_spawn: float = 0.0
+    t_exec_start: Optional[float] = None
+    t_exec_end: Optional[float] = None
+    t_combine_start: Optional[float] = None
+    t_combine_end: Optional[float] = None
+    #: result applied / attempt superseded
+    t_end: Optional[float] = None
+    #: (time, phase, node) in emission order
+    transitions: list[tuple[float, str, str]] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Spawn-to-end lifetime (0 while the span is still open)."""
+        return (self.t_end - self.t_spawn) if self.t_end is not None else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-safe representation (for profiles and tests)."""
+        return {
+            "sid": self.sid,
+            "parent": self.parent,
+            "retry_of": self.retry_of,
+            "leaf": self.leaf,
+            "status": self.status,
+            "node": self.node,
+            "scope": self.scope,
+            "t_spawn": self.t_spawn,
+            "t_end": self.t_end,
+            "transitions": [list(t) for t in self.transitions],
+        }
+
+
+class SpanTracker:
+    """Assigns deterministic span ids and records lifecycle transitions."""
+
+    enabled = True
+
+    def __init__(self, bus: Optional["TraceBus"] = None) -> None:
+        self._bus = bus
+        #: frame id -> tracker-local spawn ordinal
+        self._ordinals: dict[int, int] = {}
+        self._next_ordinal = 0
+        self.spans: dict[str, Span] = {}
+
+    # -- id assignment -----------------------------------------------------
+    def _sid(self, frame: Any, attempt: Optional[int] = None) -> Optional[str]:
+        ordinal = self._ordinals.get(frame.id)
+        if ordinal is None:
+            return None
+        return f"t{ordinal}#{frame.attempts if attempt is None else attempt}"
+
+    def _current(self, frame: Any) -> Optional[Span]:
+        sid = self._sid(frame)
+        return self.spans.get(sid) if sid is not None else None
+
+    def _note(self, span: Span, time: float, phase: str, node: str) -> None:
+        span.transitions.append((time, phase, node))
+        bus = self._bus
+        if bus is not None and bus.wants(SpanTransition.kind):
+            bus.emit(SpanTransition(
+                time=time, span=span.sid, phase=phase, node=node,
+                parent=span.parent,
+            ))
+
+    # -- lifecycle hooks ---------------------------------------------------
+    def spawn(self, frame: Any, time: float, node: str) -> Span:
+        """A frame entered the system (root submission or divide phase)."""
+        ordinal = self._ordinals.get(frame.id)
+        if ordinal is None:
+            ordinal = self._ordinals[frame.id] = self._next_ordinal
+            self._next_ordinal += 1
+        sid = f"t{ordinal}#{frame.attempts}"
+        parent_sid = ""
+        if frame.parent is not None:
+            parent_sid = self._sid(frame.parent, frame.parent_epoch) or ""
+        span = Span(
+            sid=sid, parent=parent_sid, leaf=frame.is_leaf,
+            node=node, t_spawn=time,
+        )
+        self.spans[sid] = span
+        self._note(span, time, "spawned", node)
+        return span
+
+    def stolen(self, frame: Any, time: float, thief: str, scope: str) -> None:
+        span = self._current(frame)
+        if span is None or span.status != "open":
+            return
+        span.node = thief
+        span.scope = scope
+        self._note(span, time, "stolen", thief)
+
+    def migrated(self, frame: Any, time: float, target: str) -> None:
+        """The frame moved without a steal (hand-off or re-homing)."""
+        span = self._current(frame)
+        if span is None or span.status != "open":
+            return
+        span.node = target
+        self._note(span, time, "migrated", target)
+
+    def exec_start(self, frame: Any, time: float, node: str, phase: str) -> None:
+        """Execution began; ``phase`` is "leaf", "divide" or "combine"."""
+        span = self._current(frame)
+        if span is None or span.status != "open":
+            return
+        span.node = node
+        if phase == "combine":
+            span.t_combine_start = time
+            self._note(span, time, "combining", node)
+        else:
+            span.t_exec_start = time
+            self._note(span, time, "executing", node)
+
+    def exec_end(self, frame: Any, time: float, phase: str) -> None:
+        span = self._current(frame)
+        if span is None or span.status != "open":
+            return
+        if phase == "combine":
+            span.t_combine_end = time
+            self._note(span, time, "combined", span.node)
+        else:
+            span.t_exec_end = time
+            self._note(span, time, "executed", span.node)
+
+    def result_returned(self, frame: Any, time: float) -> None:
+        """The attempt's result was applied (or the root completed)."""
+        span = self._current(frame)
+        if span is None or span.status != "open":
+            return
+        span.status = "completed"
+        span.t_end = time
+        self._note(span, time, "result_returned", span.node)
+
+    def orphaned(self, frame: Any, time: float) -> None:
+        """The attempt's result arrived but was recognised as stale."""
+        span = self._current(frame)
+        if span is None or span.status != "open":
+            return
+        span.status = "orphaned"
+        span.t_end = time
+        self._note(span, time, "orphaned", span.node)
+
+    def aborted(self, frame: Any, time: float) -> None:
+        """The attempt was lost (crash without restart eligibility)."""
+        span = self._current(frame)
+        if span is None or span.status != "open":
+            return
+        span.status = "aborted"
+        span.t_end = time
+        self._note(span, time, "aborted", span.node)
+
+    def restart(self, frame: Any, time: float, target: str) -> None:
+        """Crash recovery re-queued ``frame`` (after ``reset_for_retry``).
+
+        Closes the superseded attempt's span as aborted and opens a new
+        one (``#<attempts>``) linked back via ``retry_of``.
+        """
+        ordinal = self._ordinals.get(frame.id)
+        if ordinal is None:
+            return
+        old_sid = f"t{ordinal}#{frame.attempts - 1}"
+        old = self.spans.get(old_sid)
+        if old is not None and old.status == "open":
+            old.status = "aborted"
+            old.t_end = time
+            self._note(old, time, "aborted", old.node)
+        sid = f"t{ordinal}#{frame.attempts}"
+        span = Span(
+            sid=sid,
+            parent=old.parent if old is not None else "",
+            retry_of=old_sid,
+            leaf=frame.is_leaf,
+            node=target,
+            t_spawn=time,
+        )
+        self.spans[sid] = span
+        self._note(span, time, "restarted", target)
+
+    # -- summaries ---------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Span count per status (deterministic key order)."""
+        out: dict[str, int] = {}
+        for status in ("open", "completed", "aborted", "orphaned"):
+            out[status] = 0
+        for span in self.spans.values():
+            out[span.status] = out.get(span.status, 0) + 1
+        return out
+
+
+class _NullSpanTracker(SpanTracker):
+    """Shared no-op tracker: every hook is a pass (callers also guard on
+    :attr:`enabled` to skip argument construction)."""
+
+    enabled = False
+
+    def spawn(self, frame: Any, time: float, node: str) -> Span:
+        return _NULL_SPAN
+
+    def stolen(self, frame: Any, time: float, thief: str, scope: str) -> None:
+        pass
+
+    def migrated(self, frame: Any, time: float, target: str) -> None:
+        pass
+
+    def exec_start(self, frame: Any, time: float, node: str, phase: str) -> None:
+        pass
+
+    def exec_end(self, frame: Any, time: float, phase: str) -> None:
+        pass
+
+    def result_returned(self, frame: Any, time: float) -> None:
+        pass
+
+    def orphaned(self, frame: Any, time: float) -> None:
+        pass
+
+    def aborted(self, frame: Any, time: float) -> None:
+        pass
+
+    def restart(self, frame: Any, time: float, target: str) -> None:
+        pass
+
+
+_NULL_SPAN = Span(sid="")
+NULL_SPAN_TRACKER = _NullSpanTracker()
+
+
+# --------------------------------------------------------------- critical path
+@dataclass(frozen=True)
+class PathSegment:
+    """One span on the critical path, with its per-category breakdown.
+
+    ``queue`` — spawn to execution start (deque + steal transit);
+    ``work`` — divide/leaf plus combine execution;
+    ``wait`` — divide end to combine start (children executing; on the
+    critical path this time is covered by the child sub-chain);
+    ``comm`` — execution end to result application (result transit).
+    """
+
+    sid: str
+    node: str
+    start: float
+    end: float
+    queue: float
+    work: float
+    wait: float
+    comm: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sid": self.sid, "node": self.node,
+            "start": self.start, "end": self.end,
+            "queue": self.queue, "work": self.work,
+            "wait": self.wait, "comm": self.comm,
+        }
+
+
+def _segment(span: Span) -> PathSegment:
+    end = span.t_end if span.t_end is not None else span.t_spawn
+    exec_start = span.t_exec_start if span.t_exec_start is not None else end
+    exec_end = span.t_exec_end if span.t_exec_end is not None else exec_start
+    queue = max(exec_start - span.t_spawn, 0.0)
+    work = max(exec_end - exec_start, 0.0)
+    wait = 0.0
+    comm_from = exec_end
+    if span.t_combine_start is not None:
+        wait = max(span.t_combine_start - exec_end, 0.0)
+        combine_end = (
+            span.t_combine_end
+            if span.t_combine_end is not None
+            else span.t_combine_start
+        )
+        work += max(combine_end - span.t_combine_start, 0.0)
+        comm_from = combine_end
+    comm = max(end - comm_from, 0.0)
+    return PathSegment(
+        sid=span.sid, node=span.node, start=span.t_spawn, end=end,
+        queue=queue, work=work, wait=wait, comm=comm,
+    )
+
+
+def critical_path(
+    spans: dict[str, Span], root: Optional[str] = None
+) -> list[PathSegment]:
+    """The longest chain of dependent completed spans, root first.
+
+    Starting from ``root`` (default: the longest-lived completed root
+    span — for an iterative application, the slowest iteration), each
+    step descends into the child attempt whose result arrived last: that
+    child is what the parent's combine actually waited for. Ties break on
+    span id, keeping the extraction deterministic.
+    """
+    completed = [s for s in spans.values() if s.status == "completed"]
+    if root is not None:
+        start = spans.get(root)
+        if start is None or start.status != "completed":
+            return []
+    else:
+        roots = [s for s in completed if not s.parent]
+        if not roots:
+            return []
+        start = max(roots, key=lambda s: (s.duration, s.sid))
+
+    children: dict[str, list[Span]] = {}
+    for span in completed:
+        if span.parent:
+            children.setdefault(span.parent, []).append(span)
+
+    chain: list[PathSegment] = []
+    current: Optional[Span] = start
+    seen: set[str] = set()
+    while current is not None and current.sid not in seen:
+        seen.add(current.sid)
+        chain.append(_segment(current))
+        kids = children.get(current.sid, [])
+        current = (
+            max(kids, key=lambda s: (s.t_end, s.sid)) if kids else None
+        )
+    return chain

@@ -77,6 +77,19 @@ class NodeReport:
             return 0.0
         return min(1.0, self.comm_intra / self.period_seconds)
 
+    def fractions(self) -> dict[str, float]:
+        """Per-category fractions of the period (keys = :data:`CATEGORIES`).
+
+        The attribution ledger (:mod:`repro.obs.attribution`) refines the
+        same partition — its ``work`` + ``recovery`` equal ``busy`` here —
+        so profile reconciliation compares against these fractions.
+        """
+        if self.period_seconds <= 0:
+            return {c: 0.0 for c in CATEGORIES}
+        return {
+            c: getattr(self, c) / self.period_seconds for c in CATEGORIES
+        }
+
 
 class TimeAccount:
     """Accumulates activity durations and rolls monitoring periods over."""

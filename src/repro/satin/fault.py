@@ -116,6 +116,11 @@ class RecoveryManager:
         self.recovered += 1
         obs = self._runtime.obs
         obs.metrics.counter("frames_recovered").inc()
+        if obs.spans.enabled:
+            # Called after reset_for_retry + place_frame: the superseded
+            # attempt's span is closed as aborted and a fresh one opens,
+            # linked via retry_of.
+            obs.spans.restart(frame, self._runtime.env.now, target)
         if obs.bus.wants(RecoveryRestart.kind):
             obs.bus.emit(RecoveryRestart(
                 time=self._runtime.env.now, crashed=crashed,
@@ -161,8 +166,11 @@ class RecoveryManager:
                 runtime.place_frame(frame, dest)
                 requeued.append(frame)
                 self._note_restart(crashed, frame, dest)
-            # else: the delivery target is itself gone or restarted; the
-            # frame is regenerated by an ancestor's re-execution.
+            else:
+                # The delivery target is itself gone or restarted; the
+                # frame is regenerated by an ancestor's re-execution.
+                if runtime.obs.spans.enabled:
+                    runtime.obs.spans.aborted(frame, runtime.env.now)
         self.purge_stale()
         return requeued
 

@@ -34,7 +34,7 @@ from ..simgrid.trace import Trace
 from .accounting import NodeReport
 from .fault import RecoveryManager
 from .malleability import DefaultHandoff, HandoffStrategy
-from .stealing import ClusterAwareRandomStealing, StealPolicy
+from .stealing import ClusterAwareRandomStealing, StealPolicy, steal_scope
 from .task import Frame, FrameState, TaskNode
 from .worker import Worker, WorkerConfig
 
@@ -216,8 +216,12 @@ class SatinRuntime:
     def on_crash(self, member: str) -> None:
         """Crash *detected* (after the registry's detection delay)."""
         # Lose the crashed node's waiting set: those frames' subtrees are
-        # regenerated by re-executing the tracked frames.
-        self._waiting.pop(member, None)
+        # regenerated by re-executing the tracked frames. Their spans end
+        # here (sorted for deterministic transition order).
+        waiting = self._waiting.pop(member, None)
+        if waiting and self.obs.spans.enabled:
+            for frame in sorted(waiting, key=lambda f: f.id):
+                self.obs.spans.aborted(frame, self.env.now)
         requeued = self.recovery.recover_from_crash(member)
         self.trace.log(
             self.env.now, "crash_recovery", member=member, requeued=len(requeued)
@@ -256,11 +260,15 @@ class SatinRuntime:
         frame = Frame(tree)
         done = self.env.event()
         self._root_events[frame.id] = done
+        if self.obs.spans.enabled:
+            self.obs.spans.spawn(frame, self.env.now, target)
         self.place_frame(frame, target)
         return done
 
     def root_done(self, frame: Frame) -> None:
         self.recovery.untrack(frame)
+        if self.obs.spans.enabled:
+            self.obs.spans.result_returned(frame, self.env.now)
         done = self._root_events.pop(frame.id, None)
         if done is not None and not done.triggered:
             done.succeed(frame)
@@ -275,6 +283,11 @@ class SatinRuntime:
             return None
         frame.stolen = True
         frame.executor = thief
+        if self.obs.spans.enabled:
+            thief_cluster = self._workers[thief].cluster if thief in self._workers else ""
+            self.obs.spans.stolen(
+                frame, self.env.now, thief, steal_scope(thief_cluster, w.cluster)
+            )
         self.recovery.track(frame, thief)
         return frame
 
@@ -305,8 +318,12 @@ class SatinRuntime:
             owner_worker.alive or owner_worker.departure_cause == "leave"
         )
         if not owner_ok or not self.recovery.delivery_valid(frame):
+            if self.obs.spans.enabled:
+                self.obs.spans.orphaned(frame, self.env.now)
             self.recovery.note_dropped()
             return
+        if self.obs.spans.enabled:
+            self.obs.spans.result_returned(frame, self.env.now)
         parent.pending_children -= 1
         if parent.pending_children == 0:
             parent.state = FrameState.COMBINE_READY
@@ -334,6 +351,11 @@ class SatinRuntime:
         """Put ``frame`` into ``target``'s deque and update fault tracking."""
         if not self.worker_alive(target):
             raise SimulationError(f"cannot place frame at dead worker {target!r}")
+        if self.obs.spans.enabled and frame.executor not in (None, target):
+            # A frame that already had an executor is moving (hand-off /
+            # re-homing); fresh placements and recovery restarts (executor
+            # reset to None) are recorded by their own hooks.
+            self.obs.spans.migrated(frame, self.env.now, target)
         frame.executor = target
         self.recovery.track(frame, target)
         self._workers[target].push_frame(frame)

@@ -31,7 +31,17 @@ __all__ = [
     "StealPolicy",
     "RandomStealing",
     "ClusterAwareRandomStealing",
+    "steal_scope",
 ]
+
+
+def steal_scope(thief_cluster: str, victim_cluster: str) -> str:
+    """Telemetry scope of a steal: "intra" or "inter" (cluster-relative).
+
+    One definition shared by the steal-attempt events, the comm accounting
+    category split, and the span tracker's stolen transitions.
+    """
+    return "intra" if thief_cluster == victim_cluster else "inter"
 
 
 class PeerDirectory(Protocol):

@@ -153,6 +153,7 @@ class Frame:
         "stolen",
         "attempts",
         "result_bytes",
+        "recovered",
     )
 
     def __init__(
@@ -179,6 +180,11 @@ class Frame:
         #: execution; >0 means fault recovery or malleability re-queued it.
         self.attempts = 0
         self.result_bytes = node.data_out
+        #: True for frames whose execution re-does work lost to a crash:
+        #: set by :meth:`reset_for_retry` and inherited by the children a
+        #: re-executed divide respawns, so time attribution can charge the
+        #: whole redone subtree to "recovery" instead of "work".
+        self.recovered = parent.recovered if parent is not None else False
 
     @property
     def is_leaf(self) -> bool:
@@ -195,6 +201,7 @@ class Frame:
         self.owner = None
         self.executor = None
         self.pending_children = 0
+        self.recovered = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

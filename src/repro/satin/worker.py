@@ -43,7 +43,7 @@ from ..simgrid.resources import Host
 from .accounting import TimeAccount
 from .benchmarking import BenchmarkConfig, SpeedBenchmark
 from .deque import WorkDeque
-from .stealing import PeerDirectory, StealPolicy
+from .stealing import PeerDirectory, StealPolicy, steal_scope
 from .task import Frame, FrameState
 from .taskrate import TaskRateConfig, TaskRateSpeedEstimator
 
@@ -190,6 +190,13 @@ class Worker:
             for mode in ("sync", "async")
         }
         self._m_reports = metrics.counter("monitoring_reports", worker=self.name)
+        # Profiling handles: the span tracker is shared, the attribution
+        # recorder is per-incarnation (a node that rejoins gets a fresh
+        # one). Both are shared no-ops unless profiling is on.
+        self._spans = self.obs.spans
+        self._ledger = self.obs.attribution.recorder(
+            self.name, self.cluster, start=self.env.now
+        )
 
     # ------------------------------------------------------------------ api
     def start(self) -> None:
@@ -262,10 +269,12 @@ class Worker:
     def _idle_wait(self) -> Generator[Event, Any, None]:
         t0 = self.env.now
         self._wake = self.env.event()
+        self._ledger.enter("idle", t0)
         try:
             yield AnyOf(self.env, [self.env.timeout(self._backoff.next()), self._wake])
         finally:
             self._wake = None
+            self._ledger.exit(self.env.now)
             self.account.add("idle", self.env.now - t0)
 
     # ------------------------------------------------------------- execution
@@ -273,11 +282,19 @@ class Worker:
         # _current stays set if an Interrupt lands mid-execution, so the
         # departure handler can recover the in-progress frame.
         self._current = frame
+        spans = self._spans
+        # Re-executed subtrees (crash recovery) charge "recovery", not "work".
+        category = "recovery" if frame.recovered else "work"
         if frame.state is FrameState.READY:
             frame.state = FrameState.RUNNING
             frame.owner = self.name
             frame.executor = self.name
-            yield from self._compute(frame.node.work)
+            phase = "leaf" if frame.is_leaf else "divide"
+            if spans.enabled:
+                spans.exec_start(frame, self.env.now, self.name, phase)
+            yield from self._compute(frame.node.work, category)
+            if spans.enabled:
+                spans.exec_end(frame, self.env.now, phase)
             self.executed_tasks += 1
             if frame.is_leaf:
                 self.executed_leaves += 1
@@ -291,27 +308,42 @@ class Worker:
                 self.runtime.waiting_add(self.name, frame)
                 for child in children:
                     self.deque.push(child)
+                    if spans.enabled:
+                        spans.spawn(child, self.env.now, self.name)
         elif frame.state is FrameState.COMBINE_READY:
             frame.state = FrameState.COMBINING
-            yield from self._compute(frame.node.combine_work)
+            if spans.enabled:
+                spans.exec_start(frame, self.env.now, self.name, "combine")
+            yield from self._compute(frame.node.combine_work, category)
+            if spans.enabled:
+                spans.exec_end(frame, self.env.now, "combine")
             yield from self._complete(frame)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"cannot execute frame in state {frame.state}")
         self._current = None
 
-    def _compute(self, work: float) -> Generator[Event, Any, None]:
+    def _compute(
+        self, work: float, category: str = "work"
+    ) -> Generator[Event, Any, None]:
         """Burn ``work`` units of CPU at the host's current effective speed.
 
         The speed is sampled at the start of the burst; a load change that
         lands mid-burst takes effect from the next task. Task granularities
         in the experiments are small relative to the scenario event spacing,
         so the approximation is invisible in the measurements.
+
+        ``category`` is the attribution ledger's refinement of "busy":
+        "work" for first executions, "recovery" for crash re-execution.
         """
         if work <= 0:
             return
         duration = work / self.host.effective_speed
         t0 = self.env.now
-        yield self.env.timeout(duration)
+        self._ledger.enter(category, t0)
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self._ledger.exit(self.env.now)
         self.account.add("busy", self.env.now - t0)
 
     def _complete(self, frame: Frame) -> Generator[Event, Any, None]:
@@ -327,17 +359,19 @@ class Worker:
         # Result travels back to the parent frame's owner.
         if dest is not None and self.runtime.worker_alive(dest):
             nbytes = self.config.result_header_bytes + frame.result_bytes
+            category = self._comm_category(dest)
             t0 = self.env.now
+            self._ledger.enter(category, t0)
             try:
                 yield from self.runtime.network.transfer(self.name, dest, nbytes)
             finally:
-                self.account.add(self._comm_category(dest), self.env.now - t0)
+                self._ledger.exit(self.env.now)
+                self.account.add(category, self.env.now - t0)
         self.runtime.deliver_result(frame)
 
     # ---------------------------------------------------------------- stealing
     def _comm_category(self, peer: str) -> str:
-        peer_cluster = self.runtime.host(peer).cluster
-        return "comm_intra" if peer_cluster == self.cluster else "comm_inter"
+        return f"comm_{steal_scope(self.cluster, self.runtime.host(peer).cluster)}"
 
     def _note_steal(
         self, victim: str, mode: str, category: str, success: bool, latency: float
@@ -361,6 +395,7 @@ class Worker:
         net = self.runtime.network
         t0 = self.env.now
         frame: Optional[Frame] = None
+        self._ledger.enter(category, t0)
         try:
             yield from net.transfer(self.name, victim, self.config.steal_request_bytes)
             frame = self.runtime.try_steal(victim, self.name)
@@ -374,6 +409,7 @@ class Worker:
                 self.runtime.return_stolen(frame, victim)
             raise
         finally:
+            self._ledger.exit(self.env.now)
             self.account.add(category, self.env.now - t0)
         self._note_steal(victim, "sync", category, frame is not None, self.env.now - t0)
         if frame is None:
@@ -411,13 +447,15 @@ class Worker:
             )
             if self.runtime.worker_alive(victim):
                 if frame is not None:
+                    cat = self._comm_category(victim)
                     t0 = self.env.now
                     try:
                         yield from net.transfer(victim, self.name, nbytes)
                     finally:
-                        self.account.add(
-                            self._comm_category(victim), self.env.now - t0
-                        )
+                        # The helper runs concurrently with the main loop,
+                        # so this is overlap, not serial ledger time.
+                        self.account.add(cat, self.env.now - t0)
+                        self._ledger.charge_overlap(cat, t0, self.env.now)
                 else:
                     yield from net.transfer(victim, self.name, nbytes)
             if frame is not None:
@@ -454,13 +492,14 @@ class Worker:
         report = self.account.rollover(
             now, worker=self.name, cluster=self.cluster, speed=self.reported_speed
         )
+        self._ledger.rollover(now)
         self._m_reports.inc()
         bus = self.obs.bus
         if bus.wants(MonitoringPeriod.kind):
             bus.emit(MonitoringPeriod(
                 time=now, worker=self.name, cluster=self.cluster,
                 speed=report.speed, overhead=report.overhead,
-                ic_overhead=report.ic_overhead,
+                ic_overhead=report.ic_overhead, period=report.period_index,
             ))
         self.runtime.report_stats(self, report)
 
@@ -469,7 +508,11 @@ class Worker:
         load = self.host.external_load
         duration = self.bench.duration(self.host.effective_speed)
         t0 = self.env.now
-        yield self.env.timeout(duration)
+        self._ledger.enter("bench", t0)
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self._ledger.exit(self.env.now)
         self.account.add("bench", self.env.now - t0)
         self.bench.record(self.env.now, self.env.now - t0)
         self.bench.note_load(load)
@@ -514,14 +557,30 @@ class Worker:
                 if target is None:
                     continue  # no live workers; the frame is lost with us
                 # Ship the frame's data first, then make it runnable there.
-                yield from self.runtime.network.transfer(
-                    self.name, target, frame.node.data_in
-                )
+                # The hand-off traffic goes to the ledger only: the paper's
+                # accounting stops at departure, but the attribution ledger
+                # keeps conservation over the full participation window.
+                self._ledger.enter(self._comm_category(target), self.env.now)
+                try:
+                    yield from self.runtime.network.transfer(
+                        self.name, target, frame.node.data_in
+                    )
+                finally:
+                    self._ledger.exit(self.env.now)
                 if self.runtime.worker_alive(target):
                     self.runtime.place_frame(frame, target)
                 else:
                     self.runtime.handoff(frame, self.name)
         # For "crash" everything on the node is simply lost; the runtime's
         # recovery (driven by the registry's crash notification) re-queues
-        # whatever other nodes are still waiting for.
+        # whatever other nodes are still waiting for. The local frames die
+        # here, so their open spans close as aborted now (a tracked frame
+        # gets a successor span when recovery restarts it).
+        elif self._spans.enabled:
+            lost = self.deque.drain()
+            if self._current is not None:
+                lost.append(self._current)
+            for frame in lost:
+                self._spans.aborted(frame, self.env.now)
+        self._ledger.finalize(self.env.now)
         self.runtime.worker_departed(self, cause)

@@ -376,6 +376,10 @@ class Environment:
         self._active: Optional[Process] = None
         self._event_count = 0
         self._max_queue_len = 0
+        #: state-transition clock hooks, ``f(old_time, new_time)``; fired
+        #: whenever :meth:`step` advances the clock. Empty by default so
+        #: the hot path pays one truthiness test (profiling layers attach).
+        self._clock_listeners: list[Callable[[float, float], None]] = []
 
     # -- clock -----------------------------------------------------------
     @property
@@ -406,6 +410,19 @@ class Environment:
             "max_queue_len": float(self._max_queue_len),
             "sim_time": self._now,
         }
+
+    def add_clock_listener(self, fn: Callable[[float, float], None]) -> None:
+        """Register ``fn(old, new)`` to fire on every clock advance.
+
+        Used by the attribution layer to observe state-transition times
+        without polling; keep listeners cheap — they run on the hot path.
+        """
+        self._clock_listeners.append(fn)
+
+    def remove_clock_listener(self, fn: Callable[[float, float], None]) -> None:
+        """Unregister a clock listener; no-op if absent."""
+        if fn in self._clock_listeners:
+            self._clock_listeners.remove(fn)
 
     # -- event factories ---------------------------------------------------
     def event(self) -> Event:
@@ -445,7 +462,13 @@ class Environment:
         when, _prio, _seq, event = heapq.heappop(self._queue)
         if when < self._now:  # pragma: no cover - guarded by schedule logic
             raise SimulationError("event scheduled in the past")
-        self._now = when
+        if self._clock_listeners and when > self._now:
+            old = self._now
+            self._now = when
+            for fn in self._clock_listeners:
+                fn(old, when)
+        else:
+            self._now = when
         self._event_count += 1
 
         callbacks, event.callbacks = event.callbacks, None

@@ -1,0 +1,179 @@
+"""Unit tests for the attribution ledger's enter/exit state machine.
+
+Conservation is the contract under test: for any bracketed timeline the
+per-period category sums must equal the period length exactly (float
+round-off only), including rollovers mid-activity, interrupt self-heal,
+and finalize of a half-open activity.
+"""
+
+import pytest
+
+from repro.obs.attribution import (
+    DISABLED_LEDGER,
+    LEDGER_CATEGORIES,
+    NULL_RECORDER,
+    AttributionLedger,
+    NodeRecorder,
+)
+
+
+def test_enter_exit_charges_categories():
+    rec = NodeRecorder("n0", "c0", start=0.0)
+    rec.enter("work", 0.0)
+    rec.exit(3.0)
+    rec.enter("idle", 3.0)
+    rec.exit(5.0)
+    rec.finalize(5.0)
+    (row,) = rec.rows
+    assert row.seconds["work"] == 3.0
+    assert row.seconds["idle"] == 2.0
+    assert row.final
+    assert row.conservation_error == 0.0
+
+
+def test_rollover_splits_open_activity_across_periods():
+    rec = NodeRecorder("n0", "c0", start=0.0)
+    rec.enter("comm_inter", 0.0)
+    rec.rollover(4.0)          # activity still open: 4s land in period 0
+    rec.exit(6.0)              # remaining 2s land in period 1
+    rec.finalize(10.0)
+    p0, p1 = rec.rows
+    assert p0.index == 0 and not p0.final
+    assert p0.seconds["comm_inter"] == 4.0
+    assert p0.conservation_error == 0.0
+    assert p1.index == 1 and p1.final
+    assert p1.seconds["comm_inter"] == 2.0
+    assert p1.seconds["idle"] == 0.0  # exit without enter charges nothing
+    # period 1 covers [4, 10] but only 2s are bracketed; the unbracketed
+    # tail stays unattributed, which is exactly what conservation_error
+    # measures on a hand-driven recorder
+    assert p1.conservation_error == 4.0
+
+
+def test_enter_while_open_self_heals():
+    # an interrupt can skip an exit; the next enter charges the open state
+    rec = NodeRecorder("n0", "c0", start=0.0)
+    rec.enter("work", 0.0)
+    rec.enter("idle", 5.0)     # no exit for "work": 5s charged to work
+    rec.exit(7.0)
+    rec.finalize(7.0)
+    (row,) = rec.rows
+    assert row.seconds["work"] == 5.0
+    assert row.seconds["idle"] == 2.0
+    assert row.conservation_error == 0.0
+
+
+def test_finalize_closes_open_activity_and_is_idempotent():
+    rec = NodeRecorder("n0", "c0", start=0.0)
+    rec.enter("bench", 0.0)
+    rec.finalize(2.5)          # bench still open: charged up to 2.5
+    rec.finalize(99.0)         # idempotent: no second row, no extra charge
+    (row,) = rec.rows
+    assert rec.finalized
+    assert row.seconds["bench"] == 2.5
+    assert row.end == 2.5
+
+
+def test_finalize_without_any_activity_emits_no_row():
+    rec = NodeRecorder("n0", "c0", start=5.0)
+    rec.finalize()
+    assert rec.rows == []
+
+
+def test_charge_overlap_excluded_from_conservation():
+    rec = NodeRecorder("n0", "c0", start=0.0)
+    rec.enter("work", 0.0)
+    rec.charge_overlap("comm_inter", 1.0, 3.0)  # async helper, concurrent
+    rec.exit(10.0)
+    rec.finalize(10.0)
+    (row,) = rec.rows
+    assert row.seconds["work"] == 10.0
+    assert row.overlap["comm_inter"] == 2.0
+    assert row.conservation_error == 0.0        # overlap not conserved
+    assert row.ic_overhead == pytest.approx(0.2)  # but counted in ic fraction
+
+
+def test_charge_overlap_after_finalize_folds_into_last_row():
+    rec = NodeRecorder("n0", "c0", start=0.0)
+    rec.enter("idle", 0.0)
+    rec.exit(4.0)
+    rec.finalize(4.0)
+    rec.charge_overlap("comm_intra", 3.0, 4.0)
+    (row,) = rec.rows
+    assert row.overlap["comm_intra"] == 1.0
+
+
+def test_negative_duration_raises():
+    rec = NodeRecorder("n0", "c0", start=0.0)
+    rec.enter("work", 5.0)
+    with pytest.raises(ValueError, match="negative"):
+        rec.exit(4.0)
+
+
+def test_period_row_derived_fractions():
+    rec = NodeRecorder("n0", "c0", start=0.0)
+    rec.enter("work", 0.0)
+    rec.exit(6.0)
+    rec.enter("recovery", 6.0)
+    rec.exit(8.0)
+    rec.enter("comm_inter", 8.0)
+    rec.exit(10.0)
+    rec.rollover(10.0)
+    (row,) = rec.rows
+    assert row.busy == 8.0                       # work + recovery
+    assert row.overhead == pytest.approx(0.2)    # 1 - busy/length
+    assert row.ic_overhead == pytest.approx(0.2)
+    d = row.to_dict()
+    assert d["period"] == 0
+    for cat in LEDGER_CATEGORIES:
+        assert cat in d
+
+
+def test_ledger_rows_sorted_and_conservation_aggregated():
+    ledger = AttributionLedger()
+    b = ledger.recorder("n1", "c0", start=0.0)
+    a = ledger.recorder("n0", "c0", start=0.0)
+    for rec in (a, b):
+        rec.enter("work", 0.0)
+        rec.exit(2.0)
+    ledger.finalize(2.0)
+    rows = ledger.rows()
+    assert [r.node for r in rows] == ["n0", "n1"]
+    assert ledger.max_conservation_error() == 0.0
+    assert len(ledger.recorders) == 2
+
+
+def test_ledger_watch_tracks_clock_for_argless_finalize():
+    from repro.simgrid.engine import Environment
+
+    env = Environment()
+    ledger = AttributionLedger()
+    ledger.watch(env)
+    rec = ledger.recorder("n0", "c0", start=0.0)
+
+    def proc(env):
+        yield env.timeout(7.0)
+
+    rec.enter("idle", 0.0)
+    env.process(proc(env))
+    env.run()
+    ledger.finalize()            # no argument: uses the watched clock
+    (row,) = rec.rows
+    assert row.end == 7.0
+    assert row.seconds["idle"] == 7.0
+
+
+def test_disabled_ledger_is_inert():
+    rec = DISABLED_LEDGER.recorder("n0", "c0", start=0.0)
+    assert rec is NULL_RECORDER
+    assert not rec.enabled
+    rec.enter("work", 0.0)
+    rec.exit(5.0)
+    rec.charge_overlap("comm_inter", 0.0, 5.0)
+    rec.rollover(5.0)
+    rec.finalize(5.0)
+    assert rec.rows == []
+    DISABLED_LEDGER.finalize()
+    assert DISABLED_LEDGER.rows() == []
+    assert DISABLED_LEDGER.max_conservation_error() == 0.0
+    assert not DISABLED_LEDGER.enabled

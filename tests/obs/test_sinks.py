@@ -1,0 +1,88 @@
+"""Sink round-trips: write_events → read_events preserves the stream.
+
+The empty-CSV case is pinned deliberately: an empty stream must still
+produce the leading header so the schema survives the round trip (a
+downstream CSV reader sees the columns, not a zero-byte file).
+"""
+
+import io
+
+import pytest
+
+from repro.obs.bus import TraceBus
+from repro.obs.events import MonitoringPeriod, StealAttempt
+from repro.obs.sinks import CsvSink, read_events, write_events
+
+
+def sample_events():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe(seen.append)
+    bus.emit(StealAttempt(
+        time=1.5, thief="c0/n0", victim="c1/n0", mode="sync",
+        scope="inter", success=True,
+    ))
+    bus.emit(MonitoringPeriod(
+        time=10.0, worker="c0/n0", cluster="c0", speed=12.5,
+        overhead=0.25, ic_overhead=0.0625, period=0,
+    ))
+    return seen
+
+
+def test_jsonl_round_trip_preserves_types(tmp_path):
+    events = sample_events()
+    path = tmp_path / "trace.jsonl"
+    assert write_events(events, path) == 2
+    rows = read_events(path)
+    assert [r["kind"] for r in rows] == ["steal_attempt", "monitoring_period"]
+    assert rows[0]["success"] is True
+    assert rows[0]["seq"] == 0
+    assert rows[1]["speed"] == 12.5
+    assert rows[1]["period"] == 0
+    # round-trip equals the events' own flat representation
+    assert rows == [e.to_dict() for e in events]
+
+
+def test_csv_round_trip_is_stringly_typed(tmp_path):
+    events = sample_events()
+    path = tmp_path / "trace.csv"
+    assert write_events(events, path, fmt="csv") == 2
+    rows = read_events(path)
+    assert len(rows) == 2
+    assert rows[0]["kind"] == "steal_attempt"
+    assert rows[0]["success"] == "True"
+    # union schema: the steal row carries empty cells for period fields
+    assert rows[0]["worker"] == ""
+    assert rows[1]["worker"] == "c0/n0"
+    assert float(rows[1]["overhead"]) == 0.25
+
+
+def test_empty_csv_stream_still_writes_header(tmp_path):
+    path = tmp_path / "empty.csv"
+    assert write_events([], path, fmt="csv") == 0
+    text = path.read_text()
+    assert text.splitlines()[0] == "seq,time,kind"
+    assert read_events(path) == []
+
+
+def test_empty_csv_header_on_stream_object():
+    buf = io.StringIO()
+    sink = CsvSink(buf)
+    sink.close()
+    assert buf.getvalue().splitlines() == ["seq,time,kind"]
+    buf.seek(0)
+    assert read_events(buf, fmt="csv") == []
+
+
+def test_format_inferred_from_extension(tmp_path):
+    events = sample_events()
+    csv_path = tmp_path / "t.csv"
+    write_events(events, csv_path)
+    assert read_events(csv_path)[0]["success"] == "True"  # csv inferred
+
+
+def test_unknown_format_rejected(tmp_path):
+    with pytest.raises(ValueError, match="format"):
+        write_events([], tmp_path / "t.xml", fmt="xml")
+    with pytest.raises(ValueError, match="format"):
+        read_events(tmp_path / "t.xml", fmt="xml")

@@ -1,0 +1,202 @@
+"""Unit tests for causal spans: deterministic ids, parent links across
+steals/restarts, and critical-path extraction over crafted DAGs."""
+
+from repro.apps.dctree import balanced_tree
+from repro.obs.bus import TraceBus
+from repro.obs.spans import NULL_SPAN_TRACKER, Span, SpanTracker, critical_path
+from repro.satin.task import Frame
+
+
+def make_frames():
+    """A root frame with its two children (depth-1 divide tree)."""
+    tree = balanced_tree(depth=1, fanout=2, leaf_work=1.0)
+    root = Frame(tree)
+    children = root.child_frames()
+    return root, children
+
+
+def test_lifecycle_produces_completed_span_with_deterministic_sid():
+    tracker = SpanTracker()
+    root, _ = make_frames()
+    span = tracker.spawn(root, 0.0, "c0/n0")
+    assert span.sid == "t0#0"          # tracker-local ordinal, attempt 0
+    tracker.exec_start(root, 1.0, "c0/n0", phase="divide")
+    tracker.exec_end(root, 2.0, phase="divide")
+    tracker.exec_start(root, 5.0, "c0/n0", phase="combine")
+    tracker.exec_end(root, 6.0, phase="combine")
+    tracker.result_returned(root, 6.5)
+    assert span.status == "completed"
+    assert span.t_exec_start == 1.0 and span.t_exec_end == 2.0
+    assert span.t_combine_start == 5.0 and span.t_combine_end == 6.0
+    assert span.t_end == 6.5
+    assert span.duration == 6.5
+    assert [p for _, p, _ in span.transitions] == [
+        "spawned", "executing", "executed", "combining", "combined",
+        "result_returned",
+    ]
+
+
+def test_parent_links_and_leaf_flag():
+    tracker = SpanTracker()
+    root, children = make_frames()
+    tracker.spawn(root, 0.0, "c0/n0")
+    s1 = tracker.spawn(children[0], 1.0, "c0/n0")
+    s2 = tracker.spawn(children[1], 1.0, "c0/n0")
+    assert (s1.sid, s2.sid) == ("t1#0", "t2#0")
+    assert s1.parent == "t0#0" and s2.parent == "t0#0"
+    assert s1.leaf and s2.leaf
+    root_span = tracker.spans["t0#0"]
+    assert root_span.parent == "" and not root_span.leaf
+
+
+def test_stolen_and_migrated_update_location():
+    tracker = SpanTracker()
+    root, _ = make_frames()
+    span = tracker.spawn(root, 0.0, "c0/n0")
+    tracker.stolen(root, 1.0, thief="c1/n0", scope="inter")
+    assert span.node == "c1/n0" and span.scope == "inter"
+    tracker.migrated(root, 2.0, target="c0/n1")
+    assert span.node == "c0/n1"
+    assert span.scope == "inter"       # scope remembers the last steal
+    phases = [p for _, p, _ in span.transitions]
+    assert phases == ["spawned", "stolen", "migrated"]
+
+
+def test_restart_aborts_old_attempt_and_links_retry():
+    tracker = SpanTracker()
+    root, _ = make_frames()
+    old = tracker.spawn(root, 0.0, "c0/n0")
+    tracker.exec_start(root, 1.0, "c0/n0", phase="leaf")
+    root.reset_for_retry()             # crash recovery: attempts 0 -> 1
+    tracker.restart(root, 3.0, target="c0/n1")
+    assert old.status == "aborted" and old.t_end == 3.0
+    new = tracker.spans["t0#1"]
+    assert new.retry_of == "t0#0"
+    assert new.status == "open" and new.node == "c0/n1"
+    # hooks now address the new attempt, not the aborted one
+    tracker.result_returned(root, 5.0)
+    assert new.status == "completed"
+    assert old.status == "aborted"
+
+
+def test_child_parent_link_pins_spawn_epoch():
+    # a child spawned by attempt 1 links to the #1 span, not #0
+    tracker = SpanTracker()
+    root, _ = make_frames()
+    tracker.spawn(root, 0.0, "c0/n0")
+    root.reset_for_retry()
+    tracker.restart(root, 2.0, target="c0/n0")
+    child = root.child_frames()[0]
+    span = tracker.spawn(child, 3.0, "c0/n0")
+    assert span.parent == "t0#1"
+
+
+def test_orphaned_and_hooks_on_unknown_frames_are_safe():
+    tracker = SpanTracker()
+    root, children = make_frames()
+    tracker.spawn(root, 0.0, "c0/n0")
+    span = tracker.spawn(children[0], 1.0, "c0/n0")
+    tracker.orphaned(children[0], 4.0)
+    assert span.status == "orphaned" and span.t_end == 4.0
+    # frames never spawned through the tracker are ignored, not crashed on
+    stranger = children[1]
+    tracker2 = SpanTracker()
+    tracker2.stolen(stranger, 0.0, "x", "intra")
+    tracker2.result_returned(stranger, 0.0)
+    tracker2.aborted(stranger, 0.0)
+    tracker2.restart(stranger, 0.0, "x")
+    assert tracker2.spans == {}
+
+
+def test_counts_per_status():
+    tracker = SpanTracker()
+    root, children = make_frames()
+    tracker.spawn(root, 0.0, "c0/n0")
+    tracker.spawn(children[0], 1.0, "c0/n0")
+    tracker.spawn(children[1], 1.0, "c0/n0")
+    tracker.result_returned(children[0], 2.0)
+    tracker.aborted(children[1], 2.0)
+    assert tracker.counts() == {
+        "open": 1, "completed": 1, "aborted": 1, "orphaned": 0,
+    }
+
+
+def test_transitions_emitted_to_bus_when_wanted():
+    bus = TraceBus(kinds=["span"])
+    tracker = SpanTracker(bus=bus)
+    root, _ = make_frames()
+    tracker.spawn(root, 0.0, "c0/n0")
+    tracker.result_returned(root, 1.0)
+    kinds = [e.to_dict() for e in bus.events]
+    assert [e["phase"] for e in kinds] == ["spawned", "result_returned"]
+    assert all(e["span"] == "t0#0" for e in kinds)
+
+
+def test_null_tracker_is_inert():
+    root, _ = make_frames()
+    assert not NULL_SPAN_TRACKER.enabled
+    span = NULL_SPAN_TRACKER.spawn(root, 0.0, "c0/n0")
+    NULL_SPAN_TRACKER.stolen(root, 0.0, "x", "intra")
+    NULL_SPAN_TRACKER.exec_start(root, 0.0, "x", "leaf")
+    NULL_SPAN_TRACKER.exec_end(root, 0.0, "leaf")
+    NULL_SPAN_TRACKER.result_returned(root, 0.0)
+    NULL_SPAN_TRACKER.restart(root, 0.0, "x")
+    assert NULL_SPAN_TRACKER.spans == {}
+    assert span.sid == ""
+
+
+# --------------------------------------------------------------- critical path
+def completed(sid, parent="", t_spawn=0.0, t_exec=None, t_end=1.0, node="n"):
+    s = Span(sid=sid, parent=parent, node=node, t_spawn=t_spawn,
+             status="completed", t_end=t_end)
+    if t_exec is not None:
+        s.t_exec_start, s.t_exec_end = t_exec
+    return s
+
+
+def test_critical_path_descends_into_last_arriving_child():
+    spans = {s.sid: s for s in [
+        completed("t0#0", t_spawn=0.0, t_end=10.0),
+        completed("t1#0", parent="t0#0", t_spawn=1.0, t_end=4.0),
+        completed("t2#0", parent="t0#0", t_spawn=1.0, t_end=8.0),
+        completed("t3#0", parent="t2#0", t_spawn=2.0, t_end=7.0),
+    ]}
+    path = critical_path(spans)
+    assert [seg.sid for seg in path] == ["t0#0", "t2#0", "t3#0"]
+    assert path[0].start == 0.0 and path[0].end == 10.0
+
+
+def test_critical_path_picks_longest_root_and_breaks_ties_on_sid():
+    spans = {s.sid: s for s in [
+        completed("t0#0", t_spawn=0.0, t_end=5.0),
+        completed("t9#0", t_spawn=10.0, t_end=18.0),   # longest root
+        completed("t5#0", parent="t9#0", t_spawn=11.0, t_end=15.0),
+        completed("t6#0", parent="t9#0", t_spawn=11.0, t_end=15.0),  # tie
+    ]}
+    path = critical_path(spans)
+    assert [seg.sid for seg in path] == ["t9#0", "t6#0"]
+
+
+def test_critical_path_explicit_root_and_incomplete_spans():
+    spans = {s.sid: s for s in [
+        completed("t0#0", t_spawn=0.0, t_end=5.0),
+        completed("t1#0", parent="t0#0", t_spawn=1.0, t_end=4.0),
+    ]}
+    spans["t2#0"] = Span(sid="t2#0", parent="t0#0", t_spawn=1.0)  # open
+    path = critical_path(spans, root="t0#0")
+    assert [seg.sid for seg in path] == ["t0#0", "t1#0"]  # open span skipped
+    assert critical_path(spans, root="t2#0") == []        # not completed
+    assert critical_path(spans, root="nope") == []
+    assert critical_path({}) == []
+
+
+def test_segment_category_breakdown():
+    s = completed("t0#0", t_spawn=0.0, t_exec=(2.0, 5.0), t_end=12.0)
+    s.t_combine_start, s.t_combine_end = 9.0, 11.0
+    (seg,) = critical_path({s.sid: s})
+    assert seg.queue == 2.0     # spawn -> exec start
+    assert seg.work == 5.0      # exec (3) + combine (2)
+    assert seg.wait == 4.0      # exec end -> combine start
+    assert seg.comm == 1.0      # combine end -> result applied
+    assert seg.duration == 12.0
+    assert seg.to_dict()["work"] == 5.0

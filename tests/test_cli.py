@@ -91,3 +91,79 @@ def test_bad_variant_rejected():
 def test_no_command_rejected():
     with pytest.raises(SystemExit):
         cli.main([])
+
+
+# ----------------------------------------------------------------- profile
+def test_profile_prints_attribution_table(tiny_scenario, capsys):
+    assert cli.main(["profile", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "per-node attribution" in out
+    assert "per-cluster attribution" in out
+    assert "critical-path" in out
+    assert "conservation" in out
+    # every ledger category appears as a column
+    for cat in ("work", "recovery", "idle", "comm_intra", "comm_inter", "bench"):
+        assert cat in out
+
+
+def test_profile_json_is_structured_and_reproducible(tiny_scenario, capsys):
+    assert cli.main(["profile", "tiny", "--format", "json"]) == 0
+    first = capsys.readouterr().out
+    payload = json.loads(first)
+    assert payload["scenario"] == "tiny"
+    assert payload["conservation"]["max_error_seconds"] < 1e-6
+    assert payload["nodes"] and payload["clusters"]
+    assert payload["critical_path"]
+    # fixed seed → byte-identical output on a fresh run
+    assert cli.main(["profile", "tiny", "--format", "json"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_profile_csv_has_period_rows(tiny_scenario, capsys):
+    assert cli.main(["profile", "tiny", "--format", "csv"]) == 0
+    out = capsys.readouterr().out
+    header = out.splitlines()[0].split(",")
+    assert header[:3] == ["node", "cluster", "period"]
+    assert "work" in header and "overlap_comm_inter" in header
+    assert len(out.splitlines()) > 1
+
+
+def test_profile_explain_decisions(tiny_scenario, capsys):
+    assert cli.main(["profile", "tiny", "--explain-decisions"]) == 0
+    out = capsys.readouterr().out
+    assert "decisions" in out
+
+
+def test_profile_writes_file(tiny_scenario, tmp_path, capsys):
+    path = tmp_path / "profile.json"
+    assert cli.main(["profile", "tiny", "--format", "json", "--out", str(path)]) == 0
+    assert json.loads(path.read_text())["scenario"] == "tiny"
+
+
+# ------------------------------------------------------------ trace --events
+def test_trace_rejects_unknown_event_kind(tiny_scenario, capsys):
+    with pytest.raises(SystemExit) as exc:
+        cli.main(["trace", "tiny", "--events", "bogus,crash"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown event kind(s) bogus" in err
+    assert "crash" in err  # the valid-kind list is named in the message
+    assert "wae_sample" in err
+
+
+def test_trace_rejects_empty_event_list(tiny_scenario, capsys):
+    with pytest.raises(SystemExit) as exc:
+        cli.main(["trace", "tiny", "--events", " , "])
+    assert exc.value.code == 2
+    assert "no event kinds given" in capsys.readouterr().err
+
+
+def test_trace_accepts_valid_kind_subset(tiny_scenario, tmp_path, capsys):
+    path = tmp_path / "t.jsonl"
+    assert cli.main([
+        "trace", "tiny", "--events", "coordinator_decision,wae_sample",
+        "--out", str(path),
+    ]) == 0
+    kinds = {json.loads(line)["kind"] for line in path.read_text().splitlines()}
+    assert kinds <= {"coordinator_decision", "wae_sample"}
+    assert "wae_sample" in kinds
