@@ -5,110 +5,48 @@ makes the experiment suite fast enough to iterate on: event throughput of
 the DES engine, the work-stealing fast path, and octree construction.
 pytest-benchmark's statistics (many rounds) apply here, unlike the
 single-shot scenario benchmarks.
+
+The workloads live in :mod:`repro.experiments.microbench` and are shared
+with the ``repro bench`` CLI verb, so these tests and the CI smoke gate
+measure the identical code paths.
 """
 
-import numpy as np
-
-from repro.apps.barneshut import build_octree, interaction_counts, plummer_sphere
-from repro.apps.dctree import balanced_tree
-from repro.registry import Registry
-from repro.satin import AppDriver, SatinRuntime, WorkerConfig
-from repro.apps.dctree import SyntheticIterativeApp
-from repro.simgrid import Environment, Network, RngStreams
-from repro.simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+from repro.apps.barneshut import build_octree, interaction_counts
+from repro.experiments.microbench import (
+    engine_timeout_churn,
+    octree_inputs,
+    store_pingpong,
+    worksteal_run,
+)
 
 
 def test_engine_timeout_throughput(benchmark):
     """Events/second of the bare engine (timeout churn)."""
-
-    def churn():
-        env = Environment()
-
-        def ticker(env):
-            for _ in range(2000):
-                yield env.timeout(1.0)
-
-        for _ in range(5):
-            env.process(ticker(env))
-        env.run()
-        return env.event_count
-
-    events = benchmark(churn)
+    events = benchmark(engine_timeout_churn)
     assert events >= 10000
 
 
 def test_store_message_throughput(benchmark):
     """Producer/consumer messaging rate through a Store."""
-    from repro.simgrid.queues import Store
-
-    def pingpong():
-        env = Environment()
-        a, b = Store(env), Store(env)
-
-        def producer(env):
-            for i in range(3000):
-                a.put(i)
-                yield b.get()
-
-        def consumer(env):
-            for _ in range(3000):
-                item = yield a.get()
-                b.put(item)
-
-        env.process(producer(env))
-        env.process(consumer(env))
-        env.run()
-        return env.event_count
-
-    benchmark(pingpong)
+    benchmark(store_pingpong)
 
 
 def test_worksteal_runtime_throughput(benchmark):
     """Tasks/second executed through the full runtime + network stack."""
-
-    def run():
-        env = Environment()
-        grid = GridSpec(
-            clusters=(
-                ClusterSpec(
-                    name="c0",
-                    nodes=tuple(NodeSpec(f"c0/n{i}", "c0") for i in range(8)),
-                ),
-            )
-        )
-        network = Network(env, grid)
-        runtime = SatinRuntime(
-            env=env,
-            network=network,
-            registry=Registry(env),
-            config=WorkerConfig(),
-            rng=RngStreams(0),
-        )
-        runtime.add_nodes([h.name for h in network.hosts.values()])
-        app = SyntheticIterativeApp(
-            balanced_tree(depth=9, fanout=2, leaf_work=0.01), n_iterations=1
-        )
-        driver = AppDriver(runtime, app)
-        done = driver.start()
-        env.run(until=done)
-        return runtime.total_executed_tasks()
-
-    tasks = benchmark(run)
+    tasks = benchmark(worksteal_run)
     assert tasks == 2**10 - 1
 
 
 def test_octree_build(benchmark):
     """Octree construction for the default experiment size."""
-    rng = np.random.default_rng(0)
-    pos, _, mass = plummer_sphere(2048, rng)
+    pos, mass = octree_inputs()
     tree = benchmark(build_octree, pos, mass, 16)
     assert tree.count == 2048
 
 
 def test_interaction_count_traversal(benchmark):
     """Vectorised Barnes-Hut acceptance traversal."""
-    rng = np.random.default_rng(0)
-    pos, _, mass = plummer_sphere(2048, rng)
+    pos, mass = octree_inputs()
     tree = build_octree(pos, mass, 16)
     counts = benchmark(interaction_counts, tree, pos, mass, 0.5)
     assert counts.shape == (2048,)

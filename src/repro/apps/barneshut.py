@@ -118,13 +118,36 @@ class OctreeNode:
             stack.extend(node.children)
 
 
+#: per-octant unit offsets (±1 per axis); child center = parent + sign·quarter.
+_OCTANT_SIGNS = np.array(
+    [
+        [1.0 if o & 4 else -1.0, 1.0 if o & 2 else -1.0, 1.0 if o & 1 else -1.0]
+        for o in range(8)
+    ]
+)
+
+
 def build_octree(
     positions: np.ndarray,
     masses: np.ndarray,
     bucket_size: int = 16,
     max_depth: int = 20,
 ) -> OctreeNode:
-    """Build the octree: split cells until ≤ ``bucket_size`` bodies."""
+    """Build the octree: split cells until ≤ ``bucket_size`` bodies.
+
+    The construction is *level-synchronous*: each tree level is filled with
+    one gather + one octant classification over all of the level's bodies,
+    and bodies are regrouped into children with a stable per-node sort of
+    their 3-bit octant keys — effectively a level-by-level radix (Morton)
+    sort — instead of per-node recursion with eight boolean-mask filters.
+
+    The result is **bit-for-bit identical** to the naive recursion
+    (:func:`_fill_reference`): every node's body group is a contiguous
+    original-order slice, so the pairwise-summed mass and centre-of-mass
+    reductions see the same values in the same order, and the child-center
+    arithmetic performs the exact same IEEE operations. Seeded experiment
+    runs therefore replay identically on either implementation.
+    """
     if positions.ndim != 2 or positions.shape[1] != 3:
         raise ValueError("positions must be (n, 3)")
     if len(positions) != len(masses):
@@ -134,11 +157,94 @@ def build_octree(
     half = float(np.max(hi - lo) / 2.0) * 1.0001 + 1e-12
 
     root = OctreeNode(center, half)
-    _fill(root, positions, masses, np.arange(len(positions)), bucket_size, max_depth)
+    n = len(positions)
+    #: bodies of the current level, grouped by node; every group is a
+    #: stable filter of ``arange(n)``, hence ascending in original index.
+    order = np.arange(n)
+    nodes: list[OctreeNode] = [root]
+    starts = np.array([0, n], dtype=np.intp)
+    #: every node of a level sits at the same depth, so they all share one
+    #: half_size — a per-level scalar, not per-node state.
+    level_half = half
+    #: (K, 3) centers of the level's nodes; each node.center is a row view.
+    level_centers = center[None, :]
+    depth_left = max_depth
+    _addreduce = np.add.reduce  # ndarray.sum minus the wrapper layer
+    _octants = np.arange(9)
+    _new = OctreeNode.__new__
+
+    while nodes:
+        pos_g = positions[order]
+        mass_g = masses[order]
+        sizes = np.diff(starts)
+        # One octant classification for the whole level (the recursion does
+        # this per node): compare each body against its node's center.
+        rel = pos_g > np.repeat(level_centers, sizes, axis=0)
+        octant_all = rel[:, 0] * 4 + rel[:, 1] * 2 + rel[:, 2] * 1
+
+        child_parent: list[int] = []
+        child_octant: list[int] = []
+        child_groups: list[np.ndarray] = []
+        for k, node in enumerate(nodes):
+            s, e = starts[k], starts[k + 1]
+            sz = e - s
+            node.count = sz
+            m = mass_g[s:e]
+            # Contiguous same-order slice: numpy's pairwise summation gives
+            # the exact same float as masses[idx].sum() in the recursion.
+            mass = float(_addreduce(m))
+            node.mass = mass
+            if mass > 0:
+                node.com = _addreduce(pos_g[s:e] * m[:, None], 0) / mass
+            else:  # pragma: no cover - massless cells don't occur here
+                node.com = node.center.copy()
+            if sz <= bucket_size or depth_left == 0:
+                node.bodies = order[s:e]
+                continue
+            # Stable sort by octant key: children come out in octant order
+            # 0..7 with original body order preserved within each child.
+            oct_keys = octant_all[s:e]
+            perm = oct_keys.argsort(kind="stable")
+            grp = order[s:e][perm]
+            bounds = np.searchsorted(oct_keys[perm], _octants)
+            for o in range(8):
+                a, b = bounds[o], bounds[o + 1]
+                if a == b:
+                    continue
+                child_parent.append(k)
+                child_octant.append(o)
+                child_groups.append(grp[a:b])
+
+        if not child_groups:
+            break
+        # Bulk-compute all child centers of the level in two array ops —
+        # elementwise identical to center + sign·quarter done per child.
+        quarter = level_half / 2.0
+        pk = np.array(child_parent, dtype=np.intp)
+        level_centers = level_centers[pk] + _OCTANT_SIGNS[child_octant] * quarter
+        next_nodes: list[OctreeNode] = []
+        for i, grp in enumerate(child_groups):
+            child = _new(OctreeNode)
+            child.center = level_centers[i]
+            child.half_size = quarter
+            child.bodies = None
+            child.children = []
+            child.com = None  # filled on the next level pass
+            child.mass = 0.0
+            child.count = 0
+            nodes[child_parent[i]].children.append(child)
+            next_nodes.append(child)
+
+        nodes = next_nodes
+        level_half = quarter
+        order = np.concatenate(child_groups)
+        sizes = np.fromiter(map(len, child_groups), dtype=np.intp, count=len(child_groups))
+        starts = np.concatenate((np.zeros(1, dtype=np.intp), np.cumsum(sizes)))
+        depth_left -= 1
     return root
 
 
-def _fill(
+def _fill_reference(
     node: OctreeNode,
     positions: np.ndarray,
     masses: np.ndarray,
@@ -146,6 +252,11 @@ def _fill(
     bucket_size: int,
     depth_left: int,
 ) -> None:
+    """Naive recursive octree fill — the readable reference implementation.
+
+    Kept (and exercised by the test suite) as the specification that the
+    level-synchronous :func:`build_octree` must reproduce bit-for-bit.
+    """
     node.count = len(idx)
     m = masses[idx]
     node.mass = float(m.sum())
@@ -172,7 +283,7 @@ def _fill(
         )
         child = OctreeNode(node.center + offset, quarter)
         node.children.append(child)
-        _fill(child, positions, masses, sub_idx, bucket_size, depth_left - 1)
+        _fill_reference(child, positions, masses, sub_idx, bucket_size, depth_left - 1)
 
 
 # ----------------------------------------------------- traversal (vectorised)
@@ -197,6 +308,7 @@ def _traverse(
     counts = np.zeros(n, dtype=np.int64)
     acc = np.zeros((n, 3)) if accumulate_acc else None
     eps2 = softening * softening
+    theta2 = theta * theta
 
     stack: list[tuple[OctreeNode, np.ndarray]] = [(tree, np.arange(n))]
     while stack:
@@ -206,8 +318,10 @@ def _traverse(
         if node.is_leaf:
             members = node.bodies
             assert members is not None
-            # each active body interacts with every member except itself
-            is_member = np.isin(active, members, assume_unique=False)
+            # each active body interacts with every member except itself;
+            # both index sets are unique by construction, which lets isin
+            # take its fast path
+            is_member = np.isin(active, members, assume_unique=True)
             counts[active] += len(members) - is_member.astype(np.int64)
             if acc is not None and len(members) > 0:
                 diff = positions[members][None, :, :] - positions[active][:, None, :]
@@ -220,7 +334,8 @@ def _traverse(
             continue
         delta = node.com[None, :] - positions[active]
         d2 = (delta * delta).sum(axis=1)
-        accepted = node.size * node.size < (theta * theta) * d2
+        size = node.half_size + node.half_size  # == node.size, bit-exact
+        accepted = size * size < theta2 * d2
         take = active[accepted]
         counts[take] += 1
         if acc is not None and len(take) > 0:
@@ -331,10 +446,25 @@ class BarnesHutSimulation:
     def spawn_tree(self, tree: OctreeNode, counts: np.ndarray) -> TaskNode:
         cfg = self.config
 
+        # Single post-order pass computing every subtree's cost (the naive
+        # recursion re-sums each leaf once per ancestor — O(n · depth)).
+        # Summation structure matches the recursion exactly: leaf costs are
+        # numpy sums, internal costs sum the children left-to-right.
+        cost: dict[int, float] = {}
+        post: list[OctreeNode] = []
+        stack = [tree]
+        while stack:
+            nd = stack.pop()
+            post.append(nd)
+            stack.extend(nd.children)
+        for nd in reversed(post):
+            if nd.is_leaf:
+                cost[id(nd)] = float(counts[nd.bodies].sum())
+            else:
+                cost[id(nd)] = float(sum(cost[id(c)] for c in nd.children))
+
         def subtree_cost(node: OctreeNode) -> float:
-            if node.is_leaf:
-                return float(counts[node.bodies].sum())
-            return float(sum(subtree_cost(c) for c in node.children))
+            return cost[id(node)]
 
         def convert(node: OctreeNode) -> TaskNode:
             # A stolen subtree ships its bodies plus the shared tree section

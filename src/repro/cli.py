@@ -4,12 +4,14 @@ Usage (after installing the package)::
 
     python -m repro list
     python -m repro run s4 --variant adapt
+    python -m repro run s1,s3,s4 --jobs 4
     python -m repro compare s4
     python -m repro fig1 --scenarios s1,s4
     python -m repro run s3 --json out.json
     python -m repro trace s4 --variant adapt --out s4.jsonl
     python -m repro metrics s1
     python -m repro profile s4 --explain-decisions
+    python -m repro bench --quick --baseline BENCH_3.json --gate 2.0
 
 ``run`` executes one scenario under one variant and prints the run
 summary (plus the full measurement record as JSON if requested);
@@ -40,6 +42,7 @@ from .experiments import (
     improvement,
     profile_scenario,
     run_scenario,
+    run_scenarios_parallel,
     scenario,
 )
 from .obs import EVENT_KINDS, Observability, write_events
@@ -61,15 +64,23 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the available scenarios")
 
     p_run = sub.add_parser("run", help="run one scenario under one variant")
-    p_run.add_argument("scenario", help="scenario id, e.g. s4")
+    p_run.add_argument(
+        "scenario", help="scenario id, e.g. s4, or a comma-separated list"
+    )
     p_run.add_argument(
         "--variant", choices=VARIANTS, default="adapt",
         help="none = plain run, monitor = statistics only, adapt = full",
     )
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for multi-scenario runs (0 = all CPUs); "
+             "results are identical to --jobs 1, just faster",
+    )
+    p_run.add_argument(
         "--json", metavar="FILE", default=None,
-        help="write the full measurement record as JSON",
+        help="write the full measurement record as JSON "
+             "(a list when several scenarios are given)",
     )
 
     p_cmp = sub.add_parser(
@@ -84,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated scenario ids (default: all)",
     )
     p_fig1.add_argument("--seed", type=int, default=0)
+    p_fig1.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the scenario × variant grid (0 = all CPUs)",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="run one scenario and dump its typed event stream"
@@ -151,7 +166,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--variants", default="none,adapt",
                        help="comma-separated variants (default none,adapt)")
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the scenario × variant grid (0 = all CPUs)",
+    )
     p_exp.add_argument("--out", default="results", help="output directory")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time the simulator's hot paths (micro-benchmarks)",
+        add_help=False,  # microbench owns its own argument parsing
+    )
+    p_bench.add_argument("rest", nargs=argparse.REMAINDER)
     return parser
 
 
@@ -230,12 +256,23 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = _scenario(args.scenario)
-    result = run_scenario(spec, args.variant, seed=args.seed)
-    _print_run_summary(result)
+    sids = [s.strip() for s in args.scenario.split(",") if s.strip()]
+    specs = [_scenario(sid) for sid in sids]
+    results = run_scenarios_parallel(
+        [(spec, args.variant, args.seed) for spec in specs], n_jobs=args.jobs
+    )
+    for result in results:
+        _print_run_summary(result)
     if args.json is not None:
+        # a single scenario keeps the historical dict payload; a list of
+        # scenarios writes a list in the order they were given.
+        payload = (
+            _result_to_dict(results[0])
+            if len(results) == 1
+            else [_result_to_dict(r) for r in results]
+        )
         with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(_result_to_dict(result), fh, indent=2)
+            json.dump(payload, fh, indent=2)
         print(f"wrote {args.json}")
     return 0
 
@@ -254,10 +291,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
     sids = [s.strip() for s in args.scenarios.split(",") if s.strip()]
-    table = {}
-    for sid in sids:
-        spec = _scenario(sid)
-        table[sid] = {v: run_scenario(spec, v, seed=args.seed) for v in VARIANTS}
+    jobs = [
+        (_scenario(sid), v, args.seed) for sid in sids for v in VARIANTS
+    ]
+    results = iter(run_scenarios_parallel(jobs, n_jobs=args.jobs))
+    table = {sid: {v: next(results) for v in VARIANTS} for sid in sids}
     print(format_fig1(table))
     return 0
 
@@ -352,11 +390,14 @@ def _cmd_export(args: argparse.Namespace) -> int:
     for v in variants:
         if v not in VARIANTS:
             raise SystemExit(f"unknown variant {v!r}; choose from {VARIANTS}")
-    runs = [
-        run_scenario(_scenario(sid), v, seed=args.seed)
-        for sid in sids
-        for v in variants
-    ]
+    runs = run_scenarios_parallel(
+        [
+            (_scenario(sid), v, args.seed)
+            for sid in sids
+            for v in variants
+        ],
+        n_jobs=args.jobs,
+    )
     for path in export_runs(runs, args.out):
         print(f"wrote {path}")
     return 0
@@ -364,7 +405,15 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    arglist = list(sys.argv[1:] if argv is None else argv)
+    if arglist[:1] == ["bench"]:
+        # Delegated before parsing: microbench owns its own options, and
+        # argparse's REMAINDER does not reliably pass through leading
+        # option-like tokens after a subcommand.
+        from .experiments.microbench import main as bench_main
+
+        return bench_main(arglist[1:])
+    args = build_parser().parse_args(arglist)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -381,6 +430,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "export":
         return _cmd_export(args)
+    if args.command == "bench":
+        from .experiments.microbench import main as bench_main
+
+        return bench_main(args.rest)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -15,10 +15,17 @@ from .report import (
     format_time_shares,
     improvement,
 )
-from .runner import RunResult, VARIANTS, run_scenario
-from .scenarios import SCENARIOS, ScenarioSpec, scaled_das2, scenario
+from .runner import RunResult, VARIANTS, run_scenario, run_scenarios_parallel
+from .scenarios import (
+    SCENARIOS,
+    BarnesHutFactory,
+    ScenarioSpec,
+    scaled_das2,
+    scenario,
+)
 
 __all__ = [
+    "BarnesHutFactory",
     "ProfileResult",
     "RunResult",
     "ascii_series",
@@ -35,6 +42,7 @@ __all__ = [
     "ScenarioSpec",
     "VARIANTS",
     "run_scenario",
+    "run_scenarios_parallel",
     "scaled_das2",
     "scenario",
 ]

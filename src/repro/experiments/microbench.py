@@ -1,0 +1,394 @@
+"""Micro-benchmark harness behind ``repro bench``.
+
+One workload per substrate hot path — the same callables the
+pytest-benchmark suite in ``benchmarks/test_micro_simulator.py`` runs, so
+the CI smoke gate, the committed ``BENCH_<n>.json`` artifacts, and the
+interactive suite all measure the identical code paths:
+
+* ``engine_timeouts`` — event throughput of the bare DES engine;
+* ``store_pingpong``  — producer/consumer messaging through a Store;
+* ``worksteal``       — tasks/second through the full runtime + network;
+* ``octree_build``    — Barnes-Hut octree construction (2048 bodies);
+* ``traversal``       — vectorised Barnes-Hut acceptance traversal.
+
+Results JSON schema (also embedded in every file under ``"_schema"``):
+
+```
+{
+  "_schema": {...this description...},
+  "quick": bool,            # --quick run (fewer repeats)?
+  "repeats": int,           # timed repetitions per workload
+  "benchmarks": {
+    "<workload>": {
+      "median_ms": float,   # median of the timed repetitions
+      "min_ms": float,
+      "description": str,
+      # present when a baseline file was given:
+      "baseline_median_ms": float,
+      "speedup": float      # baseline_median_ms / median_ms
+    }, ...
+  }
+}
+```
+
+The committed ``BENCH_<n>.json`` artifacts are exactly this format with a
+baseline: ``baseline_median_ms`` is the pre-PR measurement ("before"),
+``median_ms`` the post-PR one ("after"), both taken by this harness on
+the same machine.
+
+Timing protocol: one warm-up call, then ``repeats`` timed single calls
+(``time.perf_counter``) with the garbage collector run between and
+disabled during each call; the median is the headline number. Workloads
+run 5–20 ms each, so single calls are well above timer resolution and
+the median shrugs off scheduler noise. This matches pytest-benchmark's
+medians closely but needs no plugin, which keeps the CI gate dependency-
+free.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from dataclasses import dataclass
+from statistics import median
+from typing import Callable, Optional, Sequence
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "engine_timeout_churn",
+    "store_pingpong",
+    "worksteal_run",
+    "octree_inputs",
+    "run_bench",
+    "check_against_baseline",
+]
+
+
+# -- workloads ---------------------------------------------------------------
+# Import lazily inside the functions so `import repro.cli` stays cheap.
+
+
+def engine_timeout_churn() -> int:
+    """Five processes × 2000 timeouts through the bare engine."""
+    from ..simgrid import Environment
+
+    env = Environment()
+
+    def ticker(env):
+        for _ in range(2000):
+            yield env.timeout(1.0)
+
+    for _ in range(5):
+        env.process(ticker(env))
+    env.run()
+    return env.event_count
+
+
+def store_pingpong() -> int:
+    """3000 request/reply round trips between two Stores."""
+    from ..simgrid import Environment
+    from ..simgrid.queues import Store
+
+    env = Environment()
+    a, b = Store(env), Store(env)
+
+    def producer(env):
+        for i in range(3000):
+            a.put(i)
+            yield b.get()
+
+    def consumer(env):
+        for _ in range(3000):
+            item = yield a.get()
+            b.put(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    return env.event_count
+
+
+def worksteal_run() -> int:
+    """A 1023-task divide-and-conquer run on an 8-node cluster."""
+    from ..apps.dctree import SyntheticIterativeApp, balanced_tree
+    from ..registry import Registry
+    from ..satin import AppDriver, SatinRuntime, WorkerConfig
+    from ..simgrid import Environment, Network, RngStreams
+    from ..simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+
+    env = Environment()
+    grid = GridSpec(
+        clusters=(
+            ClusterSpec(
+                name="c0",
+                nodes=tuple(NodeSpec(f"c0/n{i}", "c0") for i in range(8)),
+            ),
+        )
+    )
+    network = Network(env, grid)
+    runtime = SatinRuntime(
+        env=env,
+        network=network,
+        registry=Registry(env),
+        config=WorkerConfig(),
+        rng=RngStreams(0),
+    )
+    runtime.add_nodes([h.name for h in network.hosts.values()])
+    app = SyntheticIterativeApp(
+        balanced_tree(depth=9, fanout=2, leaf_work=0.01), n_iterations=1
+    )
+    driver = AppDriver(runtime, app)
+    done = driver.start()
+    env.run(until=done)
+    return runtime.total_executed_tasks()
+
+
+def octree_inputs():
+    """The 2048-body Plummer sphere the octree workloads run on."""
+    import numpy as np
+
+    from ..apps.barneshut import plummer_sphere
+
+    rng = np.random.default_rng(0)
+    pos, _, mass = plummer_sphere(2048, rng)
+    return pos, mass
+
+
+def _prepare_engine() -> Callable[[], object]:
+    return engine_timeout_churn
+
+
+def _prepare_store() -> Callable[[], object]:
+    return store_pingpong
+
+
+def _prepare_worksteal() -> Callable[[], object]:
+    return worksteal_run
+
+
+def _prepare_octree() -> Callable[[], object]:
+    from ..apps.barneshut import build_octree
+
+    pos, mass = octree_inputs()
+    return lambda: build_octree(pos, mass, 16)
+
+
+def _prepare_traversal() -> Callable[[], object]:
+    from ..apps.barneshut import build_octree, interaction_counts
+
+    pos, mass = octree_inputs()
+    tree = build_octree(pos, mass, 16)
+    return lambda: interaction_counts(tree, pos, mass, 0.5)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named hot-path measurement.
+
+    ``prepare`` does the untimed setup (building inputs) and returns the
+    zero-argument callable that gets timed.
+    """
+
+    name: str
+    description: str
+    prepare: Callable[[], Callable[[], object]]
+
+
+WORKLOADS: tuple[Workload, ...] = (
+    Workload(
+        "engine_timeouts",
+        "events/s of the bare DES engine (timeout churn)",
+        _prepare_engine,
+    ),
+    Workload(
+        "store_pingpong",
+        "producer/consumer messaging rate through a Store",
+        _prepare_store,
+    ),
+    Workload(
+        "worksteal",
+        "tasks/s through the full runtime + network stack",
+        _prepare_worksteal,
+    ),
+    Workload(
+        "octree_build",
+        "Barnes-Hut octree construction, 2048 bodies",
+        _prepare_octree,
+    ),
+    Workload(
+        "traversal",
+        "vectorised Barnes-Hut acceptance traversal",
+        _prepare_traversal,
+    ),
+)
+
+_BY_NAME = {w.name: w for w in WORKLOADS}
+
+
+def run_bench(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    baseline: Optional[dict] = None,
+) -> dict:
+    """Run the selected workloads and return the results document."""
+    if names:
+        unknown = sorted(set(names) - set(_BY_NAME))
+        if unknown:
+            raise KeyError(
+                f"unknown workload(s) {', '.join(unknown)}; "
+                f"known: {', '.join(_BY_NAME)}"
+            )
+        selected = [_BY_NAME[n] for n in names]
+    else:
+        selected = list(WORKLOADS)
+    if repeats is None:
+        repeats = 7 if quick else 25
+
+    base_rows = (baseline or {}).get("benchmarks", {})
+    rows: dict[str, dict] = {}
+    for workload in selected:
+        fn = workload.prepare()
+        fn()  # warm-up: JIT-free Python, but fills caches/allocators
+        samples = []
+        # GC pauses landing inside a single timed call are the dominant
+        # noise source at this scale; collect between, not during,
+        # repetitions (pytest-benchmark's protocol).
+        gc_was_enabled = gc.isenabled()
+        try:
+            for _ in range(repeats):
+                gc.collect()
+                gc.disable()
+                t0 = time.perf_counter()
+                fn()
+                samples.append((time.perf_counter() - t0) * 1000.0)
+                if gc_was_enabled:
+                    gc.enable()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        row = {
+            "median_ms": round(median(samples), 4),
+            "min_ms": round(min(samples), 4),
+            "description": workload.description,
+        }
+        base = base_rows.get(workload.name)
+        if base is not None:
+            before = base.get("median_ms")
+            if before is not None:
+                row["baseline_median_ms"] = before
+                row["speedup"] = round(before / row["median_ms"], 3)
+        rows[workload.name] = row
+
+    return {
+        "_schema": (
+            "repro bench results: benchmarks[name].median_ms is the median "
+            "of `repeats` timed calls (ms) after one warm-up; "
+            "baseline_median_ms/speedup appear when a --baseline file was "
+            "given (speedup = baseline/current). See "
+            "repro/experiments/microbench.py for the full schema and the "
+            "timing protocol."
+        ),
+        "quick": quick,
+        "repeats": repeats,
+        "benchmarks": rows,
+    }
+
+
+def check_against_baseline(results: dict, gate: float) -> list[str]:
+    """Regression check: current median must stay under gate × baseline.
+
+    Returns the list of violation messages (empty = pass). Workloads
+    without a baseline row are skipped — a new benchmark can't regress.
+    """
+    violations = []
+    for name, row in results["benchmarks"].items():
+        before = row.get("baseline_median_ms")
+        if before is None:
+            continue
+        if row["median_ms"] > gate * before:
+            violations.append(
+                f"{name}: {row['median_ms']:.2f} ms exceeds "
+                f"{gate:g}x baseline ({before:.2f} ms)"
+            )
+    return violations
+
+
+def format_bench(results: dict) -> str:
+    """Human-readable table of a results document."""
+    rows = results["benchmarks"]
+    name_w = max(len(n) for n in rows)
+    lines = [f"{'workload':<{name_w}} {'median':>10} {'min':>10}  speedup"]
+    for name, row in rows.items():
+        speed = (
+            f"{row['speedup']:.2f}x" if "speedup" in row else "-"
+        )
+        lines.append(
+            f"{name:<{name_w}} {row['median_ms']:>8.2f}ms "
+            f"{row['min_ms']:>8.2f}ms  {speed}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.experiments.microbench``).
+
+    ``repro bench`` wraps this; the standalone form exists so the harness
+    can be pointed at an older checkout to take "before" numbers.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro bench")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats (CI smoke mode)")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--only", default=None,
+                        help="comma-separated workload names")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write the results document as JSON")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="previous results JSON to compare against")
+    parser.add_argument("--gate", type=float, default=None,
+                        help="fail (exit 1) if any workload exceeds "
+                             "GATE x its baseline median")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline is not None:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    names = (
+        [n.strip() for n in args.only.split(",") if n.strip()]
+        if args.only else None
+    )
+    try:
+        results = run_bench(
+            names=names, quick=args.quick, repeats=args.repeats,
+            baseline=baseline,
+        )
+    except KeyError as exc:
+        raise SystemExit(f"repro bench: {exc.args[0]}") from None
+    print(format_bench(results))
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if args.gate is not None:
+        if baseline is None:
+            raise SystemExit("repro bench: --gate requires --baseline")
+        violations = check_against_baseline(results, args.gate)
+        for v in violations:
+            print(f"REGRESSION: {v}")
+        if violations:
+            return 1
+        print(f"gate ok: all workloads within {args.gate:g}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -38,7 +38,13 @@ from ..core.policy import PolicyConfig
 from ..simgrid.events import BandwidthEvent, CpuLoadEvent, CrashEvent, GridEvent
 from ..simgrid.resources import ClusterSpec, GridSpec, NodeSpec
 
-__all__ = ["ScenarioSpec", "SCENARIOS", "scenario", "scaled_das2"]
+__all__ = [
+    "BarnesHutFactory",
+    "ScenarioSpec",
+    "SCENARIOS",
+    "scenario",
+    "scaled_das2",
+]
 
 
 def scaled_das2(
@@ -83,6 +89,21 @@ def _initial_nodes(grid: GridSpec, layout: Sequence[tuple[str, int]]) -> list[st
 
 
 @dataclass(frozen=True)
+class BarnesHutFactory:
+    """Picklable application factory.
+
+    A plain class instead of a lambda so that :class:`ScenarioSpec` can
+    cross a ``multiprocessing`` boundary (the parallel runner ships specs
+    to worker processes by pickling them).
+    """
+
+    config: BarnesHutConfig
+
+    def __call__(self) -> BarnesHutSimulation:
+        return BarnesHutSimulation(self.config)
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, reproducible experiment definition."""
 
@@ -93,7 +114,7 @@ class ScenarioSpec:
     initial_layout: tuple[tuple[str, int], ...]
     events: tuple[GridEvent, ...] = ()
     app_factory: Callable[[], BarnesHutSimulation] = field(
-        default=lambda: BarnesHutSimulation(DEFAULT_BH)
+        default_factory=lambda: BarnesHutFactory(DEFAULT_BH)
     )
     monitoring_period: float = 60.0
     policy: PolicyConfig = field(default_factory=lambda: DEFAULT_POLICY)
@@ -138,9 +159,8 @@ DEFAULT_POLICY = PolicyConfig(
 _GRID = scaled_das2()
 
 
-def _bh(n_iterations: int = 24) -> Callable[[], BarnesHutSimulation]:
-    cfg = replace(DEFAULT_BH, n_iterations=n_iterations)
-    return lambda: BarnesHutSimulation(cfg)
+def _bh(n_iterations: int = 24) -> BarnesHutFactory:
+    return BarnesHutFactory(replace(DEFAULT_BH, n_iterations=n_iterations))
 
 
 SCENARIOS: dict[str, ScenarioSpec] = {}

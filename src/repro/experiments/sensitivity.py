@@ -21,7 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .runner import RunResult, run_scenario
+from .runner import RunResult, run_scenarios_parallel
 from .scenarios import ScenarioSpec
 
 __all__ = ["SweepPoint", "sweep_e_max", "sweep_e_min", "sweep_monitoring_period", "format_sweep"]
@@ -72,17 +72,22 @@ def _sweep(
     make_spec,
     variant: str = "adapt",
     seed: int = 0,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
-    points = []
-    for value in values:
-        varied = make_spec(spec, value)
-        result = run_scenario(varied, variant, seed=seed)
-        points.append(SweepPoint.from_result(parameter, value, result))
-    return points
+    # Sweep points are independent runs, so they parallelize through the
+    # scenario runner; results come back in input order either way.
+    varied = [make_spec(spec, value) for value in values]
+    results = run_scenarios_parallel(
+        [(v, variant, seed) for v in varied], n_jobs=jobs
+    )
+    return [
+        SweepPoint.from_result(parameter, value, result)
+        for value, result in zip(values, results)
+    ]
 
 
 def sweep_e_max(
-    spec: ScenarioSpec, values: Sequence[float], seed: int = 0
+    spec: ScenarioSpec, values: Sequence[float], seed: int = 0, jobs: int = 1
 ) -> list[SweepPoint]:
     """Vary the growth threshold E_max."""
     return _sweep(
@@ -91,11 +96,12 @@ def sweep_e_max(
             s, id=f"{s.id}-emax{v}", policy=replace(s.policy, e_max=v)
         ),
         seed=seed,
+        jobs=jobs,
     )
 
 
 def sweep_e_min(
-    spec: ScenarioSpec, values: Sequence[float], seed: int = 0
+    spec: ScenarioSpec, values: Sequence[float], seed: int = 0, jobs: int = 1
 ) -> list[SweepPoint]:
     """Vary the shrink threshold E_min."""
     return _sweep(
@@ -104,17 +110,19 @@ def sweep_e_min(
             s, id=f"{s.id}-emin{v}", policy=replace(s.policy, e_min=v)
         ),
         seed=seed,
+        jobs=jobs,
     )
 
 
 def sweep_monitoring_period(
-    spec: ScenarioSpec, values: Sequence[float], seed: int = 0
+    spec: ScenarioSpec, values: Sequence[float], seed: int = 0, jobs: int = 1
 ) -> list[SweepPoint]:
     """Vary the monitoring period (reaction speed vs. overhead)."""
     return _sweep(
         spec, "monitoring_period", values,
         lambda s, v: replace(s, id=f"{s.id}-mp{v}", monitoring_period=v),
         seed=seed,
+        jobs=jobs,
     )
 
 

@@ -42,16 +42,59 @@ __all__ = ["SatinRuntime"]
 
 
 class _Peers:
-    """PeerDirectory view over the runtime's live workers."""
+    """PeerDirectory view over the runtime's live workers.
+
+    Victim selection runs on every idle iteration of every worker, so the
+    per-thief candidate lists are memoized and only rebuilt when the
+    membership actually changes (tracked by the runtime's membership
+    version counter). The cached lists preserve membership order exactly,
+    so the rng draws — and therefore whole seeded runs — are unchanged.
+    """
 
     def __init__(self, runtime: "SatinRuntime") -> None:
         self._runtime = runtime
+        self._memo: dict[str, tuple[int, list[str], list[str], list[str]]] = {}
 
     def alive_workers(self) -> Sequence[str]:
         return self._runtime.alive_worker_names()
 
     def cluster_of(self, worker: str) -> str:
         return self._runtime._workers[worker].cluster
+
+    def _candidates(self, me: str) -> tuple[int, list[str], list[str], list[str]]:
+        rt = self._runtime
+        version = rt._membership_version
+        hit = self._memo.get(me)
+        if hit is not None and hit[0] == version:
+            return hit
+        workers = rt._workers
+        my_cluster = workers[me].cluster
+        intra: list[str] = []
+        inter: list[str] = []
+        others: list[str] = []
+        for w in rt._alive:
+            if w == me:
+                continue
+            others.append(w)
+            if workers[w].cluster == my_cluster:
+                intra.append(w)
+            else:
+                inter.append(w)
+        hit = (version, intra, inter, others)
+        self._memo[me] = hit
+        return hit
+
+    def intra_peers(self, me: str) -> list[str]:
+        """Live same-cluster peers of ``me``, in membership order."""
+        return self._candidates(me)[1]
+
+    def inter_peers(self, me: str) -> list[str]:
+        """Live other-cluster peers of ``me``, in membership order."""
+        return self._candidates(me)[2]
+
+    def other_peers(self, me: str) -> list[str]:
+        """All live peers except ``me``, in membership order."""
+        return self._candidates(me)[3]
 
 
 class SatinRuntime:
@@ -78,6 +121,10 @@ class SatinRuntime:
         #: telemetry handles shared by every layer of this run; disabled
         #: by default so un-instrumented use pays only no-op calls.
         self.obs = obs if obs is not None else Observability.disabled()
+        #: cached span tracker: ``deliver_result`` runs once per task, and
+        #: the three-attribute chain ``self.obs.spans.enabled`` shows up in
+        #: profiles at scale.
+        self._spans = self.obs.spans
         self.policy = policy if policy is not None else ClusterAwareRandomStealing()
         self.handoff_strategy = handoff if handoff is not None else DefaultHandoff()
 
@@ -85,6 +132,9 @@ class SatinRuntime:
         self.recovery = RecoveryManager(self)
         self._workers: dict[str, Worker] = {}
         self._alive: list[str] = []
+        #: bumped on every join/leave so cached peer candidate lists (in
+        #: :class:`_Peers`) know when to rebuild.
+        self._membership_version = 0
         self._waiting: dict[str, set[Frame]] = {}
         self._root_events: dict[int, Event] = {}
         self.master: Optional[str] = None
@@ -132,6 +182,7 @@ class SatinRuntime:
         self._workers[node_name] = worker
         if node_name not in self._alive:
             self._alive.append(node_name)
+            self._membership_version += 1
         self._waiting.setdefault(node_name, set())
         if self.master is None:
             self.master = node_name
@@ -182,6 +233,7 @@ class SatinRuntime:
             return
         if name in self._alive:
             self._alive.remove(name)
+            self._membership_version += 1
         if cause == "leave":
             # Re-home frames divided at the leaver that still wait for
             # children: their combine must run somewhere alive, and child
@@ -318,12 +370,12 @@ class SatinRuntime:
             owner_worker.alive or owner_worker.departure_cause == "leave"
         )
         if not owner_ok or not self.recovery.delivery_valid(frame):
-            if self.obs.spans.enabled:
-                self.obs.spans.orphaned(frame, self.env.now)
+            if self._spans.enabled:
+                self._spans.orphaned(frame, self.env.now)
             self.recovery.note_dropped()
             return
-        if self.obs.spans.enabled:
-            self.obs.spans.result_returned(frame, self.env.now)
+        if self._spans.enabled:
+            self._spans.result_returned(frame, self.env.now)
         parent.pending_children -= 1
         if parent.pending_children == 0:
             parent.state = FrameState.COMBINE_READY

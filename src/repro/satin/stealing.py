@@ -98,7 +98,14 @@ class RandomStealing(StealPolicy):
     def local_victim(
         self, me: str, peers: PeerDirectory, rng: np.random.Generator
     ) -> Optional[str]:
-        candidates = [w for w in peers.alive_workers() if w != me]
+        # Memoized candidate list when the directory offers one (same
+        # membership order, so the rng draw is identical); the listcomp
+        # fallback keeps minimal PeerDirectory fakes working.
+        lister = getattr(peers, "other_peers", None)
+        if lister is not None:
+            candidates = lister(me)
+        else:
+            candidates = [w for w in peers.alive_workers() if w != me]
         return _choose(candidates, rng)
 
     def remote_victim(
@@ -116,21 +123,29 @@ class ClusterAwareRandomStealing(StealPolicy):
     def local_victim(
         self, me: str, peers: PeerDirectory, rng: np.random.Generator
     ) -> Optional[str]:
-        my_cluster = peers.cluster_of(me)
-        candidates = [
-            w
-            for w in peers.alive_workers()
-            if w != me and peers.cluster_of(w) == my_cluster
-        ]
+        lister = getattr(peers, "intra_peers", None)
+        if lister is not None:
+            candidates = lister(me)
+        else:
+            my_cluster = peers.cluster_of(me)
+            candidates = [
+                w
+                for w in peers.alive_workers()
+                if w != me and peers.cluster_of(w) == my_cluster
+            ]
         return _choose(candidates, rng)
 
     def remote_victim(
         self, me: str, peers: PeerDirectory, rng: np.random.Generator
     ) -> Optional[str]:
-        my_cluster = peers.cluster_of(me)
-        candidates = [
-            w
-            for w in peers.alive_workers()
-            if w != me and peers.cluster_of(w) != my_cluster
-        ]
+        lister = getattr(peers, "inter_peers", None)
+        if lister is not None:
+            candidates = lister(me)
+        else:
+            my_cluster = peers.cluster_of(me)
+            candidates = [
+                w
+                for w in peers.alive_workers()
+                if w != me and peers.cluster_of(w) != my_cluster
+            ]
         return _choose(candidates, rng)

@@ -154,6 +154,7 @@ class Frame:
         "attempts",
         "result_bytes",
         "recovered",
+        "is_leaf",
     )
 
     def __init__(
@@ -185,10 +186,9 @@ class Frame:
         #: re-executed divide respawns, so time attribution can charge the
         #: whole redone subtree to "recovery" instead of "work".
         self.recovered = parent.recovered if parent is not None else False
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.node.is_leaf
+        #: leafness is immutable node structure; snapshotted as a plain
+        #: attribute because the execution hot path branches on it per task.
+        self.is_leaf = node.is_leaf
 
     def child_frames(self) -> list["Frame"]:
         """Fresh frames for the children (called when the divide phase ends)."""

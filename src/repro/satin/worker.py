@@ -165,6 +165,9 @@ class Worker:
         self._remote_outstanding = False
         self._helper_procs: list[Any] = []
         self._current: Optional[Frame] = None
+        #: peer → "comm_intra"/"comm_inter" memo (cluster membership of a
+        #: named node never changes, so entries are valid for the run).
+        self._comm_cat: dict[str, str] = {}
         #: counters for tests and reports
         self.executed_leaves = 0
         self.executed_tasks = 0
@@ -233,9 +236,11 @@ class Worker:
 
     # ------------------------------------------------------------------ main
     def _run(self) -> Generator[Event, Any, None]:
+        collect_stats = self.config.collect_stats  # config is frozen
         try:
             while True:
-                self._maybe_report_stats()
+                if collect_stats:
+                    self._maybe_report_stats()
                 if self.bench is not None and self.bench.should_run(
                     self.env.now, self.host.external_load
                 ):
@@ -281,43 +286,81 @@ class Worker:
     def _execute(self, frame: Frame) -> Generator[Event, Any, None]:
         # _current stays set if an Interrupt lands mid-execution, so the
         # departure handler can recover the in-progress frame.
+        #
+        # The compute burst is inlined (rather than delegated to
+        # :meth:`_compute`) because a generator per task on the execution
+        # hot path is measurable; the semantics are identical.
         self._current = frame
+        env = self.env
         spans = self._spans
+        ledger = self._ledger
         # Re-executed subtrees (crash recovery) charge "recovery", not "work".
         category = "recovery" if frame.recovered else "work"
         if frame.state is FrameState.READY:
             frame.state = FrameState.RUNNING
             frame.owner = self.name
             frame.executor = self.name
-            phase = "leaf" if frame.is_leaf else "divide"
+            is_leaf = frame.is_leaf
+            phase = "leaf" if is_leaf else "divide"
             if spans.enabled:
-                spans.exec_start(frame, self.env.now, self.name, phase)
-            yield from self._compute(frame.node.work, category)
+                spans.exec_start(frame, env.now, self.name, phase)
+            work = frame.node.work
+            if work > 0:
+                duration = work / self.host.effective_speed
+                t0 = env.now
+                ledger.enter(category, t0)
+                try:
+                    yield env.sleep(duration)
+                finally:
+                    ledger.exit(env.now)
+                self.account.add("busy", env.now - t0)
             if spans.enabled:
-                spans.exec_end(frame, self.env.now, phase)
+                spans.exec_end(frame, env.now, phase)
             self.executed_tasks += 1
-            if frame.is_leaf:
+            if is_leaf:
                 self.executed_leaves += 1
                 if self.task_rate is not None:
                     self.task_rate.note_task_completed()
-                yield from self._complete(frame)
+                # Local completion (parent on this node) needs no network
+                # leg — skip the _complete generator for the common case.
+                parent = frame.parent
+                if parent is not None and parent.owner == self.name:
+                    frame.state = FrameState.DONE
+                    self.runtime.deliver_result(frame)
+                else:
+                    yield from self._complete(frame)
             else:
                 children = frame.child_frames()
                 frame.pending_children = len(children)
                 frame.state = FrameState.WAITING
                 self.runtime.waiting_add(self.name, frame)
+                deque_push = self.deque.push
                 for child in children:
-                    self.deque.push(child)
+                    deque_push(child)
                     if spans.enabled:
-                        spans.spawn(child, self.env.now, self.name)
+                        spans.spawn(child, env.now, self.name)
         elif frame.state is FrameState.COMBINE_READY:
             frame.state = FrameState.COMBINING
             if spans.enabled:
-                spans.exec_start(frame, self.env.now, self.name, "combine")
-            yield from self._compute(frame.node.combine_work, category)
+                spans.exec_start(frame, env.now, self.name, "combine")
+            work = frame.node.combine_work
+            if work > 0:
+                duration = work / self.host.effective_speed
+                t0 = env.now
+                ledger.enter(category, t0)
+                try:
+                    yield env.sleep(duration)
+                finally:
+                    ledger.exit(env.now)
+                self.account.add("busy", env.now - t0)
             if spans.enabled:
-                spans.exec_end(frame, self.env.now, "combine")
-            yield from self._complete(frame)
+                spans.exec_end(frame, env.now, "combine")
+            parent = frame.parent
+            if parent is not None and parent.owner == self.name:
+                frame.state = FrameState.DONE
+                self.runtime.deliver_result(frame)
+            else:
+                yield from self._complete(frame)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"cannot execute frame in state {frame.state}")
         self._current = None
@@ -341,7 +384,9 @@ class Worker:
         t0 = self.env.now
         self._ledger.enter(category, t0)
         try:
-            yield self.env.timeout(duration)
+            # Timeout lane: pooled, yielded immediately, never retained.
+            # This is the single hottest wait in the whole simulation.
+            yield self.env.sleep(duration)
         finally:
             self._ledger.exit(self.env.now)
         self.account.add("busy", self.env.now - t0)
@@ -371,7 +416,11 @@ class Worker:
 
     # ---------------------------------------------------------------- stealing
     def _comm_category(self, peer: str) -> str:
-        return f"comm_{steal_scope(self.cluster, self.runtime.host(peer).cluster)}"
+        cat = self._comm_cat.get(peer)
+        if cat is None:
+            cat = f"comm_{steal_scope(self.cluster, self.runtime.host(peer).cluster)}"
+            self._comm_cat[peer] = cat
+        return cat
 
     def _note_steal(
         self, victim: str, mode: str, category: str, success: bool, latency: float
@@ -510,7 +559,7 @@ class Worker:
         t0 = self.env.now
         self._ledger.enter("bench", t0)
         try:
-            yield self.env.timeout(duration)
+            yield self.env.sleep(duration)
         finally:
             self._ledger.exit(self.env.now)
         self.account.add("bench", self.env.now - t0)

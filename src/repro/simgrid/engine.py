@@ -16,6 +16,30 @@ seedable discrete-event simulator in the style of SimPy, but self-contained
 The engine deliberately implements only what the grid substrate needs;
 it is not a general SimPy replacement.
 
+Hot-path design
+---------------
+The entire experiment suite is gated on this event loop, so the dominant
+yield-timeout-resume cycle is aggressively optimized while keeping the
+``(time, priority, seq)`` total order bit-for-bit identical to the
+straightforward implementation:
+
+* **single-callback slot**: almost every event has exactly one waiter (the
+  process that yielded it), so the first callback lives in a dedicated
+  ``_cb1`` slot and the overflow list ``_cbs`` is only allocated for the
+  rare multi-waiter event. Callback removal (the hot interrupt path) is an
+  identity comparison against the slot instead of an O(n) list scan —
+  processes cache their bound ``_resume`` in ``_resume_cb`` so the identity
+  check works.
+* **pooled timeouts**: :meth:`Environment.sleep` serves ``Timeout`` objects
+  from a free list and recycles them the moment their callbacks have run.
+  Callers must yield the returned event immediately and must not retain it
+  (the public :meth:`Environment.timeout` stays allocation-per-call and is
+  always safe to store).
+* **inlined run loops**: :meth:`Environment.run` drives a loop with cached
+  ``heappop`` bindings and local variables instead of calling
+  :meth:`Environment.step` per event; ``step`` remains the single-step
+  reference implementation with identical semantics.
+
 Example
 -------
 >>> env = Environment()
@@ -31,7 +55,6 @@ Example
 from __future__ import annotations
 
 import heapq
-from itertools import count
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -52,6 +75,9 @@ NORMAL = 1
 #: Priority used for urgent bookkeeping events (process resumption after an
 #: interrupt) so they run before same-time ordinary events.
 URGENT = 0
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(Exception):
@@ -83,17 +109,24 @@ class Event:
     2. *triggered*: scheduled onto the event queue with a value or failure;
     3. *processed*: its callbacks have run.
 
-    Callbacks are ``f(event)`` functions appended to :attr:`callbacks`;
-    once the event is processed, adding a callback raises.
+    Callbacks are ``f(event)`` functions registered via
+    :meth:`add_callback`; once the event is processed, adding one raises.
+    The first callback occupies the ``_cb1`` slot; only multi-waiter events
+    allocate the ``_cbs`` overflow list (``_cbs`` is non-empty only while
+    ``_cb1`` is set, so dispatch and removal stay branch-cheap).
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+    __slots__ = ("env", "_cb1", "_cbs", "_value", "_ok", "_processed", "_defused")
 
     _PENDING = object()
 
+    #: overridden per-instance by pooled Timeouts; plain events never recycle.
+    _pooled = False
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        self._cbs: Optional[list[Callable[["Event"], None]]] = None
         self._value: Any = Event._PENDING
         self._ok: bool = True
         self._processed = False
@@ -122,10 +155,20 @@ class Event:
             raise SimulationError(f"value of {self!r} is not yet available")
         return self._value
 
+    @property
+    def callbacks(self) -> Optional[list[Callable[["Event"], None]]]:
+        """Registered callbacks (a snapshot), or ``None`` once processed."""
+        if self._processed:
+            return None
+        cbs = [] if self._cb1 is None else [self._cb1]
+        if self._cbs:
+            cbs.extend(self._cbs)
+        return cbs
+
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Schedule the event to fire successfully with ``value``."""
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
@@ -136,7 +179,7 @@ class Event:
         """Schedule the event to fire as a failure carrying ``exception``."""
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
@@ -145,14 +188,38 @@ class Event:
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Register ``fn`` to run when the event is processed."""
-        if self.callbacks is None:
+        if self._processed:
             raise SimulationError(f"cannot add callback to processed {self!r}")
-        self.callbacks.append(fn)
+        if self._cb1 is None:
+            self._cb1 = fn
+        elif self._cbs is None:
+            self._cbs = [fn]
+        else:
+            self._cbs.append(fn)
 
     def remove_callback(self, fn: Callable[["Event"], None]) -> None:
-        """Unregister ``fn``; no-op if absent or already processed."""
-        if self.callbacks is not None and fn in self.callbacks:
-            self.callbacks.remove(fn)
+        """Unregister ``fn``; no-op if absent or already processed.
+
+        The common case — the sole waiter deregistering after an interrupt —
+        is an identity check against the single-callback slot. Equality
+        fallbacks keep externally constructed (uncached) bound methods
+        working.
+        """
+        if self._processed:
+            return
+        cb1 = self._cb1
+        if cb1 is None:
+            return
+        if cb1 is fn or cb1 == fn:
+            cbs = self._cbs
+            self._cb1 = cbs.pop(0) if cbs else None
+            return
+        cbs = self._cbs
+        if cbs:
+            for i, cb in enumerate(cbs):
+                if cb is fn or cb == fn:
+                    del cbs[i]
+                    return
 
     def defuse(self) -> None:
         """Mark a failed event as handled so it does not crash the run."""
@@ -170,16 +237,28 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` seconds after it is created."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_pooled")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + schedule: this constructor is the single
+        # hottest allocation site in the simulator.
+        self.env = env
+        self._cb1 = None
+        self._cbs = None
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self._pooled = False
+        self.delay = delay
+        q = env._queue
+        seq = env._seq
+        env._seq = seq + 1
+        _heappush(q, (env.now + delay, NORMAL, seq, self))
+        if len(q) > env._max_queue_len:
+            env._max_queue_len = len(q)
 
 
 class Initialize(Event):
@@ -189,7 +268,7 @@ class Initialize(Event):
 
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
-        self.callbacks.append(process._resume)
+        self._cb1 = process._resume_cb
         self._ok = True
         self._value = None
         env._schedule(self, URGENT)
@@ -203,7 +282,7 @@ class Process(Event):
     processes may ``yield`` a process to wait for its completion.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_resume_cb", "_send", "_throw")
 
     def __init__(
         self,
@@ -215,6 +294,11 @@ class Process(Event):
             raise SimulationError(f"process requires a generator, got {generator!r}")
         super().__init__(env)
         self._generator = generator
+        # Cached bound methods: one attribute lookup per resume instead of
+        # three, and a stable identity for O(1) callback deregistration.
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume_cb = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         #: the event this process is currently waiting on (None while running)
         self._target: Optional[Event] = None
@@ -237,7 +321,7 @@ class Process(Event):
         simulation time. Interrupting a finished process raises; a process
         must not interrupt itself.
         """
-        if not self.is_alive:
+        if self.triggered:
             raise SimulationError(f"cannot interrupt finished {self!r}")
         if self.env.active_process is self:
             raise SimulationError("a process cannot interrupt itself")
@@ -245,63 +329,73 @@ class Process(Event):
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
-        interrupt_event.callbacks.append(self._resume)
+        interrupt_event._cb1 = self._resume_cb
         self.env._schedule(interrupt_event, URGENT)
 
     # -- internal --------------------------------------------------------
     def _resume(self, event: Event) -> None:
         # If we were waiting on a different event (we were interrupted and
         # already resumed), ignore stale wakeups from the old target.
-        if self.triggered:
+        if self._value is not Event._PENDING:
             return
-        if self._target is not None:
+        target = self._target
+        if target is not None and target is not event:
             # Deregister from the event we were officially waiting for, so a
-            # later trigger of that event does not resume us twice.
-            self._target.remove_callback(self._resume)
+            # later trigger of that event does not resume us twice. (The
+            # fired event itself already dropped its callbacks.)
+            target.remove_callback(self._resume_cb)
         self._target = None
 
-        self.env._active = self
+        env = self.env
+        env._active = self
         try:
             if event._ok:
-                next_event = self._generator.send(event._value)
+                next_event = self._send(event._value)
             else:
                 event._defused = True
-                next_event = self._generator.throw(event._value)
+                next_event = self._throw(event._value)
         except StopIteration as stop:
-            self.env._active = None
-            self.succeed(stop.value)
+            env._active = None
+            self._ok = True
+            self._value = stop.value
+            env._schedule(self, NORMAL)
             return
         except BaseException as exc:
-            self.env._active = None
+            env._active = None
             self.fail(exc)
             return
-        self.env._active = None
+        env._active = None
 
-        if not isinstance(next_event, Event):
-            self._generator.throw(
-                SimulationError(f"process yielded non-event {next_event!r}")
-            )
+        if isinstance(next_event, Event) and next_event.env is env:
+            if not next_event._processed:
+                if next_event._cb1 is None:
+                    next_event._cb1 = self._resume_cb
+                elif next_event._cbs is None:
+                    next_event._cbs = [self._resume_cb]
+                else:
+                    next_event._cbs.append(self._resume_cb)
+                self._target = next_event
+            else:
+                # Already fully processed: resume immediately (urgently).
+                wake = Event(env)
+                wake._ok = next_event._ok
+                wake._value = next_event._value
+                if not next_event._ok:
+                    next_event._defused = True
+                    wake._defused = True
+                wake._cb1 = self._resume_cb
+                env._schedule(wake, URGENT)
+                self._target = wake
             return
-        if next_event.env is not self.env:
+
+        if isinstance(next_event, Event):
             self._generator.throw(
                 SimulationError("process yielded an event from another environment")
             )
-            return
-
-        if next_event._processed or (next_event.triggered and next_event.callbacks is None):
-            # Already fully processed: resume immediately (urgently).
-            wake = Event(self.env)
-            wake._ok = next_event._ok
-            wake._value = next_event._value
-            if not next_event._ok:
-                next_event._defused = True
-                wake._defused = True
-            wake.callbacks.append(self._resume)
-            self.env._schedule(wake, URGENT)
-            self._target = wake
         else:
-            next_event.add_callback(self._resume)
-            self._target = next_event
+            self._generator.throw(
+                SimulationError(f"process yielded non-event {next_event!r}")
+            )
 
 
 class Condition(Event):
@@ -330,11 +424,12 @@ class Condition(Event):
         if not self._events:
             self.succeed({})
             return
+        check = self._check
         for ev in self._events:
-            if ev._processed or (ev.triggered and ev.callbacks is None):
-                self._check(ev)
+            if ev._processed:
+                check(ev)
             else:
-                ev.add_callback(self._check)
+                ev.add_callback(check)
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -356,37 +451,48 @@ class Condition(Event):
             )
 
 
+def _any_evaluate(total: int, fired: int) -> bool:
+    return fired >= 1
+
+
+def _all_evaluate(total: int, fired: int) -> bool:
+    return fired == total
+
+
 def AnyOf(env: "Environment", events: Iterable[Event]) -> Condition:
     """Condition that fires as soon as one of ``events`` fires."""
-    return Condition(env, lambda total, fired: fired >= 1, events)
+    return Condition(env, _any_evaluate, events)
 
 
 def AllOf(env: "Environment", events: Iterable[Event]) -> Condition:
     """Condition that fires once all of ``events`` have fired."""
-    return Condition(env, lambda total, fired: fired == total, events)
+    return Condition(env, _all_evaluate, events)
 
 
 class Environment:
     """The simulation environment: clock + event queue + scheduler."""
 
     def __init__(self, initial_time: float = 0.0) -> None:
-        self._now = float(initial_time)
+        #: current simulated time. A plain attribute (not a property): it is
+        #: read on every wait and accounting call across the stack, and the
+        #: attribute-read saving is measurable. Only the event loop should
+        #: write it.
+        self.now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
-        self._seq = count()
+        self._seq = 0  # next (time, priority, seq) tiebreaker; int, not itertools.count
         self._active: Optional[Process] = None
         self._event_count = 0
         self._max_queue_len = 0
+        #: free list for :meth:`sleep`; recycled in the event loop the
+        #: moment a pooled timeout's callbacks have run.
+        self._tpool: list[Timeout] = []
+        self._pool_reuses = 0
         #: state-transition clock hooks, ``f(old_time, new_time)``; fired
         #: whenever :meth:`step` advances the clock. Empty by default so
         #: the hot path pays one truthiness test (profiling layers attach).
         self._clock_listeners: list[Callable[[float, float], None]] = []
 
     # -- clock -----------------------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
-
     @property
     def active_process(self) -> Optional[Process]:
         """The process currently executing, if any."""
@@ -408,7 +514,9 @@ class Environment:
             "events_processed": float(self._event_count),
             "queue_len": float(len(self._queue)),
             "max_queue_len": float(self._max_queue_len),
-            "sim_time": self._now,
+            "sim_time": self.now,
+            "timeout_pool_reuses": float(self._pool_reuses),
+            "timeout_pool_size": float(len(self._tpool)),
         }
 
     def add_clock_listener(self, fn: Callable[[float, float], None]) -> None:
@@ -430,8 +538,46 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing ``delay`` simulated seconds from now."""
+        """An event firing ``delay`` simulated seconds from now.
+
+        Always freshly allocated — safe to store, put into conditions, or
+        inspect after it fires. Hot paths that yield the event immediately
+        and never look at it again should use :meth:`sleep` instead.
+        """
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float) -> Timeout:
+        """A pooled timeout for the dominant yield-sleep-resume cycle.
+
+        Identical scheduling semantics to ``timeout(delay)`` — it consumes
+        the same ``(time, priority, seq)`` slot — but the returned object
+        is recycled into a free list as soon as its callbacks have run.
+
+        Contract: the caller must ``yield`` the returned event immediately
+        and must not retain a reference, give it a value, or hand it to a
+        :class:`Condition`. Use :meth:`timeout` for anything fancier.
+        """
+        pool = self._tpool
+        if not pool:
+            t = Timeout(self, delay)
+            t._pooled = True
+            return t
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        t = pool.pop()
+        t.delay = delay
+        t._value = None
+        t._ok = True
+        t._processed = False
+        t._defused = False
+        self._pool_reuses += 1
+        q = self._queue
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(q, (self.now + delay, NORMAL, seq, t))
+        if len(q) > self._max_queue_len:
+            self._max_queue_len = len(q)
+        return t
 
     def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
         """Start a new process running ``generator``."""
@@ -445,40 +591,53 @@ class Environment:
 
     # -- scheduling --------------------------------------------------------
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._seq), event)
-        )
-        if len(self._queue) > self._max_queue_len:
-            self._max_queue_len = len(self._queue)
+        q = self._queue
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(q, (self.now + delay, priority, seq, event))
+        if len(q) > self._max_queue_len:
+            self._max_queue_len = len(q)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event (advancing the clock to it)."""
+        """Process exactly one event (advancing the clock to it).
+
+        This is the reference implementation of one scheduler round; the
+        loops in :meth:`run` inline exactly this sequence.
+        """
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:  # pragma: no cover - guarded by schedule logic
+        when, _prio, _seq, event = _heappop(self._queue)
+        if when < self.now:  # pragma: no cover - guarded by schedule logic
             raise SimulationError("event scheduled in the past")
-        if self._clock_listeners and when > self._now:
-            old = self._now
-            self._now = when
+        if self._clock_listeners and when > self.now:
+            old = self.now
+            self.now = when
             for fn in self._clock_listeners:
                 fn(old, when)
         else:
-            self._now = when
+            self.now = when
         self._event_count += 1
 
-        callbacks, event.callbacks = event.callbacks, None
+        cb1 = event._cb1
+        cbs = event._cbs
+        event._cb1 = None
+        event._cbs = None
         event._processed = True
-        for fn in callbacks:
-            fn(event)
+        if cb1 is not None:
+            cb1(event)
+            if cbs:
+                for fn in cbs:
+                    fn(event)
 
         if not event._ok and not event._defused:
             exc = event._value
             raise exc if isinstance(exc, BaseException) else SimulationError(str(exc))
+        if event._pooled:
+            self._tpool.append(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
@@ -491,8 +650,7 @@ class Environment:
           its value (or raising its failure).
         """
         if until is None:
-            while self._queue:
-                self.step()
+            self._run_inlined(float("inf"))
             return None
 
         if isinstance(until, Event):
@@ -506,14 +664,13 @@ class Environment:
                     ev._defused = True
                 raise StopSimulation()
 
-            if sentinel._processed or (sentinel.triggered and sentinel.callbacks is None):
+            if sentinel._processed:
                 if not sentinel._ok:
                     raise sentinel._value
                 return sentinel._value
             sentinel.add_callback(_stop)
             try:
-                while self._queue:
-                    self.step()
+                self._run_inlined(float("inf"))
             except StopSimulation:
                 if not result["ok"]:
                     raise result["value"]
@@ -523,9 +680,49 @@ class Environment:
             )
 
         deadline = float(until)
-        if deadline < self._now:
+        if deadline < self.now:
             raise SimulationError("run(until=t) with t in the past")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
-        self._now = deadline
+        self._run_inlined(deadline)
+        self.now = deadline
         return None
+
+    def _run_inlined(self, deadline: float) -> None:
+        """The hot event loop: semantically ``while queue: step()`` with
+        cached bindings, stopping once the head-of-queue time exceeds
+        ``deadline``."""
+        queue = self._queue
+        pop = _heappop
+        tpool = self._tpool
+        listeners = self._clock_listeners
+        processed = 0
+        try:
+            while queue and queue[0][0] <= deadline:
+                when, _prio, _seq, event = pop(queue)
+                now = self.now
+                if when > now:
+                    self.now = when
+                    if listeners:
+                        for fn in listeners:
+                            fn(now, when)
+                processed += 1
+
+                cb1 = event._cb1
+                cbs = event._cbs
+                event._cb1 = None
+                event._cbs = None
+                event._processed = True
+                if cb1 is not None:
+                    cb1(event)
+                    if cbs:
+                        for fn in cbs:
+                            fn(event)
+
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    raise exc if isinstance(exc, BaseException) else SimulationError(
+                        str(exc)
+                    )
+                if event._pooled:
+                    tpool.append(event)
+        finally:
+            self._event_count += processed

@@ -65,6 +65,15 @@ class Network:
             c.name: _Uplink(env, c.uplink_bandwidth, c.uplink_latency)
             for c in grid.clusters
         }
+        # Flat lookup tables for the transfer fast path: host → cluster and
+        # cluster → immutable LAN parameters (cluster membership and LAN
+        # specs never change at runtime; only uplink bandwidth is mutable).
+        self._host_cluster: dict[str, str] = {
+            name: h.cluster for name, h in self.hosts.items()
+        }
+        self._lan: dict[str, tuple[float, float]] = {
+            c.name: (c.lan_latency, c.lan_bandwidth) for c in grid.clusters
+        }
         #: cumulative (bytes, seconds) per ordered cluster pair, for the
         #: bandwidth estimation the coordinator uses when learning
         #: minimum-bandwidth requirements.
@@ -138,14 +147,17 @@ class Network:
             raise ValueError(f"cannot transfer negative bytes: {nbytes}")
         env = self.env
         t0 = env.now
-        ha, hb = self.hosts[src], self.hosts[dst]
+        hc = self._host_cluster
+        ca, cb = hc[src], hc[dst]
 
-        if ha.cluster == hb.cluster:
-            lan = self.grid.cluster(ha.cluster)
-            yield env.timeout(lan.lan_latency + nbytes / lan.lan_bandwidth)
+        if ca == cb:
+            lan_latency, lan_bandwidth = self._lan[ca]
+            # Pooled sleep: yielded immediately, never retained — the
+            # dominant LAN case allocates no event object in steady state.
+            yield env.sleep(lan_latency + nbytes / lan_bandwidth)
             return env.now - t0
 
-        up, down = self._uplinks[ha.cluster], self._uplinks[hb.cluster]
+        up, down = self._uplinks[ca], self._uplinks[cb]
         req_out = req_in = None
         try:
             req_out = up.outbound.request()
@@ -156,21 +168,21 @@ class Network:
             # lands mid-transfer affects the *next* transfer, which is a
             # fine approximation at our message sizes.
             path_bw = min(up.bandwidth, self.grid.backbone_bandwidth, down.bandwidth)
-            yield env.timeout(nbytes / path_bw)
+            yield env.sleep(nbytes / path_bw)
         finally:
             if req_in is not None:
                 req_in.cancel()
             if req_out is not None:
                 req_out.cancel()
-        yield env.timeout(
+        yield env.sleep(
             up.latency + self.grid.backbone_latency + down.latency
         )
         elapsed = env.now - t0
-        key = (ha.cluster, hb.cluster)
+        key = (ca, cb)
         self._pair_bytes[key] = self._pair_bytes.get(key, 0.0) + nbytes
         self._pair_seconds[key] = self._pair_seconds.get(key, 0.0) + elapsed
         if self.transfer_observer is not None:
-            self.transfer_observer(ha.cluster, hb.cluster, nbytes, elapsed, env.now)
+            self.transfer_observer(ca, cb, nbytes, elapsed, env.now)
         return elapsed
 
     def send(self, src: str, dst_mailbox: Store, nbytes: float, payload: Any) -> None:

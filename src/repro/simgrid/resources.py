@@ -203,13 +203,17 @@ class Host:
     "heavy artificial load" is, e.g., ``L = 4``.
     """
 
-    __slots__ = ("spec", "external_load", "alive", "_crash_time")
+    __slots__ = ("spec", "external_load", "alive", "_crash_time", "effective_speed")
 
     def __init__(self, spec: NodeSpec) -> None:
         self.spec = spec
         self.external_load = 0.0
         self.alive = True
         self._crash_time: Optional[float] = None
+        #: work units/second currently available to the application; a
+        #: cached plain attribute (read once per executed task) recomputed
+        #: on the rare load changes. Mutate load via :meth:`set_load` only.
+        self.effective_speed = spec.base_speed
 
     @property
     def name(self) -> str:
@@ -219,15 +223,12 @@ class Host:
     def cluster(self) -> str:
         return self.spec.cluster
 
-    @property
-    def effective_speed(self) -> float:
-        """Work units/second currently available to the application."""
-        return self.spec.base_speed / (1.0 + self.external_load)
-
     def set_load(self, load: float) -> None:
         if load < 0:
             raise ValueError(f"external load must be >= 0, got {load}")
         self.external_load = load
+        # Fair CPU sharing among 1 + L runnable jobs (paper's load model).
+        self.effective_speed = self.spec.base_speed / (1.0 + load)
 
     def crash(self, time: float) -> None:
         """Mark the host dead. Idempotent."""
@@ -241,6 +242,7 @@ class Host:
         if not self.alive:
             self.alive = True
             self.external_load = 0.0
+            self.effective_speed = self.spec.base_speed
 
     @property
     def crash_time(self) -> Optional[float]:

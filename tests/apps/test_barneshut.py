@@ -200,3 +200,61 @@ def test_barneshut_runs_on_simulated_grid():
     durations = h.runtime.trace.series("iteration_duration").values
     assert len(durations) == 2
     assert all(d > 0 for d in durations)
+
+
+# ------------------------------------------- vectorized build ≡ reference
+def _reference_octree(positions, masses, bucket_size=16, max_depth=20):
+    """Build a tree with the naive recursive fill (the specification)."""
+    from repro.apps.barneshut import OctreeNode, _fill_reference
+
+    lo, hi = positions.min(axis=0), positions.max(axis=0)
+    center = (lo + hi) / 2.0
+    half = float(np.max(hi - lo) / 2.0) * 1.0001 + 1e-12
+    root = OctreeNode(center, half)
+    _fill_reference(
+        root, positions, masses, np.arange(len(positions)), bucket_size, max_depth
+    )
+    return root
+
+
+@pytest.mark.parametrize("n,bucket", [(1, 16), (17, 4), (300, 16), (1000, 8)])
+def test_vectorized_build_bit_identical_to_reference(n, bucket):
+    """The level-synchronous build must reproduce the recursion bit-for-bit:
+    same topology, same body grouping, and byte-identical float fields —
+    this is what guarantees seeded experiment runs replay identically."""
+    pos, _vel, masses = small_system(n=max(n, 2), seed=7)
+    pos = pos[:n] if n >= 2 else pos[:2]
+    masses = masses[: len(pos)]
+
+    fast = build_octree(pos, masses, bucket_size=bucket)
+    ref = _reference_octree(pos, masses, bucket_size=bucket)
+
+    stack = [(fast, ref)]
+    while stack:
+        a, b = stack.pop()
+        assert a.count == b.count
+        assert a.half_size == b.half_size  # exact, no tolerance
+        assert a.center.tobytes() == b.center.tobytes()
+        assert a.com.tobytes() == b.com.tobytes()
+        assert np.float64(a.mass).tobytes() == np.float64(b.mass).tobytes()
+        assert (a.bodies is None) == (b.bodies is None)
+        if a.bodies is not None:
+            assert np.array_equal(a.bodies, b.bodies)
+        assert len(a.children) == len(b.children)
+        stack.extend(zip(a.children, b.children))
+
+
+def test_vectorized_build_max_depth_stops_splitting():
+    """Coincident bodies can't be separated; max_depth must terminate."""
+    pos = np.zeros((40, 3))
+    masses = np.full(40, 1.0 / 40)
+    tree = build_octree(pos, masses, bucket_size=4, max_depth=3)
+    depths = []
+    stack = [(tree, 0)]
+    while stack:
+        node, d = stack.pop()
+        if node.is_leaf:
+            depths.append(d)
+        stack.extend((c, d + 1) for c in node.children)
+    assert max(depths) <= 3
+    assert sum(len(n.bodies) for n in tree.iter_nodes() if n.is_leaf) == 40
