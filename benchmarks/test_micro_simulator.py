@@ -11,7 +11,10 @@ with the ``repro bench`` CLI verb, so these tests and the CI smoke gate
 measure the identical code paths.
 """
 
-from repro.apps.barneshut import build_octree, interaction_counts
+import numpy as np
+
+from repro.apps.barneshut import bh_accelerations, interaction_counts
+from repro.apps.flatoctree import build_flat_octree
 from repro.experiments.microbench import (
     engine_timeout_churn,
     octree_inputs,
@@ -38,16 +41,29 @@ def test_worksteal_runtime_throughput(benchmark):
 
 
 def test_octree_build(benchmark):
-    """Octree construction for the default experiment size."""
+    """Flat octree construction for the default experiment size."""
     pos, mass = octree_inputs()
-    tree = benchmark(build_octree, pos, mass, 16)
-    assert tree.count == 2048
+    tree = benchmark(build_flat_octree, pos, mass, 16)
+    assert int(tree.counts[0]) == 2048
 
 
 def test_interaction_count_traversal(benchmark):
-    """Vectorised Barnes-Hut acceptance traversal."""
+    """Frontier-batched Barnes-Hut counts over the flat octree."""
     pos, mass = octree_inputs()
-    tree = build_octree(pos, mass, 16)
+    tree = build_flat_octree(pos, mass, 16)
     counts = benchmark(interaction_counts, tree, pos, mass, 0.5)
     assert counts.shape == (2048,)
     assert counts.min() >= 1
+
+
+def test_flat_force_traversal(benchmark):
+    """Full frontier kernel including force accumulation (1024 bodies)."""
+    from repro.apps.barneshut import plummer_sphere
+
+    rng = np.random.default_rng(0)
+    pos, _, mass = plummer_sphere(1024, rng)
+    tree = build_flat_octree(pos, mass, 16)
+    acc, counts = benchmark(bh_accelerations, tree, pos, mass, 0.5)
+    assert acc.shape == (1024, 3)
+    assert np.isfinite(acc).all()
+    assert counts.shape == (1024,)

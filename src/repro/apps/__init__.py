@@ -9,6 +9,7 @@ cost-faithful spawn trees.
 
 from .barneshut import BarnesHutConfig, BarnesHutSimulation
 from .dctree import SyntheticIterativeApp, balanced_tree, irregular_tree, skewed_tree
+from .flatoctree import FlatOctree, build_flat_octree
 from .fib import FibApp, fib, fib_spawn_tree
 from .integrate import IntegrateApp, adaptive_simpson, integration_spawn_tree
 from .matmul import MatMulApp, dc_matmul, matmul_spawn_tree
@@ -21,6 +22,7 @@ __all__ = [
     "BarnesHutConfig",
     "BarnesHutSimulation",
     "FibApp",
+    "FlatOctree",
     "IntegrateApp",
     "MatMulApp",
     "NQueensApp",
@@ -30,6 +32,7 @@ __all__ = [
     "TspApp",
     "adaptive_simpson",
     "balanced_tree",
+    "build_flat_octree",
     "count_solutions",
     "dc_matmul",
     "dpll",

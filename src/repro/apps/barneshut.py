@@ -31,22 +31,38 @@ simulated runtime:
 Units: one *work unit* is ``1 / work_per_interaction`` body–node
 interactions; a speed-1.0 grid node executes one work unit per simulated
 second. Only ratios matter (the paper's speeds are likewise relative).
+
+Performance note: the production path (the simulation loop, the spawn
+tree, the microbenchmarks) runs on the flat struct-of-arrays octree and
+frontier-batched traversal kernel in :mod:`.flatoctree` — see the "Flat
+octree layout" section of ``docs/performance.md`` for the memory layout
+and why level batching beats per-node dispatch. The ``OctreeNode``
+object tree and the stack-based ``_traverse`` below are retained as the
+readable reference implementations that the flat kernel must reproduce
+(counts bit-for-bit; pinned by tests).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
 
 import numpy as np
 
 from ..satin.app import Iteration
 from ..satin.task import TaskNode
+from .flatoctree import (
+    FlatOctree,
+    build_flat_octree,
+    flat_traverse,
+)
 
 __all__ = [
     "BarnesHutConfig",
     "BarnesHutSimulation",
+    "FlatOctree",
     "OctreeNode",
+    "build_flat_octree",
     "build_octree",
     "interaction_counts",
     "bh_accelerations",
@@ -118,15 +134,6 @@ class OctreeNode:
             stack.extend(node.children)
 
 
-#: per-octant unit offsets (±1 per axis); child center = parent + sign·quarter.
-_OCTANT_SIGNS = np.array(
-    [
-        [1.0 if o & 4 else -1.0, 1.0 if o & 2 else -1.0, 1.0 if o & 1 else -1.0]
-        for o in range(8)
-    ]
-)
-
-
 def build_octree(
     positions: np.ndarray,
     masses: np.ndarray,
@@ -135,11 +142,10 @@ def build_octree(
 ) -> OctreeNode:
     """Build the octree: split cells until ≤ ``bucket_size`` bodies.
 
-    The construction is *level-synchronous*: each tree level is filled with
-    one gather + one octant classification over all of the level's bodies,
-    and bodies are regrouped into children with a stable per-node sort of
-    their 3-bit octant keys — effectively a level-by-level radix (Morton)
-    sort — instead of per-node recursion with eight boolean-mask filters.
+    The construction is the level-synchronous SoA builder
+    (:func:`~repro.apps.flatoctree.build_flat_octree`); this entry point
+    materialises its lazy ``OctreeNode`` view for callers that want the
+    object tree.
 
     The result is **bit-for-bit identical** to the naive recursion
     (:func:`_fill_reference`): every node's body group is a contiguous
@@ -148,100 +154,7 @@ def build_octree(
     arithmetic performs the exact same IEEE operations. Seeded experiment
     runs therefore replay identically on either implementation.
     """
-    if positions.ndim != 2 or positions.shape[1] != 3:
-        raise ValueError("positions must be (n, 3)")
-    if len(positions) != len(masses):
-        raise ValueError("positions and masses disagree in length")
-    lo, hi = positions.min(axis=0), positions.max(axis=0)
-    center = (lo + hi) / 2.0
-    half = float(np.max(hi - lo) / 2.0) * 1.0001 + 1e-12
-
-    root = OctreeNode(center, half)
-    n = len(positions)
-    #: bodies of the current level, grouped by node; every group is a
-    #: stable filter of ``arange(n)``, hence ascending in original index.
-    order = np.arange(n)
-    nodes: list[OctreeNode] = [root]
-    starts = np.array([0, n], dtype=np.intp)
-    #: every node of a level sits at the same depth, so they all share one
-    #: half_size — a per-level scalar, not per-node state.
-    level_half = half
-    #: (K, 3) centers of the level's nodes; each node.center is a row view.
-    level_centers = center[None, :]
-    depth_left = max_depth
-    _addreduce = np.add.reduce  # ndarray.sum minus the wrapper layer
-    _octants = np.arange(9)
-    _new = OctreeNode.__new__
-
-    while nodes:
-        pos_g = positions[order]
-        mass_g = masses[order]
-        sizes = np.diff(starts)
-        # One octant classification for the whole level (the recursion does
-        # this per node): compare each body against its node's center.
-        rel = pos_g > np.repeat(level_centers, sizes, axis=0)
-        octant_all = rel[:, 0] * 4 + rel[:, 1] * 2 + rel[:, 2] * 1
-
-        child_parent: list[int] = []
-        child_octant: list[int] = []
-        child_groups: list[np.ndarray] = []
-        for k, node in enumerate(nodes):
-            s, e = starts[k], starts[k + 1]
-            sz = e - s
-            node.count = sz
-            m = mass_g[s:e]
-            # Contiguous same-order slice: numpy's pairwise summation gives
-            # the exact same float as masses[idx].sum() in the recursion.
-            mass = float(_addreduce(m))
-            node.mass = mass
-            if mass > 0:
-                node.com = _addreduce(pos_g[s:e] * m[:, None], 0) / mass
-            else:  # pragma: no cover - massless cells don't occur here
-                node.com = node.center.copy()
-            if sz <= bucket_size or depth_left == 0:
-                node.bodies = order[s:e]
-                continue
-            # Stable sort by octant key: children come out in octant order
-            # 0..7 with original body order preserved within each child.
-            oct_keys = octant_all[s:e]
-            perm = oct_keys.argsort(kind="stable")
-            grp = order[s:e][perm]
-            bounds = np.searchsorted(oct_keys[perm], _octants)
-            for o in range(8):
-                a, b = bounds[o], bounds[o + 1]
-                if a == b:
-                    continue
-                child_parent.append(k)
-                child_octant.append(o)
-                child_groups.append(grp[a:b])
-
-        if not child_groups:
-            break
-        # Bulk-compute all child centers of the level in two array ops —
-        # elementwise identical to center + sign·quarter done per child.
-        quarter = level_half / 2.0
-        pk = np.array(child_parent, dtype=np.intp)
-        level_centers = level_centers[pk] + _OCTANT_SIGNS[child_octant] * quarter
-        next_nodes: list[OctreeNode] = []
-        for i, grp in enumerate(child_groups):
-            child = _new(OctreeNode)
-            child.center = level_centers[i]
-            child.half_size = quarter
-            child.bodies = None
-            child.children = []
-            child.com = None  # filled on the next level pass
-            child.mass = 0.0
-            child.count = 0
-            nodes[child_parent[i]].children.append(child)
-            next_nodes.append(child)
-
-        nodes = next_nodes
-        level_half = quarter
-        order = np.concatenate(child_groups)
-        sizes = np.fromiter(map(len, child_groups), dtype=np.intp, count=len(child_groups))
-        starts = np.concatenate((np.zeros(1, dtype=np.intp), np.cumsum(sizes)))
-        depth_left -= 1
-    return root
+    return build_flat_octree(positions, masses, bucket_size, max_depth).to_object_tree()
 
 
 def _fill_reference(
@@ -349,22 +262,41 @@ def _traverse(
 
 
 def interaction_counts(
-    tree: OctreeNode, positions: np.ndarray, masses: np.ndarray, theta: float
+    tree: Union[OctreeNode, FlatOctree],
+    positions: np.ndarray,
+    masses: np.ndarray,
+    theta: float,
 ) -> np.ndarray:
-    """Per-body body–node interaction counts under the θ criterion."""
+    """Per-body body–node interaction counts under the θ criterion.
+
+    A :class:`FlatOctree` runs the frontier-batched kernel (the production
+    fast path); an :class:`OctreeNode` runs the retained object-tree
+    reference. Counts are bit-identical either way (pinned by tests).
+    """
+    if isinstance(tree, FlatOctree):
+        counts, _ = flat_traverse(tree, positions, masses, theta, 1e-3, False)
+        return counts
     counts, _ = _traverse(tree, positions, masses, theta, 1e-3, False)
     return counts
 
 
 def bh_accelerations(
-    tree: OctreeNode,
+    tree: Union[OctreeNode, FlatOctree],
     positions: np.ndarray,
     masses: np.ndarray,
     theta: float,
     softening: float = 1e-3,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Barnes-Hut approximated accelerations (and interaction counts)."""
-    counts, acc = _traverse(tree, positions, masses, theta, softening, True)
+    """Barnes-Hut approximated accelerations (and interaction counts).
+
+    Dispatches like :func:`interaction_counts`; the flat kernel's
+    accelerations agree with the reference to ~1e-15 relative (the
+    per-body accumulation order differs).
+    """
+    if isinstance(tree, FlatOctree):
+        counts, acc = flat_traverse(tree, positions, masses, theta, softening, True)
+    else:
+        counts, acc = _traverse(tree, positions, masses, theta, softening, True)
     assert acc is not None
     return acc, counts
 
@@ -443,7 +375,18 @@ class BarnesHutSimulation:
         self.interaction_totals: list[int] = []
 
     # -- spawn-tree construction -------------------------------------------
-    def spawn_tree(self, tree: OctreeNode, counts: np.ndarray) -> TaskNode:
+    def spawn_tree(
+        self, tree: Union[OctreeNode, FlatOctree], counts: np.ndarray
+    ) -> TaskNode:
+        """Convert the octree's top levels into the iteration's spawn tree.
+
+        Accepts either representation; the flat path walks the CSR slices
+        directly and produces a float-for-float identical tree (leaf costs
+        are exact integer sums, internal costs the same left-to-right
+        Python float sums over the same child order).
+        """
+        if isinstance(tree, FlatOctree):
+            return self._spawn_tree_flat(tree, counts)
         cfg = self.config
 
         # Single post-order pass computing every subtree's cost (the naive
@@ -489,6 +432,52 @@ class BarnesHutSimulation:
 
         return convert(tree)
 
+    def _spawn_tree_flat(self, flat: FlatOctree, counts: np.ndarray) -> TaskNode:
+        cfg = self.config
+        child_off = flat.child_off
+        children = flat.children
+        body_off = flat.body_off
+        bodies = flat.bodies
+        node_counts = flat.counts
+
+        # Reverse-id pass computing every subtree's cost: ids are assigned
+        # breadth-first, so children always precede their parent here. Leaf
+        # costs are exact int64 sums; internal costs replicate the object
+        # path's left-to-right Python float sum over the same child order.
+        m_nodes = flat.n_nodes
+        cost: list[float] = [0.0] * m_nodes
+        for k in range(m_nodes - 1, -1, -1):
+            c0, c1 = child_off[k], child_off[k + 1]
+            if c0 == c1:
+                cost[k] = float(counts[bodies[body_off[k]:body_off[k + 1]]].sum())
+            else:
+                cost[k] = float(sum(cost[c] for c in children[c0:c1]))
+
+        def convert(k: int) -> TaskNode:
+            # A stolen subtree ships its bodies plus the shared tree section
+            # needed to evaluate them; its result ships the updated bodies.
+            count = int(node_counts[k])
+            nbytes_in = count * cfg.bytes_per_body * 1.5
+            nbytes_out = count * cfg.bytes_per_body
+            c0, c1 = child_off[k], child_off[k + 1]
+            if count <= cfg.max_bodies_per_leaf_task or c0 == c1:
+                work = cost[k] * cfg.work_per_interaction
+                return TaskNode(
+                    work=work, data_in=nbytes_in, data_out=nbytes_out,
+                    tag=f"bh-leaf[{count}]",
+                )
+            kids = tuple(convert(int(c)) for c in children[c0:c1])
+            return TaskNode(
+                work=cfg.divide_work,
+                children=kids,
+                combine_work=cfg.combine_work,
+                data_in=nbytes_in,
+                data_out=nbytes_out,
+                tag=f"bh-node[{count}]",
+            )
+
+        return convert(0)
+
     # -- time stepping --------------------------------------------------------
     def _advance(self, acc: Optional[np.ndarray]) -> None:
         cfg = self.config
@@ -500,7 +489,9 @@ class BarnesHutSimulation:
     def iterations(self) -> Iterator[Iteration]:
         cfg = self.config
         for i in range(cfg.n_iterations):
-            tree = build_octree(self.positions, self.masses, cfg.bucket_size)
+            # Production fast path: SoA build + frontier-batched kernel +
+            # CSR spawn tree; no OctreeNode objects are materialised.
+            tree = build_flat_octree(self.positions, self.masses, cfg.bucket_size)
             if cfg.compute_forces:
                 acc, counts = bh_accelerations(
                     tree, self.positions, self.masses, cfg.theta, cfg.softening

@@ -5,11 +5,20 @@ pytest-benchmark suite in ``benchmarks/test_micro_simulator.py`` runs, so
 the CI smoke gate, the committed ``BENCH_<n>.json`` artifacts, and the
 interactive suite all measure the identical code paths:
 
-* ``engine_timeouts`` — event throughput of the bare DES engine;
-* ``store_pingpong``  — producer/consumer messaging through a Store;
-* ``worksteal``       — tasks/second through the full runtime + network;
-* ``octree_build``    — Barnes-Hut octree construction (2048 bodies);
-* ``traversal``       — vectorised Barnes-Hut acceptance traversal.
+* ``engine_timeouts``  — event throughput of the bare DES engine;
+* ``store_pingpong``   — producer/consumer messaging through a Store;
+* ``worksteal``        — tasks/second through the full runtime + network;
+* ``octree_build``     — flat Barnes-Hut octree construction (2048 bodies);
+* ``traversal``        — Barnes-Hut interaction counts, production path
+  (frontier-batched kernel over the flat octree);
+* ``traversal_flat``   — the full frontier kernel including force
+  accumulation (``bh_accelerations`` on the flat tree, 1024 bodies);
+* ``leaf_batch``       — the batched leaf–body interaction micro-kernel
+  on a synthetic (leaf, body) frontier.
+
+Every workload times only its returned callable: input generation and
+octree construction happen in ``prepare`` and are excluded (pinned by
+``tests/experiments/test_microbench.py``).
 
 Results JSON schema (also embedded in every file under ``"_schema"``):
 
@@ -169,18 +178,57 @@ def _prepare_worksteal() -> Callable[[], object]:
 
 
 def _prepare_octree() -> Callable[[], object]:
-    from ..apps.barneshut import build_octree
+    # build_flat_octree is what the production iteration loop calls;
+    # build_octree (flat build + lazy OctreeNode view) is the test path.
+    from ..apps.flatoctree import build_flat_octree
 
     pos, mass = octree_inputs()
-    return lambda: build_octree(pos, mass, 16)
+    return lambda: build_flat_octree(pos, mass, 16)
 
 
 def _prepare_traversal() -> Callable[[], object]:
-    from ..apps.barneshut import build_octree, interaction_counts
+    from ..apps.barneshut import interaction_counts
+    from ..apps.flatoctree import build_flat_octree
 
     pos, mass = octree_inputs()
-    tree = build_octree(pos, mass, 16)
+    tree = build_flat_octree(pos, mass, 16)
     return lambda: interaction_counts(tree, pos, mass, 0.5)
+
+
+def _prepare_traversal_flat() -> Callable[[], object]:
+    import numpy as np
+
+    from ..apps.barneshut import bh_accelerations, plummer_sphere
+    from ..apps.flatoctree import build_flat_octree
+
+    # 1024 bodies: the force path touches every (leaf-member, body) pair,
+    # so 2048 would run ~200 ms per call — too coarse for a microbench.
+    rng = np.random.default_rng(0)
+    pos, _, mass = plummer_sphere(1024, rng)
+    tree = build_flat_octree(pos, mass, 16)
+    return lambda: bh_accelerations(tree, pos, mass, 0.5)
+
+
+def _prepare_leaf_batch() -> Callable[[], object]:
+    import numpy as np
+
+    from ..apps.flatoctree import _leaf_batch, build_flat_octree
+
+    pos, mass = octree_inputs()
+    tree = build_flat_octree(pos, mass, 16)
+    posx = np.ascontiguousarray(pos[:, 0])
+    posy = np.ascontiguousarray(pos[:, 1])
+    posz = np.ascontiguousarray(pos[:, 2])
+    # synthetic frontier: every leaf paired with the same 128 bodies —
+    # the batch shape (many small member lists, shared targets) matches
+    # what the traversal kernel feeds the leaf stage
+    leaves = np.flatnonzero(tree.is_leaf)
+    targets = np.arange(128, dtype=np.intp)
+    leaf_ids = np.repeat(leaves, targets.size)
+    body_ids = np.tile(targets, leaves.size)
+    return lambda: _leaf_batch(
+        tree, posx, posy, posz, mass, leaf_ids, body_ids, 1e-6
+    )
 
 
 @dataclass(frozen=True)
@@ -214,13 +262,23 @@ WORKLOADS: tuple[Workload, ...] = (
     ),
     Workload(
         "octree_build",
-        "Barnes-Hut octree construction, 2048 bodies",
+        "flat Barnes-Hut octree construction, 2048 bodies",
         _prepare_octree,
     ),
     Workload(
         "traversal",
-        "vectorised Barnes-Hut acceptance traversal",
+        "Barnes-Hut interaction counts (frontier-batched flat kernel)",
         _prepare_traversal,
+    ),
+    Workload(
+        "traversal_flat",
+        "flat frontier kernel incl. force accumulation, 1024 bodies",
+        _prepare_traversal_flat,
+    ),
+    Workload(
+        "leaf_batch",
+        "batched leaf-body interaction micro-kernel",
+        _prepare_leaf_batch,
     ),
 )
 

@@ -76,3 +76,44 @@ def test_cli_gate_requires_baseline():
     with pytest.raises(SystemExit):
         bench_main(["--only", "octree_build", "--repeats", "1",
                     "--gate", "2.0"])
+
+
+# -- timed-region audit -------------------------------------------------------
+# Each workload's `prepare` does the untimed setup and returns the callable
+# that gets timed. These tests pin that expensive preparation (input
+# generation, octree construction) cannot leak into the timed region: after
+# prepare() has run, the builders are sabotaged and the timed callable must
+# still succeed.
+
+_BY_NAME = {w.name: w for w in WORKLOADS}
+
+
+def _bomb(*args, **kwargs):  # pragma: no cover - must never run
+    raise AssertionError("untimed prepare work leaked into the timed region")
+
+
+def test_traversal_timing_excludes_octree_build(monkeypatch):
+    """The gated `traversal` workload times the kernel, not build_octree."""
+    import repro.apps.barneshut as barneshut
+    import repro.apps.flatoctree as flatoctree
+
+    fn = _BY_NAME["traversal"].prepare()
+    monkeypatch.setattr(flatoctree, "build_flat_octree", _bomb)
+    monkeypatch.setattr(barneshut, "build_flat_octree", _bomb)
+    monkeypatch.setattr(barneshut, "build_octree", _bomb)
+    counts = fn()
+    assert counts.shape == (2048,)
+
+
+@pytest.mark.parametrize(
+    "name", ["octree_build", "traversal", "traversal_flat", "leaf_batch"]
+)
+def test_octree_workloads_exclude_input_generation(monkeypatch, name):
+    """Plummer-sphere generation happens in prepare, never in the timing."""
+    import repro.apps.barneshut as barneshut
+    import repro.experiments.microbench as microbench
+
+    fn = _BY_NAME[name].prepare()
+    monkeypatch.setattr(barneshut, "plummer_sphere", _bomb)
+    monkeypatch.setattr(microbench, "octree_inputs", _bomb)
+    fn()  # still runs: inputs were captured during prepare
