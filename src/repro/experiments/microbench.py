@@ -14,7 +14,11 @@ interactive suite all measure the identical code paths:
 * ``traversal_flat``   — the full frontier kernel including force
   accumulation (``bh_accelerations`` on the flat tree, 1024 bodies);
 * ``leaf_batch``       — the batched leaf–body interaction micro-kernel
-  on a synthetic (leaf, body) frontier.
+  on a synthetic (leaf, body) frontier;
+* ``scenario_e2e``     — a complete small scenario (grid build, workers,
+  monitoring, adaptation coordinator) through
+  ``experiments.runner.run_scenario`` — the end-to-end number the
+  substrate workloads exist to improve.
 
 Every workload times only its returned callable: input generation and
 octree construction happen in ``prepare`` and are excluded (pinned by
@@ -27,6 +31,7 @@ Results JSON schema (also embedded in every file under ``"_schema"``):
   "_schema": {...this description...},
   "quick": bool,            # --quick run (fewer repeats)?
   "repeats": int,           # timed repetitions per workload
+  "canary_median_ms": float,# fixed pure-python canary (machine speed)
   "benchmarks": {
     "<workload>": {
       "median_ms": float,   # median of the timed repetitions
@@ -34,11 +39,24 @@ Results JSON schema (also embedded in every file under ``"_schema"``):
       "description": str,
       # present when a baseline file was given:
       "baseline_median_ms": float,
-      "speedup": float      # baseline_median_ms / median_ms
+      "speedup": float,     # baseline_median_ms / median_ms
+      # present when the baseline also recorded a canary:
+      "speedup_normalized": float   # speedup x canary drift correction
     }, ...
   }
 }
 ```
+
+The **canary** is a fixed pure-python workload that never touches repo
+code, so its median measures the *session*, not the PR: two bench runs
+on the same machine minutes apart drift ±10–40% (CPU contention,
+frequency scaling), which is exactly the artefact that made every
+untouched workload in BENCH_4.json read 0.85–0.93x. With a canary in
+both files the drift is observable: ``speedup_normalized`` multiplies
+the raw speedup by ``canary_now / canary_baseline`` (if this session's
+canary runs 15% slower, every workload's raw speedup is deflated by the
+same 15%, and the correction undoes it). The ``--gate`` check stays on
+the *raw* ratio — the canary is diagnostic, the gate conservative.
 
 The committed ``BENCH_<n>.json`` artifacts are exactly this format with a
 baseline: ``baseline_median_ms`` is the pre-PR measurement ("before"),
@@ -66,13 +84,41 @@ from typing import Callable, Optional, Sequence
 __all__ = [
     "Workload",
     "WORKLOADS",
+    "canary_run",
     "engine_timeout_churn",
     "store_pingpong",
     "worksteal_run",
     "octree_inputs",
+    "scenario_e2e_spec",
     "run_bench",
     "check_against_baseline",
 ]
+
+
+# -- machine-speed canary ----------------------------------------------------
+
+
+def canary_run() -> int:
+    """Fixed pure-python workload measuring the interpreter, not the repo.
+
+    Integer arithmetic, dict stores and list churn in a tight loop — the
+    same instruction mix the simulator's hot paths execute, but frozen:
+    this function must never change (a change would silently invalidate
+    every cross-file canary comparison). ~10 ms on the reference box.
+    """
+    acc = 0
+    table: dict[int, int] = {}
+    stack: list[int] = []
+    for i in range(30000):
+        acc = (acc + i * 7) & 0xFFFFF
+        if i & 7 == 0:
+            table[acc & 1023] = i
+            stack.append(acc)
+        elif i & 31 == 1 and stack:
+            acc ^= stack.pop()
+    for k in range(1024):
+        acc += table.get(k, 0)
+    return acc
 
 
 # -- workloads ---------------------------------------------------------------
@@ -163,6 +209,40 @@ def octree_inputs():
     rng = np.random.default_rng(0)
     pos, _, mass = plummer_sphere(2048, rng)
     return pos, mass
+
+
+def scenario_e2e_spec():
+    """The small-but-complete scenario the end-to-end workload runs.
+
+    Three clusters x four nodes of the scaled DAS-2 grid, a 64-leaf
+    iterative divide-and-conquer app for five iterations, adaptation
+    enabled — every subsystem (engine, stores, workers, monitoring,
+    WAE, coordinator) is on the timed path, weighted as a real run
+    weights it.
+    """
+    from ..apps.dctree import SyntheticIterativeApp, balanced_tree
+    from .scenarios import ScenarioSpec, scaled_das2
+
+    return ScenarioSpec(
+        id="bench_e2e",
+        paper_ref="microbench",
+        description="end-to-end scenario microbench",
+        grid=scaled_das2(nodes_per_cluster=4, clusters=3),
+        initial_layout=(("vu", 4), ("uva", 4)),
+        app_factory=lambda: SyntheticIterativeApp(
+            balanced_tree(depth=6, fanout=2, leaf_work=0.15),
+            n_iterations=5,
+        ),
+        monitoring_period=10.0,
+        max_sim_time=1200.0,
+    )
+
+
+def _prepare_scenario_e2e() -> Callable[[], object]:
+    from .runner import run_scenario
+
+    spec = scenario_e2e_spec()
+    return lambda: run_scenario(spec, "adapt", seed=0)
 
 
 def _prepare_engine() -> Callable[[], object]:
@@ -280,9 +360,39 @@ WORKLOADS: tuple[Workload, ...] = (
         "batched leaf-body interaction micro-kernel",
         _prepare_leaf_batch,
     ),
+    Workload(
+        "scenario_e2e",
+        "full small scenario end-to-end through run_scenario (adapt)",
+        _prepare_scenario_e2e,
+    ),
 )
 
 _BY_NAME = {w.name: w for w in WORKLOADS}
+
+
+def _timed_samples(fn: Callable[[], object], repeats: int) -> list[float]:
+    """One warm-up, then ``repeats`` timed single calls (ms each).
+
+    GC pauses landing inside a single timed call are the dominant noise
+    source at this scale; collect between, not during, repetitions
+    (pytest-benchmark's protocol).
+    """
+    fn()  # warm-up: JIT-free Python, but fills caches/allocators
+    samples = []
+    gc_was_enabled = gc.isenabled()
+    try:
+        for _ in range(repeats):
+            gc.collect()
+            gc.disable()
+            t0 = time.perf_counter()
+            fn()
+            samples.append((time.perf_counter() - t0) * 1000.0)
+            if gc_was_enabled:
+                gc.enable()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return samples
 
 
 def run_bench(
@@ -306,27 +416,15 @@ def run_bench(
         repeats = 7 if quick else 25
 
     base_rows = (baseline or {}).get("benchmarks", {})
+    base_canary = (baseline or {}).get("canary_median_ms")
+    canary_ms = round(median(_timed_samples(canary_run, repeats)), 4)
+    # > 1 means this session runs slower than the baseline's session;
+    # multiplying raw speedups by it removes the machine drift.
+    drift = canary_ms / base_canary if base_canary else None
     rows: dict[str, dict] = {}
     for workload in selected:
         fn = workload.prepare()
-        fn()  # warm-up: JIT-free Python, but fills caches/allocators
-        samples = []
-        # GC pauses landing inside a single timed call are the dominant
-        # noise source at this scale; collect between, not during,
-        # repetitions (pytest-benchmark's protocol).
-        gc_was_enabled = gc.isenabled()
-        try:
-            for _ in range(repeats):
-                gc.collect()
-                gc.disable()
-                t0 = time.perf_counter()
-                fn()
-                samples.append((time.perf_counter() - t0) * 1000.0)
-                if gc_was_enabled:
-                    gc.enable()
-        finally:
-            if gc_was_enabled:
-                gc.enable()
+        samples = _timed_samples(fn, repeats)
         row = {
             "median_ms": round(median(samples), 4),
             "min_ms": round(min(samples), 4),
@@ -338,6 +436,10 @@ def run_bench(
             if before is not None:
                 row["baseline_median_ms"] = before
                 row["speedup"] = round(before / row["median_ms"], 3)
+                if drift is not None:
+                    row["speedup_normalized"] = round(
+                        row["speedup"] * drift, 3
+                    )
         rows[workload.name] = row
 
     return {
@@ -345,12 +447,16 @@ def run_bench(
             "repro bench results: benchmarks[name].median_ms is the median "
             "of `repeats` timed calls (ms) after one warm-up; "
             "baseline_median_ms/speedup appear when a --baseline file was "
-            "given (speedup = baseline/current). See "
+            "given (speedup = baseline/current). canary_median_ms is a "
+            "fixed pure-python workload measuring the session's machine "
+            "speed; speedup_normalized = speedup * (canary/baseline "
+            "canary) corrects cross-session drift. See "
             "repro/experiments/microbench.py for the full schema and the "
             "timing protocol."
         ),
         "quick": quick,
         "repeats": repeats,
+        "canary_median_ms": canary_ms,
         "benchmarks": rows,
     }
 
@@ -378,15 +484,25 @@ def format_bench(results: dict) -> str:
     """Human-readable table of a results document."""
     rows = results["benchmarks"]
     name_w = max(len(n) for n in rows)
-    lines = [f"{'workload':<{name_w}} {'median':>10} {'min':>10}  speedup"]
+    lines = [
+        f"{'workload':<{name_w}} {'median':>10} {'min':>10}"
+        "  speedup  normalized"
+    ]
     for name, row in rows.items():
         speed = (
             f"{row['speedup']:.2f}x" if "speedup" in row else "-"
         )
+        norm = (
+            f"{row['speedup_normalized']:.2f}x"
+            if "speedup_normalized" in row else "-"
+        )
         lines.append(
             f"{name:<{name_w}} {row['median_ms']:>8.2f}ms "
-            f"{row['min_ms']:>8.2f}ms  {speed}"
+            f"{row['min_ms']:>8.2f}ms  {speed:>7}  {norm:>10}"
         )
+    canary = results.get("canary_median_ms")
+    if canary is not None:
+        lines.append(f"(machine canary: {canary:.2f} ms)")
     return "\n".join(lines)
 
 

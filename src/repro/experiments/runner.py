@@ -113,12 +113,16 @@ def _worker_config(spec: ScenarioSpec, variant: str) -> WorkerConfig:
 def run_scenario(
     spec: ScenarioSpec, variant: str, seed: int = 0,
     obs: Optional[Observability] = None,
+    scheduler: str = "calendar",
 ) -> RunResult:
     """Execute one scenario under one variant; returns the measurements.
 
     Pass an enabled :class:`~repro.obs.Observability` to capture the
     run's full event stream and metrics (``repro trace`` / ``repro
     metrics`` do); by default telemetry is disabled and costs nothing.
+    ``scheduler`` selects the event queue implementation ("calendar" or
+    the retained "heap" reference); the equivalence tests run the same
+    scenario under both and assert identical results.
     """
     if variant not in VARIANTS:
         raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
@@ -129,6 +133,7 @@ def run_scenario(
         config=_worker_config(spec, variant),
         detection_delay=spec.crash_detection_delay,
         obs=obs,
+        scheduler=scheduler,
     )
     env, network, runtime = harness.env, harness.network, harness.runtime
     trace = harness.trace

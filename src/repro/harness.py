@@ -89,6 +89,7 @@ class Harness:
         trace: Optional[Trace] = None,
         obs: Optional[Observability] = None,
         profile: bool = False,
+        scheduler: str = "calendar",
     ) -> "Harness":
         """Assemble a fresh, fully wired stack for ``spec``.
 
@@ -96,8 +97,10 @@ class Harness:
         membership (``runtime.add_nodes``) themselves. ``profile=True``
         (when no explicit ``obs`` is passed) turns on the profiling tier —
         spans + attribution ledger — instead of the disabled default.
+        ``scheduler`` selects the engine's event queue ("calendar" or the
+        retained "heap" reference; both produce byte-identical runs).
         """
-        env = Environment()
+        env = Environment(scheduler=scheduler)
         network = Network(env, spec)
         registry = Registry(env, detection_delay=detection_delay)
         rng = RngStreams(seed)

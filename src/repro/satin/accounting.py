@@ -15,6 +15,14 @@ component, and ships a :class:`NodeReport` to the adaptation coordinator.
 Clocks are not synchronised across workers: each worker rolls its period
 over independently, and the coordinator tolerates missing reports by
 reusing the previous one (as the paper describes).
+
+The accumulators are flat slot attributes rather than a dict: an activity
+transition on the worker hot path costs two float adds (current period +
+lifetime), and the per-period report is assembled once per monitoring
+period at :meth:`TimeAccount.rollover`. The lifetime totals feed the
+run summary's ``time_by_category`` and are accumulated per-add — folding
+them per-period instead would change the floating-point summation order
+and with it the golden summaries.
 """
 
 from __future__ import annotations
@@ -92,35 +100,94 @@ class NodeReport:
 
 
 class TimeAccount:
-    """Accumulates activity durations and rolls monitoring periods over."""
+    """Accumulates activity durations and rolls monitoring periods over.
+
+    Hot-path callers use the per-category adders (:meth:`add_busy`,
+    :meth:`add_idle`, :meth:`add_bench`, :meth:`add_comm`): no dict
+    lookup, no validation, two float adds. The validated generic
+    :meth:`add` remains the reference per-transition path; the property
+    tests assert both produce identical splits.
+    """
+
+    __slots__ = (
+        "period_start",
+        "period_index",
+        "busy",
+        "idle",
+        "comm_intra",
+        "comm_inter",
+        "bench",
+        "_life_busy",
+        "_life_idle",
+        "_life_comm_intra",
+        "_life_comm_inter",
+        "_life_bench",
+    )
 
     def __init__(self, start_time: float) -> None:
         self.period_start = start_time
         self.period_index = 0
-        self._totals = {c: 0.0 for c in CATEGORIES}
-        self._lifetime = {c: 0.0 for c in CATEGORIES}
+        self.busy = 0.0
+        self.idle = 0.0
+        self.comm_intra = 0.0
+        self.comm_inter = 0.0
+        self.bench = 0.0
+        self._life_busy = 0.0
+        self._life_idle = 0.0
+        self._life_comm_intra = 0.0
+        self._life_comm_inter = 0.0
+        self._life_bench = 0.0
 
+    # ------------------------------------------------------------ fast adds
+    def add_busy(self, seconds: float) -> None:
+        self.busy += seconds
+        self._life_busy += seconds
+
+    def add_idle(self, seconds: float) -> None:
+        self.idle += seconds
+        self._life_idle += seconds
+
+    def add_bench(self, seconds: float) -> None:
+        self.bench += seconds
+        self._life_bench += seconds
+
+    def add_comm(self, category: str, seconds: float) -> None:
+        """``category`` is ``"comm_intra"`` or ``"comm_inter"`` (memoised
+        per peer by the worker — never arbitrary input)."""
+        if category == "comm_intra":
+            self.comm_intra += seconds
+            self._life_comm_intra += seconds
+        else:
+            self.comm_inter += seconds
+            self._life_comm_inter += seconds
+
+    # ----------------------------------------------------------- reference
     def add(self, category: str, seconds: float) -> None:
-        """Attribute ``seconds`` of activity to ``category``.
+        """Attribute ``seconds`` of activity to ``category`` (validated).
 
         An activity spanning a period rollover is attributed to the period
         in which it *ends* — the small inaccuracy the paper accepts for
         unsynchronised measurement.
         """
-        if category not in self._totals:
+        if category not in CATEGORIES:
             raise ValueError(f"unknown activity category {category!r}")
         if seconds < 0:
             raise ValueError(f"negative duration {seconds!r}")
-        self._totals[category] += seconds
-        self._lifetime[category] += seconds
+        setattr(self, category, getattr(self, category) + seconds)
+        life = "_life_" + category
+        setattr(self, life, getattr(self, life) + seconds)
 
     def total(self, category: str) -> float:
         """Current-period accumulated seconds for ``category``."""
-        return self._totals[category]
+        if category not in CATEGORIES:
+            raise KeyError(category)
+        return getattr(self, category)
 
     def lifetime(self, category: str) -> float:
         """Whole-run accumulated seconds for ``category``."""
-        return self._lifetime[category]
+        if category not in CATEGORIES:
+            raise KeyError(category)
+        return getattr(self, "_life_" + category)
 
     def rollover(
         self, now: float, worker: str, cluster: str, speed: float
@@ -132,14 +199,18 @@ class TimeAccount:
             period_index=self.period_index,
             sent_at=now,
             period_seconds=max(now - self.period_start, 0.0),
-            busy=self._totals["busy"],
-            idle=self._totals["idle"],
-            comm_intra=self._totals["comm_intra"],
-            comm_inter=self._totals["comm_inter"],
-            bench=self._totals["bench"],
+            busy=self.busy,
+            idle=self.idle,
+            comm_intra=self.comm_intra,
+            comm_inter=self.comm_inter,
+            bench=self.bench,
             speed=speed,
         )
         self.period_start = now
         self.period_index += 1
-        self._totals = {c: 0.0 for c in CATEGORIES}
+        self.busy = 0.0
+        self.idle = 0.0
+        self.comm_intra = 0.0
+        self.comm_inter = 0.0
+        self.bench = 0.0
         return report

@@ -76,6 +76,11 @@ class SpeedBenchmark:
         """Most recent measured speed (work units/s), or None before any run."""
         return self._last_speed
 
+    @property
+    def next_due(self) -> float:
+        """When the schedule next calls for a run (worker deadline coalescing)."""
+        return self._next_due
+
     def due(self, now: float) -> bool:
         """Whether the benchmark's schedule calls for a run now."""
         return now >= self._next_due

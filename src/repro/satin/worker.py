@@ -200,6 +200,11 @@ class Worker:
         self._ledger = self.obs.attribution.recorder(
             self.name, self.cluster, start=self.env.now
         )
+        #: next time the main loop must run its periodic bookkeeping —
+        #: the earlier of the monitoring-period rollover and the bench
+        #: probe's schedule, coalesced into one float compare per loop
+        #: iteration (the slow path re-derives it; see _refresh_periodic).
+        self._next_periodic = 0.0
 
     # ------------------------------------------------------------------ api
     def start(self) -> None:
@@ -237,15 +242,26 @@ class Worker:
     # ------------------------------------------------------------------ main
     def _run(self) -> Generator[Event, Any, None]:
         collect_stats = self.config.collect_stats  # config is frozen
+        self._refresh_periodic()
         try:
             while True:
-                if collect_stats:
-                    self._maybe_report_stats()
-                if self.bench is not None and self.bench.should_run(
-                    self.env.now, self.host.external_load
-                ):
-                    yield from self._run_benchmark()
-                    continue
+                # Coalesced periodic bookkeeping: the monitoring rollover
+                # and the bench probe share one deadline check, so the
+                # steady-state loop iteration pays a single float compare.
+                # Both underlying checks are no-ops before their own
+                # deadlines, so running them only past the coalesced
+                # deadline is observationally identical to polling both
+                # every iteration (order preserved: report, then bench).
+                if self.env.now >= self._next_periodic:
+                    if collect_stats:
+                        self._maybe_report_stats()
+                    if self.bench is not None and self.bench.should_run(
+                        self.env.now, self.host.external_load
+                    ):
+                        yield from self._run_benchmark()
+                        self._refresh_periodic()
+                        continue
+                    self._refresh_periodic()
 
                 frame = self.deque.pop()
                 if frame is not None:
@@ -274,13 +290,16 @@ class Worker:
     def _idle_wait(self) -> Generator[Event, Any, None]:
         t0 = self.env.now
         self._wake = self.env.event()
-        self._ledger.enter("idle", t0)
+        ledger = self._ledger
+        if ledger.enabled:
+            ledger.enter("idle", t0)
         try:
             yield AnyOf(self.env, [self.env.timeout(self._backoff.next()), self._wake])
         finally:
             self._wake = None
-            self._ledger.exit(self.env.now)
-            self.account.add("idle", self.env.now - t0)
+            if ledger.enabled:
+                ledger.exit(self.env.now)
+            self.account.add_idle(self.env.now - t0)
 
     # ------------------------------------------------------------- execution
     def _execute(self, frame: Frame) -> Generator[Event, Any, None]:
@@ -294,6 +313,8 @@ class Worker:
         env = self.env
         spans = self._spans
         ledger = self._ledger
+        prof = ledger.enabled
+        account = self.account
         # Re-executed subtrees (crash recovery) charge "recovery", not "work".
         category = "recovery" if frame.recovered else "work"
         if frame.state is FrameState.READY:
@@ -308,12 +329,15 @@ class Worker:
             if work > 0:
                 duration = work / self.host.effective_speed
                 t0 = env.now
-                ledger.enter(category, t0)
-                try:
+                if prof:
+                    ledger.enter(category, t0)
+                    try:
+                        yield env.sleep(duration)
+                    finally:
+                        ledger.exit(env.now)
+                else:
                     yield env.sleep(duration)
-                finally:
-                    ledger.exit(env.now)
-                self.account.add("busy", env.now - t0)
+                account.add_busy(env.now - t0)
             if spans.enabled:
                 spans.exec_end(frame, env.now, phase)
             self.executed_tasks += 1
@@ -347,12 +371,15 @@ class Worker:
             if work > 0:
                 duration = work / self.host.effective_speed
                 t0 = env.now
-                ledger.enter(category, t0)
-                try:
+                if prof:
+                    ledger.enter(category, t0)
+                    try:
+                        yield env.sleep(duration)
+                    finally:
+                        ledger.exit(env.now)
+                else:
                     yield env.sleep(duration)
-                finally:
-                    ledger.exit(env.now)
-                self.account.add("busy", env.now - t0)
+                account.add_busy(env.now - t0)
             if spans.enabled:
                 spans.exec_end(frame, env.now, "combine")
             parent = frame.parent
@@ -389,7 +416,7 @@ class Worker:
             yield self.env.sleep(duration)
         finally:
             self._ledger.exit(self.env.now)
-        self.account.add("busy", self.env.now - t0)
+        self.account.add_busy(self.env.now - t0)
 
     def _complete(self, frame: Frame) -> Generator[Event, Any, None]:
         frame.state = FrameState.DONE
@@ -406,12 +433,19 @@ class Worker:
             nbytes = self.config.result_header_bytes + frame.result_bytes
             category = self._comm_category(dest)
             t0 = self.env.now
-            self._ledger.enter(category, t0)
-            try:
-                yield from self.runtime.network.transfer(self.name, dest, nbytes)
-            finally:
-                self._ledger.exit(self.env.now)
-                self.account.add(category, self.env.now - t0)
+            ledger = self._ledger
+            if ledger.enabled:
+                ledger.enter(category, t0)
+                try:
+                    yield from self.runtime.network.transfer(self.name, dest, nbytes)
+                finally:
+                    ledger.exit(self.env.now)
+                    self.account.add_comm(category, self.env.now - t0)
+            else:
+                try:
+                    yield from self.runtime.network.transfer(self.name, dest, nbytes)
+                finally:
+                    self.account.add_comm(category, self.env.now - t0)
         self.runtime.deliver_result(frame)
 
     # ---------------------------------------------------------------- stealing
@@ -444,7 +478,10 @@ class Worker:
         net = self.runtime.network
         t0 = self.env.now
         frame: Optional[Frame] = None
-        self._ledger.enter(category, t0)
+        ledger = self._ledger
+        prof = ledger.enabled
+        if prof:
+            ledger.enter(category, t0)
         try:
             yield from net.transfer(self.name, victim, self.config.steal_request_bytes)
             frame = self.runtime.try_steal(victim, self.name)
@@ -458,8 +495,9 @@ class Worker:
                 self.runtime.return_stolen(frame, victim)
             raise
         finally:
-            self._ledger.exit(self.env.now)
-            self.account.add(category, self.env.now - t0)
+            if prof:
+                ledger.exit(self.env.now)
+            self.account.add_comm(category, self.env.now - t0)
         self._note_steal(victim, "sync", category, frame is not None, self.env.now - t0)
         if frame is None:
             return False
@@ -503,7 +541,7 @@ class Worker:
                     finally:
                         # The helper runs concurrently with the main loop,
                         # so this is overlap, not serial ledger time.
-                        self.account.add(cat, self.env.now - t0)
+                        self.account.add_comm(cat, self.env.now - t0)
                         self._ledger.charge_overlap(cat, t0, self.env.now)
                 else:
                     yield from net.transfer(victim, self.name, nbytes)
@@ -529,6 +567,21 @@ class Worker:
                 self._helper_procs.remove(proc)
 
     # -------------------------------------------------------------- monitoring
+    def _refresh_periodic(self) -> None:
+        """Re-derive the coalesced periodic deadline for the main loop.
+
+        Called whenever either source deadline may have moved: after a
+        monitoring rollover (period_start advances) and after a bench
+        run or stable-load skip (the probe reschedules itself).
+        """
+        nxt = float("inf")
+        if self.config.collect_stats:
+            nxt = self.account.period_start + self.config.monitoring_period
+        bench = self.bench
+        if bench is not None and bench.next_due < nxt:
+            nxt = bench.next_due
+        self._next_periodic = nxt
+
     def _maybe_report_stats(self) -> None:
         if not self.config.collect_stats:
             return
@@ -562,7 +615,7 @@ class Worker:
             yield self.env.sleep(duration)
         finally:
             self._ledger.exit(self.env.now)
-        self.account.add("bench", self.env.now - t0)
+        self.account.add_bench(self.env.now - t0)
         self.bench.record(self.env.now, self.env.now - t0)
         self.bench.note_load(load)
 

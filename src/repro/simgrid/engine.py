@@ -23,22 +23,39 @@ yield-timeout-resume cycle is aggressively optimized while keeping the
 ``(time, priority, seq)`` total order bit-for-bit identical to the
 straightforward implementation:
 
+* **calendar-queue scheduler** (default): the pending-event set lives in an
+  array of time buckets of self-tuned width, indexed by the virtual bucket
+  number ``v = int(time / width)``. Inserts append to a bucket in O(1);
+  the run loop walks a cursor over the bucket array and drains each
+  bucket's due entries in ``(time, priority, seq)`` order, so the pop
+  order is exactly the heap's. Bucket count and width recalibrate from
+  the live entry-time spread when the load factor or a degenerate bucket
+  says the current geometry is wrong. See the "Event scheduler" section
+  of ``docs/performance.md`` for the sizing rules and the determinism
+  argument.
+* **lazy cancellation**: :meth:`Timeout.cancel` tombstones the event
+  instead of searching the queue; the loops skip (and, for pooled
+  timeouts, recycle) tombstoned entries when they surface at pop time.
+* **heap reference**: the original binary-heap loop is retained behind
+  ``Environment(scheduler="heap")`` as
+  :meth:`Environment._run_heap_reference`; tests assert both schedulers
+  produce identical runs.
 * **single-callback slot**: almost every event has exactly one waiter (the
   process that yielded it), so the first callback lives in a dedicated
   ``_cb1`` slot and the overflow list ``_cbs`` is only allocated for the
-  rare multi-waiter event. Callback removal (the hot interrupt path) is an
-  identity comparison against the slot instead of an O(n) list scan —
-  processes cache their bound ``_resume`` in ``_resume_cb`` so the identity
-  check works.
+  rare multi-waiter event. Processes are registered *as themselves*
+  (:class:`Process` is callable); callback removal (the hot interrupt
+  path) is an identity comparison against the slot instead of an O(n)
+  list scan.
 * **pooled timeouts**: :meth:`Environment.sleep` serves ``Timeout`` objects
   from a free list and recycles them the moment their callbacks have run.
   Callers must yield the returned event immediately and must not retain it
   (the public :meth:`Environment.timeout` stays allocation-per-call and is
   always safe to store).
 * **inlined run loops**: :meth:`Environment.run` drives a loop with cached
-  ``heappop`` bindings and local variables instead of calling
-  :meth:`Environment.step` per event; ``step`` remains the single-step
-  reference implementation with identical semantics.
+  bindings and local variables instead of calling :meth:`Environment.step`
+  per event; ``step`` remains the single-step reference implementation
+  with identical semantics.
 
 Example
 -------
@@ -79,6 +96,24 @@ URGENT = 0
 _heappush = heapq.heappush
 _heappop = heapq.heappop
 
+#: Sentinel for "no value yet" (module-level: the run loops test it on
+#: every resume, and a global load is cheaper than two attribute loads).
+_PENDING = object()
+
+#: Virtual bucket number for times too large for ``int(t / width)``
+#: (``inf`` schedules); compares after every finite bucket.
+_FAR_FUTURE = 1 << 62
+
+#: Initial calendar geometry. 64 buckets of 1 simulated second hold the
+#: steady monitoring/steal-timer drizzle without a rebuild; both numbers
+#: self-tune (see ``Environment._rebuild``).
+_INITIAL_BUCKETS = 64
+_INITIAL_WIDTH = 1.0
+
+#: A sorted bucket this long means the width is far too coarse (many
+#: distinct times share a bucket) — trigger a recalibration.
+_DEGENERATE_BUCKET = 32
+
 
 class SimulationError(Exception):
     """Raised for misuse of the simulation API (not for in-sim failures)."""
@@ -118,7 +153,7 @@ class Event:
 
     __slots__ = ("env", "_cb1", "_cbs", "_value", "_ok", "_processed", "_defused")
 
-    _PENDING = object()
+    _PENDING = _PENDING
 
     #: overridden per-instance by pooled Timeouts; plain events never recycle.
     _pooled = False
@@ -127,7 +162,7 @@ class Event:
         self.env = env
         self._cb1: Optional[Callable[["Event"], None]] = None
         self._cbs: Optional[list[Callable[["Event"], None]]] = None
-        self._value: Any = Event._PENDING
+        self._value: Any = _PENDING
         self._ok: bool = True
         self._processed = False
         self._defused = False
@@ -136,7 +171,7 @@ class Event:
     @property
     def triggered(self) -> bool:
         """True once the event has been given a value (or failure)."""
-        return self._value is not Event._PENDING
+        return self._value is not _PENDING
 
     @property
     def processed(self) -> bool:
@@ -151,7 +186,7 @@ class Event:
     @property
     def value(self) -> Any:
         """The event's value; raises if the event is not yet triggered."""
-        if self._value is Event._PENDING:
+        if self._value is _PENDING:
             raise SimulationError(f"value of {self!r} is not yet available")
         return self._value
 
@@ -168,7 +203,7 @@ class Event:
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Schedule the event to fire successfully with ``value``."""
-        if self._value is not Event._PENDING:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
@@ -179,7 +214,7 @@ class Event:
         """Schedule the event to fire as a failure carrying ``exception``."""
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
-        if self._value is not Event._PENDING:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
@@ -253,12 +288,66 @@ class Timeout(Event):
         self._defused = False
         self._pooled = False
         self.delay = delay
-        q = env._queue
         seq = env._seq
         env._seq = seq + 1
-        _heappush(q, (env.now + delay, NORMAL, seq, self))
-        if len(q) > env._max_queue_len:
-            env._max_queue_len = len(q)
+        t = env.now + delay
+        if env._use_heap:
+            q = env._queue
+            _heappush(q, (t, NORMAL, seq, self))
+            if len(q) > env._max_queue_len:
+                env._max_queue_len = len(q)
+            return
+        # inlined calendar insert (same code in timeout(), sleep() and
+        # _schedule()): coalesce into the last-created entry when the
+        # deadline and priority match, else open a new chained entry.
+        e = env._ins_entry
+        if e is not None and e[0] == t and e[1] == NORMAL:
+            e[3].append(self)
+            env._qsize += 1
+            return
+        try:
+            v = int(t * env._inv_width)
+        except OverflowError:
+            v = _FAR_FUTURE
+        i = v & env._mask
+        b = env._buckets[i]
+        if b:
+            env._dirty[i] = 1
+        entry = (t, NORMAL, seq, [self], v)
+        b.append(entry)
+        env._ins_entry = entry
+        if v < env._cur_v:
+            env._cur_v = v
+        qsize = env._qsize + 1
+        env._qsize = qsize
+        if qsize > env._max_queue_len:
+            env._max_queue_len = qsize
+            if qsize > env._grow_at:
+                env._need_rebuild = True
+
+    def cancel(self) -> None:
+        """Lazily cancel a scheduled timeout: its callbacks never run.
+
+        The queue entry is *tombstoned*, not searched for — the event loop
+        discards it (and returns pooled timeouts to the free list) when it
+        surfaces at pop time, so cancellation is O(1). After cancellation
+        the timeout counts as processed: waiters that registered callbacks
+        are silently dropped, exactly as if they had deregistered.
+
+        No-op on a timeout that has already fired (or was already
+        cancelled and skipped) — in particular, cancelling a stale
+        reference to a pooled ``env.sleep()`` timeout after it fired and
+        returned to the free list does nothing rather than sabotaging the
+        timeout's next incarnation.
+        """
+        if self._processed:
+            return
+        self.env._tombs.add(self)
+
+
+#: cached allocator — skips the per-call ``__new__`` attribute lookup in
+#: the hot :meth:`Environment.timeout` path.
+_timeout_new = Timeout.__new__
 
 
 class Initialize(Event):
@@ -268,7 +357,7 @@ class Initialize(Event):
 
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
-        self._cb1 = process._resume_cb
+        self._cb1 = process
         self._ok = True
         self._value = None
         env._schedule(self, URGENT)
@@ -280,9 +369,14 @@ class Process(Event):
     The process is itself an event: it triggers when the generator returns
     (with the generator's return value) or raises (as a failure). Other
     processes may ``yield`` a process to wait for its completion.
+
+    A process is also *callable*: calling it with a fired event resumes
+    the generator. The engine registers the process object itself as the
+    waiter callback — one attribute load fewer per registration than a
+    bound method, and a stable identity for O(1) deregistration.
     """
 
-    __slots__ = ("_generator", "_target", "name", "_resume_cb", "_send", "_throw")
+    __slots__ = ("_generator", "_target", "name", "_send", "_throw")
 
     def __init__(
         self,
@@ -295,10 +389,9 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         # Cached bound methods: one attribute lookup per resume instead of
-        # three, and a stable identity for O(1) callback deregistration.
+        # three.
         self._send = generator.send
         self._throw = generator.throw
-        self._resume_cb = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         #: the event this process is currently waiting on (None while running)
         self._target: Optional[Event] = None
@@ -329,21 +422,21 @@ class Process(Event):
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
-        interrupt_event._cb1 = self._resume_cb
+        interrupt_event._cb1 = self
         self.env._schedule(interrupt_event, URGENT)
 
     # -- internal --------------------------------------------------------
     def _resume(self, event: Event) -> None:
         # If we were waiting on a different event (we were interrupted and
         # already resumed), ignore stale wakeups from the old target.
-        if self._value is not Event._PENDING:
+        if self._value is not _PENDING:
             return
         target = self._target
         if target is not None and target is not event:
             # Deregister from the event we were officially waiting for, so a
             # later trigger of that event does not resume us twice. (The
             # fired event itself already dropped its callbacks.)
-            target.remove_callback(self._resume_cb)
+            target.remove_callback(self)
         self._target = None
 
         env = self.env
@@ -366,14 +459,37 @@ class Process(Event):
             return
         env._active = None
 
+        if (
+            (next_event.__class__ is Timeout or isinstance(next_event, Event))
+            and next_event.env is env
+            and not next_event._processed
+            and next_event._cb1 is None
+        ):
+            # The dominant yield: a freshly armed event with no waiters
+            # yet (a timeout, a store get, ...). The identity check
+            # short-circuits the isinstance walk for the most common
+            # class.
+            next_event._cb1 = self
+            self._target = next_event
+            return
+        self._finish_resume(next_event)
+
+    def _finish_resume(self, next_event: Any) -> None:
+        """Wait on whatever the generator yielded (the general case).
+
+        Shared between :meth:`_resume` and the run loop's inlined resume
+        path, so the subtle cases (multi-waiter events, already-processed
+        events, foreign or non-events) live in exactly one place.
+        """
+        env = self.env
         if isinstance(next_event, Event) and next_event.env is env:
             if not next_event._processed:
                 if next_event._cb1 is None:
-                    next_event._cb1 = self._resume_cb
+                    next_event._cb1 = self
                 elif next_event._cbs is None:
-                    next_event._cbs = [self._resume_cb]
+                    next_event._cbs = [self]
                 else:
-                    next_event._cbs.append(self._resume_cb)
+                    next_event._cbs.append(self)
                 self._target = next_event
             else:
                 # Already fully processed: resume immediately (urgently).
@@ -383,7 +499,7 @@ class Process(Event):
                 if not next_event._ok:
                     next_event._defused = True
                     wake._defused = True
-                wake._cb1 = self._resume_cb
+                wake._cb1 = self
                 env._schedule(wake, URGENT)
                 self._target = wake
             return
@@ -396,6 +512,10 @@ class Process(Event):
             self._generator.throw(
                 SimulationError(f"process yielded non-event {next_event!r}")
             )
+
+    #: calling a process resumes it — processes are registered directly as
+    #: event callbacks.
+    __call__ = _resume
 
 
 class Condition(Event):
@@ -470,15 +590,26 @@ def AllOf(env: "Environment", events: Iterable[Event]) -> Condition:
 
 
 class Environment:
-    """The simulation environment: clock + event queue + scheduler."""
+    """The simulation environment: clock + event queue + scheduler.
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    ``scheduler`` selects the pending-event structure: ``"calendar"``
+    (default, the production scheduler) or ``"heap"`` (the original
+    binary-heap loop, retained as the reference — both produce identical
+    event orders, asserted by the equivalence tests).
+    """
+
+    def __init__(self, initial_time: float = 0.0, scheduler: str = "calendar") -> None:
+        if scheduler not in ("calendar", "heap"):
+            raise SimulationError(
+                f"scheduler must be 'calendar' or 'heap', got {scheduler!r}"
+            )
         #: current simulated time. A plain attribute (not a property): it is
         #: read on every wait and accounting call across the stack, and the
         #: attribute-read saving is measurable. Only the event loop should
         #: write it.
         self.now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self.scheduler = scheduler
+        self._use_heap = scheduler == "heap"
         self._seq = 0  # next (time, priority, seq) tiebreaker; int, not itertools.count
         self._active: Optional[Process] = None
         self._event_count = 0
@@ -487,10 +618,61 @@ class Environment:
         #: moment a pooled timeout's callbacks have run.
         self._tpool: list[Timeout] = []
         self._pool_reuses = 0
+        #: lazily cancelled events (see :meth:`Timeout.cancel`): membership
+        #: means "discard at pop". Almost always empty, so the hot loops
+        #: pay one truthiness test.
+        self._tombs: set[Event] = set()
+        self._cancelled_skipped = 0
         #: state-transition clock hooks, ``f(old_time, new_time)``; fired
         #: whenever :meth:`step` advances the clock. Empty by default so
         #: the hot path pays one truthiness test (profiling layers attach).
         self._clock_listeners: list[Callable[[float, float], None]] = []
+        if self._use_heap:
+            self._queue: list[tuple[float, int, int, Event]] = []
+            return
+        # -- calendar state (see docs/performance.md, "Event scheduler") --
+        # Entries are (time, priority, seq0, chain, v): *chain* is the
+        # list of every event sharing this exact (time, priority) —
+        # fired in append order, which is seq order, so the chain is the
+        # (time, priority, seq) total order materialised — seq0 is the
+        # first member's seq (the entry's sort tiebreaker) and v is the
+        # virtual bucket number int(time / width) at insert time,
+        # recomputed for every entry on rebuild so stored v always
+        # matches the current width. Buckets are kept sorted descending
+        # (pop = list.pop() from the end) and lazily resorted via _dirty.
+        # _ins_entry caches the last entry appended to: inserts for the
+        # same deadline and priority coalesce into its chain for the
+        # cost of one list append (the tentpole's coalesced-deadline
+        # path). The cache is dropped when the entry is popped and never
+        # returns to an older entry, so any later entry with an equal
+        # (time, priority) holds strictly larger seqs and chain
+        # concatenation order stays the seq order.
+        self._width = _INITIAL_WIDTH
+        self._inv_width = 1.0 / _INITIAL_WIDTH
+        self._mask = _INITIAL_BUCKETS - 1
+        self._buckets: list[list[tuple]] = [[] for _ in range(_INITIAL_BUCKETS)]
+        self._dirty = [0] * _INITIAL_BUCKETS
+        self._qsize = 0
+        self._grow_at = 4 * _INITIAL_BUCKETS
+        self._need_rebuild = False
+        self._last_rebuild_seq = 0
+        #: coalescing insert cache: the most recently created entry.
+        self._ins_entry: Optional[tuple] = None
+        #: urgent-insert generation counter (see _schedule / the drain).
+        self._u0 = 0
+        v = self._v_of(self.now)
+        #: cursor: no queued entry has a virtual bucket number below this.
+        self._cur_v = v
+        #: int(now / width), maintained on every clock change so the
+        #: delay=0 fast path in _schedule skips the float multiply.
+        self._now_v = v
+
+    def _v_of(self, t: float) -> int:
+        """Virtual bucket number of time ``t`` under the current width."""
+        try:
+            return int(t * self._inv_width)
+        except OverflowError:
+            return _FAR_FUTURE
 
     # -- clock -----------------------------------------------------------
     @property
@@ -510,14 +692,28 @@ class Environment:
 
     def stats(self) -> dict[str, float]:
         """Event-loop statistics, captured by the telemetry layer."""
-        return {
+        stats = {
             "events_processed": float(self._event_count),
-            "queue_len": float(len(self._queue)),
+            "queue_len": float(
+                len(self._queue) if self._use_heap else self._qsize
+            ),
             "max_queue_len": float(self._max_queue_len),
             "sim_time": self.now,
             "timeout_pool_reuses": float(self._pool_reuses),
             "timeout_pool_size": float(len(self._tpool)),
+            "tombstones_pending": float(len(self._tombs)),
+            "cancelled_skipped": float(self._cancelled_skipped),
         }
+        if not self._use_heap:
+            stats["calendar_buckets"] = float(self._mask + 1)
+            stats["calendar_width"] = self._width
+            # Number of chained entries actually sitting in buckets; the
+            # gap between queue_len (events) and this (entries) is how
+            # many inserts the coalesced-deadline path absorbed.
+            stats["calendar_entries"] = float(
+                sum(len(b) for b in self._buckets)
+            )
+        return stats
 
     def add_clock_listener(self, fn: Callable[[float, float], None]) -> None:
         """Register ``fn(old, new)`` to fire on every clock advance.
@@ -544,7 +740,60 @@ class Environment:
         inspect after it fires. Hot paths that yield the event immediately
         and never look at it again should use :meth:`sleep` instead.
         """
-        return Timeout(self, delay, value)
+        # Equivalent to Timeout(self, delay, value) with the constructor
+        # inlined: this is the hottest call in the simulator and skipping
+        # type.__call__ plus the __init__ frame is measurable.
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        t = _timeout_new(Timeout)
+        t.env = self
+        t._cb1 = None
+        t._cbs = None
+        t._value = value
+        t._ok = True
+        t._processed = False
+        t._defused = False
+        t._pooled = False
+        t.delay = delay
+        seq = self._seq
+        self._seq = seq + 1
+        when = self.now + delay
+        if self._use_heap:
+            q = self._queue
+            _heappush(q, (when, NORMAL, seq, t))
+            if len(q) > self._max_queue_len:
+                self._max_queue_len = len(q)
+            return t
+        e = self._ins_entry
+        if e is not None and e[0] == when and e[1] == NORMAL:
+            # Coalesced-deadline path: this deadline already has a queued
+            # chain — joining it costs one list append (no bucket math,
+            # no tuple, no re-sort). Within a chain, events fire in
+            # append order, which is seq order, so the (time, priority,
+            # seq) total order is preserved exactly.
+            e[3].append(t)
+            self._qsize += 1
+            return t
+        try:
+            v = int(when * self._inv_width)
+        except OverflowError:
+            v = _FAR_FUTURE
+        i = v & self._mask
+        b = self._buckets[i]
+        if b:
+            self._dirty[i] = 1
+        entry = (when, NORMAL, seq, [t], v)
+        b.append(entry)
+        self._ins_entry = entry
+        if v < self._cur_v:
+            self._cur_v = v
+        qsize = self._qsize + 1
+        self._qsize = qsize
+        if qsize > self._max_queue_len:
+            self._max_queue_len = qsize
+            if qsize > self._grow_at:
+                self._need_rebuild = True
+        return t
 
     def sleep(self, delay: float) -> Timeout:
         """A pooled timeout for the dominant yield-sleep-resume cycle.
@@ -571,12 +820,39 @@ class Environment:
         t._processed = False
         t._defused = False
         self._pool_reuses += 1
-        q = self._queue
         seq = self._seq
         self._seq = seq + 1
-        _heappush(q, (self.now + delay, NORMAL, seq, t))
-        if len(q) > self._max_queue_len:
-            self._max_queue_len = len(q)
+        when = self.now + delay
+        if self._use_heap:
+            q = self._queue
+            _heappush(q, (when, NORMAL, seq, t))
+            if len(q) > self._max_queue_len:
+                self._max_queue_len = len(q)
+            return t
+        e = self._ins_entry
+        if e is not None and e[0] == when and e[1] == NORMAL:
+            e[3].append(t)
+            self._qsize += 1
+            return t
+        try:
+            v = int(when * self._inv_width)
+        except OverflowError:
+            v = _FAR_FUTURE
+        i = v & self._mask
+        b = self._buckets[i]
+        if b:
+            self._dirty[i] = 1
+        entry = (when, NORMAL, seq, [t], v)
+        b.append(entry)
+        self._ins_entry = entry
+        if v < self._cur_v:
+            self._cur_v = v
+        qsize = self._qsize + 1
+        self._qsize = qsize
+        if qsize > self._max_queue_len:
+            self._max_queue_len = qsize
+            if qsize > self._grow_at:
+                self._need_rebuild = True
         return t
 
     def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
@@ -591,35 +867,254 @@ class Environment:
 
     # -- scheduling --------------------------------------------------------
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
-        q = self._queue
         seq = self._seq
         self._seq = seq + 1
-        _heappush(q, (self.now + delay, priority, seq, event))
-        if len(q) > self._max_queue_len:
-            self._max_queue_len = len(q)
+        if self._use_heap:
+            q = self._queue
+            _heappush(q, (self.now + delay, priority, seq, event))
+            if len(q) > self._max_queue_len:
+                self._max_queue_len = len(q)
+            return
+        if delay == 0.0:
+            t = self.now
+            e = self._ins_entry
+            if e is not None and e[0] == t and e[1] == priority:
+                # Coalesced-deadline path: join the queued chain for
+                # this exact (instant, priority).
+                e[3].append(event)
+                self._qsize += 1
+                return
+            # Almost every remaining _schedule call (succeed / fail /
+            # interrupt / initialize) targets the current instant, whose
+            # bucket number is cached. These inserts usually land in the
+            # bucket the run loop is *draining*, so instead of
+            # dirty-marking (which would force the drain to break and
+            # re-sort per entry) place the entry at its sorted position
+            # directly — it belongs at or near the tail: every
+            # same-instant chain head has a smaller seq and anything
+            # later-timed is larger, so the backward scan is
+            # O(same-instant peers).
+            v = self._now_v
+            i = v & self._mask
+            b = self._buckets[i]
+            if priority == URGENT:
+                # The run loop's chain drain watches this counter: an
+                # urgent insert at the current instant must preempt the
+                # NORMAL chain being drained.
+                self._u0 += 1
+            if not self._dirty[i]:
+                entry = (t, priority, seq, [event], v)
+                pos = blen = len(b)
+                while pos and b[pos - 1] < entry:
+                    pos -= 1
+                if pos == blen:
+                    b.append(entry)
+                else:
+                    b.insert(pos, entry)
+                self._ins_entry = entry
+                if v < self._cur_v:
+                    self._cur_v = v
+                qsize = self._qsize + 1
+                self._qsize = qsize
+                if qsize > self._max_queue_len:
+                    self._max_queue_len = qsize
+                    if qsize > self._grow_at:
+                        self._need_rebuild = True
+                return
+        else:
+            t = self.now + delay
+            e = self._ins_entry
+            if e is not None and e[0] == t and e[1] == priority:
+                e[3].append(event)
+                self._qsize += 1
+                return
+            try:
+                v = int(t * self._inv_width)
+            except OverflowError:
+                v = _FAR_FUTURE
+            i = v & self._mask
+            b = self._buckets[i]
+        if b:
+            self._dirty[i] = 1
+        entry = (t, priority, seq, [event], v)
+        b.append(entry)
+        self._ins_entry = entry
+        if v < self._cur_v:
+            self._cur_v = v
+        qsize = self._qsize + 1
+        self._qsize = qsize
+        if qsize > self._max_queue_len:
+            self._max_queue_len = qsize
+            if qsize > self._grow_at:
+                self._need_rebuild = True
+
+    def _rebuild(self) -> None:
+        """Re-tune the calendar geometry and re-bucket every entry.
+
+        Bucket count follows the live entry count (load factor kept in
+        roughly [1/8, 4]); width is estimated from the spread of queued
+        event times (``3 * span / (n - 1)``, i.e. ~3 mean gaps per
+        bucket, the classic calendar-queue rule). All entries' virtual
+        bucket numbers are recomputed under the new width, so stored
+        ``v`` always matches ``int(time / width)``.
+        """
+        entries: list[tuple] = []
+        for b in self._buckets:
+            entries.extend(b)
+        self._need_rebuild = False
+        self._last_rebuild_seq = self._seq
+        n = len(entries)
+        nbuckets = _INITIAL_BUCKETS
+        while nbuckets < 2 * n and nbuckets < (1 << 16):
+            nbuckets <<= 1
+        if n >= 2:
+            times = sorted(e[0] for e in entries)
+            span = times[-1] - times[0]
+            if span > 0.0:
+                width = 3.0 * span / (n - 1)
+                self._width = min(max(width, 1e-9), 1e15)
+                self._inv_width = 1.0 / self._width
+        inv = self._inv_width
+        mask = nbuckets - 1
+        self._mask = mask
+        self._buckets = buckets = [[] for _ in range(nbuckets)]
+        self._dirty = dirty = [0] * nbuckets
+        self._grow_at = 4 * nbuckets
+        min_v = None
+        for e in entries:
+            t = e[0]
+            try:
+                v = int(t * inv)
+            except OverflowError:
+                v = _FAR_FUTURE
+            i = v & mask
+            buckets[i].append((t, e[1], e[2], e[3], v))
+            dirty[i] = 1
+            if min_v is None or v < min_v:
+                min_v = v
+        nv = self._v_of(self.now)
+        self._now_v = nv
+        self._cur_v = nv if min_v is None else min_v
+
+    def _find_head(self) -> Optional[tuple]:
+        """The globally minimal live entry, or None if only tombstones
+        remain. Sorts dirty buckets and discards tombstoned events
+        surfacing at bucket-head chains along the way (recycling pooled
+        ones), so afterwards the returned entry is
+        ``buckets[head[4] & mask][-1]`` and its chain is live.
+        """
+        tombs = self._tombs
+        tpool = self._tpool
+        dirty = self._dirty
+        best = None
+        for i, b in enumerate(self._buckets):
+            if not b:
+                continue
+            if dirty[i]:
+                b.sort(reverse=True)
+                dirty[i] = 0
+            while b:
+                head = b[-1]
+                chain = head[3]
+                if tombs:
+                    k = 0
+                    while k < len(chain):
+                        ev = chain[k]
+                        if ev in tombs:
+                            del chain[k]
+                            tombs.discard(ev)
+                            self._qsize -= 1
+                            self._cancelled_skipped += 1
+                            ev._cb1 = None
+                            ev._cbs = None
+                            ev._processed = True
+                            if ev._pooled:
+                                tpool.append(ev)
+                        else:
+                            k += 1
+                    if not chain:
+                        b.pop()
+                        if head is self._ins_entry:
+                            self._ins_entry = None
+                        continue
+                if best is None or head < best:
+                    best = head
+                break
+        return best
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if self._use_heap:
+            q = self._queue
+            tombs = self._tombs
+            while q and tombs and q[0][3] in tombs:
+                _, _, _, ev = _heappop(q)
+                tombs.discard(ev)
+                self._cancelled_skipped += 1
+                ev._cb1 = None
+                ev._cbs = None
+                ev._processed = True
+                if ev._pooled:
+                    self._tpool.append(ev)
+            return q[0][0] if q else float("inf")
+        if self._need_rebuild:
+            self._rebuild()
+        head = self._find_head()
+        return head[0] if head is not None else float("inf")
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it).
 
         This is the reference implementation of one scheduler round; the
-        loops in :meth:`run` inline exactly this sequence.
+        loops in :meth:`run` inline exactly this sequence (plus the
+        tombstone discard that :meth:`peek` performs here).
         """
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        when, _prio, _seq, event = _heappop(self._queue)
+        if self._use_heap:
+            queue = self._queue
+            tombs = self._tombs
+            while True:
+                if not queue:
+                    raise SimulationError("step() on an empty event queue")
+                when, _prio, _seq, event = _heappop(queue)
+                if not (tombs and event in tombs):
+                    break
+                tombs.discard(event)
+                self._cancelled_skipped += 1
+                event._cb1 = None
+                event._cbs = None
+                event._processed = True
+                if event._pooled:
+                    self._tpool.append(event)
+        else:
+            if self._need_rebuild:
+                self._rebuild()
+            head = self._find_head()
+            if head is None:
+                raise SimulationError("step() on an empty event queue")
+            when = head[0]
+            hv = head[4]
+            chain = head[3]
+            event = chain[0]
+            if len(chain) == 1:
+                self._buckets[hv & self._mask].pop()
+                if head is self._ins_entry:
+                    self._ins_entry = None
+            else:
+                # Later chain members stay queued under the entry's
+                # original seq0 — still a valid tiebreaker, since any
+                # other (time, priority) twin entry holds larger seqs.
+                del chain[0]
+            self._qsize -= 1
+            self._cur_v = hv
         if when < self.now:  # pragma: no cover - guarded by schedule logic
             raise SimulationError("event scheduled in the past")
-        if self._clock_listeners and when > self.now:
+        if when > self.now:
             old = self.now
             self.now = when
+            if not self._use_heap:
+                self._now_v = hv
             for fn in self._clock_listeners:
                 fn(old, when)
-        else:
-            self.now = when
         self._event_count += 1
 
         cb1 = event._cb1
@@ -649,8 +1144,9 @@ class Environment:
         * an :class:`Event` — run until that event is processed, returning
           its value (or raising its failure).
         """
+        runner = self._run_heap_reference if self._use_heap else self._run_calendar
         if until is None:
-            self._run_inlined(float("inf"))
+            runner(float("inf"))
             return None
 
         if isinstance(until, Event):
@@ -670,7 +1166,7 @@ class Environment:
                 return sentinel._value
             sentinel.add_callback(_stop)
             try:
-                self._run_inlined(float("inf"))
+                runner(float("inf"))
             except StopSimulation:
                 if not result["ok"]:
                     raise result["value"]
@@ -682,22 +1178,374 @@ class Environment:
         deadline = float(until)
         if deadline < self.now:
             raise SimulationError("run(until=t) with t in the past")
-        self._run_inlined(deadline)
+        runner(deadline)
         self.now = deadline
+        if not self._use_heap:
+            self._now_v = self._v_of(deadline)
         return None
 
-    def _run_inlined(self, deadline: float) -> None:
+    def _run_calendar(self, deadline: float) -> None:
         """The hot event loop: semantically ``while queue: step()`` with
-        cached bindings, stopping once the head-of-queue time exceeds
-        ``deadline``."""
+        cached bindings, stopping once the minimal pending time exceeds
+        ``deadline``.
+
+        The cursor ``_cur_v`` sweeps the bucket array; a bucket whose
+        sorted head carries the cursor's virtual bucket number is drained
+        entry by entry in ``(time, priority, seq)`` order. Callbacks may
+        insert behind the cursor (``_cur_v`` drops), dirty the current
+        bucket, or request a rebuild — the drain re-checks all three
+        after every dispatch and falls back to the outer loop. After a
+        fruitless sweep of the whole array the loop locates the global
+        minimum directly and jumps the cursor to it (the steady state for
+        sparse queues idling between monitoring periods).
+        """
+        buckets = self._buckets
+        dirty = self._dirty
+        mask = self._mask
+        tombs = self._tombs
+        tpool = self._tpool
+        listeners = self._clock_listeners
+        processed = 0
+        scans = 0
+        try:
+            while self._qsize:
+                if self._need_rebuild:
+                    self._rebuild()
+                    buckets = self._buckets
+                    dirty = self._dirty
+                    mask = self._mask
+                cur_v = self._cur_v
+                i = cur_v & mask
+                b = buckets[i]
+                if b:
+                    if dirty[i]:
+                        b.sort(reverse=True)
+                        dirty[i] = 0
+                        if (
+                            len(b) >= _DEGENERATE_BUCKET
+                            and self._seq - self._last_rebuild_seq > 256
+                        ):
+                            self._need_rebuild = True
+                            continue
+                    head = b[-1]
+                    hv = head[4]
+                else:
+                    hv = -1
+                if hv != cur_v:
+                    if b and hv < cur_v:  # pragma: no cover - cursor invariant
+                        self._cur_v = hv
+                        continue
+                    # Nothing for the cursor's year: advance, or after a
+                    # full fruitless sweep jump straight to the minimum.
+                    scans += 1
+                    if scans > mask:
+                        head = self._find_head()
+                        if head is None:
+                            return  # only tombstones remained
+                        self._cur_v = head[4]
+                        scans = 0
+                    else:
+                        if mask > 63 and self._qsize < (mask + 1) >> 3:
+                            self._need_rebuild = True
+                        self._cur_v = cur_v + 1
+                    continue
+                # Drain the bucket: every tail entry carrying the
+                # cursor's virtual bucket number is globally next, and
+                # its chain holds every event at that exact
+                # (time, priority) in seq order. The clock advances once
+                # per entry, not once per event. The consumed-event
+                # count is kept in a local and flushed once (inserts
+                # during callbacks update _qsize independently, so the
+                # deferred decrement composes; _max_queue_len may read a
+                # few low mid-drain, which stats can live with).
+                scans = 0
+                npop = 0
+                try:
+                    while True:
+                        when = head[0]
+                        if when > deadline:
+                            return
+                        b.pop()
+                        self._ins_entry = None
+                        # The heap reference advances the clock only when
+                        # it dispatches a *live* event: a popped entry
+                        # whose chain turns out to be all tombstones must
+                        # leave the clock (and the clock listeners)
+                        # untouched. With tombstones pending, defer the
+                        # advance to the first live dispatch.
+                        if tombs:
+                            clock_pending = True
+                        else:
+                            clock_pending = False
+                            now = self.now
+                            if when > now:
+                                self.now = when
+                                self._now_v = hv
+                                if listeners:
+                                    for fn in listeners:
+                                        fn(now, when)
+                        chain = head[3]
+                        n = len(chain)
+                        npop += n
+                        if n == 1:
+                            # Solo entry (the cascade shape: store
+                            # ping-pong, sparse timers): skip the chain
+                            # walk's index loop, urgent watch and
+                            # requeue guard — a popped solo event has
+                            # nothing left to preempt or requeue.
+                            event = chain[0]
+                            if tombs and event in tombs:
+                                tombs.discard(event)
+                                self._cancelled_skipped += 1
+                                event._cb1 = None
+                                event._cbs = None
+                                event._processed = True
+                                if event._pooled:
+                                    tpool.append(event)
+                            else:
+                                if clock_pending:
+                                    clock_pending = False
+                                    now = self.now
+                                    if when > now:
+                                        self.now = when
+                                        self._now_v = hv
+                                        if listeners:
+                                            for fn in listeners:
+                                                fn(now, when)
+                                processed += 1
+                                cb1 = event._cb1
+                                cbs = event._cbs
+                                event._cb1 = None
+                                event._cbs = None
+                                event._processed = True
+                                if cb1 is None:
+                                    pass
+                                elif cb1.__class__ is not Process:
+                                    cb1(event)
+                                    if cbs:
+                                        for fn in cbs:
+                                            fn(event)
+                                else:
+                                    # Inlined Process._resume fast path
+                                    # (lockstep with _resume and the
+                                    # chain walk below).
+                                    if cb1._value is _PENDING:
+                                        target = cb1._target
+                                        if (
+                                            target is not None
+                                            and target is not event
+                                        ):
+                                            target.remove_callback(cb1)
+                                        cb1._target = None
+                                        self._active = cb1
+                                        try:
+                                            if event._ok:
+                                                nxt = cb1._send(event._value)
+                                            else:
+                                                event._defused = True
+                                                nxt = cb1._throw(event._value)
+                                        except StopIteration as stop:
+                                            self._active = None
+                                            cb1._ok = True
+                                            cb1._value = stop.value
+                                            self._schedule(cb1, NORMAL)
+                                        except BaseException as exc:
+                                            self._active = None
+                                            cb1.fail(exc)
+                                        else:
+                                            self._active = None
+                                            if (
+                                                (
+                                                    nxt.__class__ is Timeout
+                                                    or isinstance(nxt, Event)
+                                                )
+                                                and nxt.env is self
+                                                and not nxt._processed
+                                                and nxt._cb1 is None
+                                            ):
+                                                nxt._cb1 = cb1
+                                                cb1._target = nxt
+                                            else:
+                                                cb1._finish_resume(nxt)
+                                    if cbs:
+                                        for fn in cbs:
+                                            fn(event)
+                                if not event._ok and not event._defused:
+                                    exc = event._value
+                                    raise exc if isinstance(
+                                        exc, BaseException
+                                    ) else SimulationError(str(exc))
+                                if event._pooled:
+                                    tpool.append(event)
+                            if not b:
+                                break
+                            if (
+                                dirty[i]
+                                or self._cur_v != cur_v
+                                or self._need_rebuild
+                            ):
+                                break
+                            head = b[-1]
+                            if head[4] != cur_v:
+                                break
+                            continue
+                        prio = head[1]
+                        u0 = self._u0
+                        idx = 0
+                        try:
+                            while idx < n:
+                                event = chain[idx]
+                                idx += 1
+                                if tombs and event in tombs:
+                                    tombs.discard(event)
+                                    self._cancelled_skipped += 1
+                                    event._cb1 = None
+                                    event._cbs = None
+                                    event._processed = True
+                                    if event._pooled:
+                                        tpool.append(event)
+                                    continue
+                                if clock_pending:
+                                    clock_pending = False
+                                    now = self.now
+                                    if when > now:
+                                        self.now = when
+                                        self._now_v = hv
+                                        if listeners:
+                                            for fn in listeners:
+                                                fn(now, when)
+                                processed += 1
+                                cb1 = event._cb1
+                                cbs = event._cbs
+                                event._cb1 = None
+                                event._cbs = None
+                                event._processed = True
+                                if cb1 is None:
+                                    pass
+                                elif cb1.__class__ is not Process:
+                                    cb1(event)
+                                    if cbs:
+                                        for fn in cbs:
+                                            fn(event)
+                                else:
+                                    # Inlined Process._resume fast path —
+                                    # _resume stays the reference; keep
+                                    # the two in lockstep.
+                                    if cb1._value is _PENDING:
+                                        target = cb1._target
+                                        if (
+                                            target is not None
+                                            and target is not event
+                                        ):
+                                            target.remove_callback(cb1)
+                                        cb1._target = None
+                                        self._active = cb1
+                                        try:
+                                            if event._ok:
+                                                nxt = cb1._send(event._value)
+                                            else:
+                                                event._defused = True
+                                                nxt = cb1._throw(event._value)
+                                        except StopIteration as stop:
+                                            self._active = None
+                                            cb1._ok = True
+                                            cb1._value = stop.value
+                                            self._schedule(cb1, NORMAL)
+                                        except BaseException as exc:
+                                            self._active = None
+                                            cb1.fail(exc)
+                                        else:
+                                            self._active = None
+                                            if (
+                                                (
+                                                    nxt.__class__ is Timeout
+                                                    or isinstance(nxt, Event)
+                                                )
+                                                and nxt.env is self
+                                                and not nxt._processed
+                                                and nxt._cb1 is None
+                                            ):
+                                                nxt._cb1 = cb1
+                                                cb1._target = nxt
+                                            else:
+                                                cb1._finish_resume(nxt)
+                                    if cbs:
+                                        for fn in cbs:
+                                            fn(event)
+                                if not event._ok and not event._defused:
+                                    exc = event._value
+                                    raise exc if isinstance(
+                                        exc, BaseException
+                                    ) else SimulationError(str(exc))
+                                if event._pooled:
+                                    tpool.append(event)
+                                if prio and self._u0 != u0:
+                                    # An urgent insert for this instant
+                                    # must preempt the rest of a NORMAL
+                                    # chain: requeue the remainder under
+                                    # the original seq0 (still the
+                                    # smallest seq for this (time,
+                                    # priority)) and let the outer loop
+                                    # re-sort.
+                                    if idx < n:
+                                        b.append(
+                                            (when, prio, head[2], chain[idx:], hv)
+                                        )
+                                        dirty[i] = 1
+                                        npop -= n - idx
+                                    break
+                        except BaseException:
+                            if idx < n:
+                                # A callback raised (StopSimulation, a
+                                # propagated failure, ...) mid-chain:
+                                # requeue the undispatched remainder so
+                                # a later run() resumes exactly where
+                                # the heap reference would.
+                                b.append((when, prio, head[2], chain[idx:], hv))
+                                dirty[i] = 1
+                                npop -= n - idx
+                            raise
+                        # Dispatch may have scheduled into this bucket
+                        # (dirty), behind the cursor, or flagged a
+                        # rebuild; any of those invalidates the drain.
+                        if not b:
+                            break
+                        if (
+                            dirty[i]
+                            or self._cur_v != cur_v
+                            or self._need_rebuild
+                        ):
+                            break
+                        head = b[-1]
+                        if head[4] != cur_v:
+                            break
+                finally:
+                    self._qsize -= npop
+        finally:
+            self._event_count += processed
+
+    def _run_heap_reference(self, deadline: float) -> None:
+        """The retained binary-heap run loop (PR 3's ``_run_inlined``),
+        semantically ``while queue: step()``; the reference the calendar
+        scheduler is asserted equivalent against."""
         queue = self._queue
         pop = _heappop
+        tombs = self._tombs
         tpool = self._tpool
         listeners = self._clock_listeners
         processed = 0
         try:
             while queue and queue[0][0] <= deadline:
                 when, _prio, _seq, event = pop(queue)
+                if tombs and event in tombs:
+                    tombs.discard(event)
+                    self._cancelled_skipped += 1
+                    event._cb1 = None
+                    event._cbs = None
+                    event._processed = True
+                    if event._pooled:
+                        tpool.append(event)
+                    continue
                 now = self.now
                 if when > now:
                     self.now = when

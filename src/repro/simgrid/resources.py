@@ -203,10 +203,22 @@ class Host:
     "heavy artificial load" is, e.g., ``L = 4``.
     """
 
-    __slots__ = ("spec", "external_load", "alive", "_crash_time", "effective_speed")
+    __slots__ = (
+        "spec",
+        "name",
+        "cluster",
+        "external_load",
+        "alive",
+        "_crash_time",
+        "effective_speed",
+    )
 
     def __init__(self, spec: NodeSpec) -> None:
         self.spec = spec
+        #: identity mirrors of the frozen spec — plain attributes because
+        #: they are read per steal attempt / comm classification.
+        self.name = spec.name
+        self.cluster = spec.cluster
         self.external_load = 0.0
         self.alive = True
         self._crash_time: Optional[float] = None
@@ -214,14 +226,6 @@ class Host:
         #: cached plain attribute (read once per executed task) recomputed
         #: on the rare load changes. Mutate load via :meth:`set_load` only.
         self.effective_speed = spec.base_speed
-
-    @property
-    def name(self) -> str:
-        return self.spec.name
-
-    @property
-    def cluster(self) -> str:
-        return self.spec.cluster
 
     def set_load(self, load: float) -> None:
         if load < 0:
