@@ -11,6 +11,7 @@ couple of attribute lookups, not hidden bookkeeping).
 import time
 
 from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.config import RunConfig
 from repro.harness import Harness, build_grid
 from repro.obs.attribution import DISABLED_LEDGER, NULL_RECORDER
 from repro.obs.spans import NULL_SPAN_TRACKER
@@ -19,7 +20,9 @@ from repro.satin.app import AppDriver
 
 def run_synthetic(profile: bool) -> Harness:
     """A mid-size synthetic run (8 workers, ~500 tasks/iteration)."""
-    h = Harness.build(build_grid((4, 4)), seed=0, profile=profile)
+    h = Harness.build(
+        build_grid((4, 4)), seed=0, config=RunConfig(profile=profile)
+    )
     h.runtime.add_nodes(h.all_node_names())
     app = SyntheticIterativeApp(
         balanced_tree(depth=7, fanout=2, leaf_work=0.5), n_iterations=2

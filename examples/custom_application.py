@@ -29,6 +29,7 @@ from repro.api import (
     Iteration,
     PolicyConfig,
     ResourcePool,
+    RunConfig,
     TaskNode,
     WorkerConfig,
 )
@@ -99,8 +100,10 @@ def main() -> None:
     harness = Harness.build(
         grid,
         seed=0,
-        config=WorkerConfig(monitoring_period=30.0, collect_stats=True,
-                            benchmark=bench),
+        config=RunConfig(
+            worker=WorkerConfig(monitoring_period=30.0, collect_stats=True,
+                                benchmark=bench),
+        ),
     )
     env, network, runtime = harness.env, harness.network, harness.runtime
     pool = ResourcePool(network)

@@ -29,6 +29,7 @@ from repro.api import (
     NodeSpec,
     PolicyConfig,
     ResourcePool,
+    RunConfig,
     WorkerConfig,
 )
 from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
@@ -52,10 +53,12 @@ def run(opportunistic: bool) -> tuple[float, list[str]]:
     harness = Harness.build(
         build_grid(),
         seed=0,
-        config=WorkerConfig(
-            monitoring_period=30.0,
-            collect_stats=True,
-            benchmark=BenchmarkConfig(work=0.5, max_overhead=0.03),
+        config=RunConfig(
+            worker=WorkerConfig(
+                monitoring_period=30.0,
+                collect_stats=True,
+                benchmark=BenchmarkConfig(work=0.5, max_overhead=0.03),
+            ),
         ),
     )
     env, network, runtime = harness.env, harness.network, harness.runtime

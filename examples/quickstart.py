@@ -22,6 +22,7 @@ from repro.api import (
     Observability,
     PolicyConfig,
     ResourcePool,
+    RunConfig,
     WorkerConfig,
 )
 from repro.apps.barneshut import BarnesHutConfig, BarnesHutSimulation
@@ -46,16 +47,20 @@ def main() -> None:
     harness = Harness.build(
         build_grid(),
         seed=0,
-        # collect statistics every 60 simulated seconds, measure speed
-        # with a small application benchmark (<=3% overhead)
-        config=WorkerConfig(
-            monitoring_period=60.0,
-            collect_stats=True,
-            benchmark=BenchmarkConfig(work=1.5, max_overhead=0.03),
+        # one RunConfig describes the whole wiring: collect statistics
+        # every 60 simulated seconds, measure speed with a small
+        # application benchmark (<=3% overhead), record typed events
+        config=RunConfig(
+            worker=WorkerConfig(
+                monitoring_period=60.0,
+                collect_stats=True,
+                benchmark=BenchmarkConfig(work=1.5, max_overhead=0.03),
+            ),
+            detection_delay=5.0,
+            obs=Observability.enabled(kinds=["wae_sample", "node_add",
+                                             "node_remove",
+                                             "coordinator_decision"]),
         ),
-        detection_delay=5.0,
-        obs=Observability.enabled(kinds=["wae_sample", "node_add",
-                                         "node_remove", "coordinator_decision"]),
     )
     env, network, runtime = harness.env, harness.network, harness.runtime
 

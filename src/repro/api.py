@@ -16,8 +16,11 @@ explicit deep imports; the façade is for *consumers*.
 
 from __future__ import annotations
 
+from .apps.flatoctree import FlatOctree, build_flat_octree
+from .config import RunConfig
 from .core.coordinator import AdaptationCoordinator, CoordinatorConfig
 from .core.policy import AdaptationPolicy, PolicyConfig
+from .core.streaming import StreamingDecisionState, TopKBadness
 from .experiments import (
     SCENARIOS,
     VARIANTS,
@@ -28,6 +31,7 @@ from .experiments import (
     format_profile,
     profile_scenario,
     run_scenario,
+    run_scenarios_parallel,
     scaled_das2,
     scenario,
 )
@@ -84,8 +88,15 @@ __all__ = [
     "CoordinatorConfig",
     "AdaptationPolicy",
     "PolicyConfig",
+    "StreamingDecisionState",
+    "TopKBadness",
+    # applications
+    "FlatOctree",
+    "build_flat_octree",
     # experiments
+    "RunConfig",
     "run_scenario",
+    "run_scenarios_parallel",
     "scenario",
     "scaled_das2",
     "SCENARIOS",

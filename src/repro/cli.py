@@ -31,6 +31,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from .config import COORDINATOR_MODES, RunConfig
 from .experiments import (
     SCENARIOS,
     VARIANTS,
@@ -81,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", default=None,
         help="write the full measurement record as JSON "
              "(a list when several scenarios are given)",
+    )
+    p_run.add_argument(
+        "--coordinator", choices=COORDINATOR_MODES, default="streaming",
+        help="decision path: incremental streaming (default) or the batch "
+             "snapshot re-fold spec; both produce identical results",
     )
 
     p_cmp = sub.add_parser(
@@ -259,7 +265,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     sids = [s.strip() for s in args.scenario.split(",") if s.strip()]
     specs = [_scenario(sid) for sid in sids]
     results = run_scenarios_parallel(
-        [(spec, args.variant, args.seed) for spec in specs], n_jobs=args.jobs
+        [(spec, args.variant, args.seed) for spec in specs],
+        n_jobs=args.jobs,
+        config=RunConfig(coordinator=args.coordinator),
     )
     for result in results:
         _print_run_summary(result)
@@ -332,7 +340,7 @@ def _parse_event_kinds(spec: str) -> Optional[list[str]]:
 def _cmd_trace(args: argparse.Namespace) -> int:
     spec = _scenario(args.scenario)
     obs = Observability.enabled(kinds=_parse_event_kinds(args.events))
-    run_scenario(spec, args.variant, seed=args.seed, obs=obs)
+    run_scenario(spec, args.variant, seed=args.seed, config=RunConfig(obs=obs))
     events = obs.bus.events
     if args.out is None:
         write_events(events, sys.stdout, fmt=args.format or "jsonl")
@@ -346,7 +354,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_metrics(args: argparse.Namespace) -> int:
     spec = _scenario(args.scenario)
     obs = Observability.enabled()
-    run_scenario(spec, args.variant, seed=args.seed, obs=obs)
+    run_scenario(spec, args.variant, seed=args.seed, config=RunConfig(obs=obs))
     rows = obs.metrics.to_rows()
     if not rows:
         print("no metrics recorded")

@@ -1,0 +1,114 @@
+"""The one configuration surface for building and running simulations.
+
+Historically every entry point grew its own keyword surface —
+``Harness.build`` took ``config=``/``policy=``/``obs=``/``profile=``/
+``scheduler=`` loose kwargs, ``run_scenario`` took a different subset,
+and the profiler a third — so adding a knob meant threading it through
+three signatures and the façade drifted. :class:`RunConfig` replaces the
+scattered keywords: one frozen dataclass accepted (as ``config=``) by
+:meth:`repro.harness.Harness.build`,
+:func:`repro.experiments.runner.run_scenario`,
+:func:`repro.experiments.runner.run_scenarios_parallel` and
+:func:`repro.experiments.profiler.profile_scenario`.
+
+What deliberately stays *out* of ``RunConfig``: the ``seed`` and the
+scenario ``variant``. Those identify *which run* is being performed, not
+*how the stack is wired* — sweeping seeds or variants with one shared
+config is the common case.
+
+The legacy loose keywords keep working for one release behind
+``DeprecationWarning`` shims (see the respective call sites); the in-repo
+test suite runs with ``-W error::DeprecationWarning`` so internal callers
+cannot regress onto them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Optional
+
+__all__ = ["RunConfig", "COORDINATOR_MODES", "SCHEDULERS"]
+
+#: engine event-queue implementations (both produce byte-identical runs).
+SCHEDULERS = ("calendar", "heap")
+#: coordinator decision paths: the incremental streaming pipeline
+#: (production default) and the batch snapshot re-fold retained as the
+#: executable spec; both produce identical decisions and goldens.
+COORDINATOR_MODES = ("streaming", "batch")
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .obs import Observability
+    from .satin.malleability import HandoffStrategy
+    from .satin.stealing import StealPolicy
+    from .satin.worker import WorkerConfig
+    from .simgrid.trace import Trace
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How a simulation stack is wired and executed.
+
+    Every field has a sensible default, so ``RunConfig()`` is the
+    production configuration and call sites override only what they vary::
+
+        run_scenario(spec, "adapt", seed=3,
+                     config=RunConfig(coordinator="batch"))
+
+    ``RunConfig`` is picklable as long as its payload fields (``obs``,
+    ``trace``, ``sinks`` …) are — required when ``run_scenarios_parallel``
+    ships it to spawned worker processes.
+    """
+
+    #: engine event queue: "calendar" (default) or the "heap" reference.
+    scheduler: str = "calendar"
+    #: coordinator decision path: "streaming" (incremental WAE + top-k
+    #: badness, O(changed) per period) or "batch" (full snapshot re-fold,
+    #: the executable spec). Policies that override ``decide`` (e.g. the
+    #: opportunistic extension) always take the batch path.
+    coordinator: str = "streaming"
+    #: enable the profiling telemetry tier (spans + attribution ledger)
+    #: when no explicit ``obs`` is given.
+    profile: bool = False
+    #: process count for parallel multi-run entry points (<= 0: one per
+    #: CPU; single runs ignore this).
+    jobs: int = 1
+    #: per-worker runtime tunables (monitoring period, stats, benchmark).
+    worker: Optional["WorkerConfig"] = None
+    #: work-stealing victim selection policy.
+    steal: Optional["StealPolicy"] = None
+    #: malleability handoff strategy for departing workers.
+    handoff: Optional["HandoffStrategy"] = None
+    #: registry crash-detection delay in seconds (None: the context
+    #: default — the scenario's value in ``run_scenario``, 1.0 in
+    #: ``Harness.build``).
+    detection_delay: Optional[float] = None
+    #: explicit adaptation trace (None: the runtime creates one).
+    trace: Optional["Trace"] = None
+    #: explicit observability stack; overrides ``profile``.
+    obs: Optional["Observability"] = None
+    #: event sinks (e.g. ``JsonlSink``) subscribed to the run's bus for
+    #: streaming export. Sinks imply an enabled bus: when no ``obs`` is
+    #: given and ``profile`` is off, passing sinks turns telemetry on.
+    sinks: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {SCHEDULERS}, got {self.scheduler!r}"
+            )
+        if self.coordinator not in COORDINATOR_MODES:
+            raise ValueError(
+                f"coordinator must be one of {COORDINATOR_MODES}, "
+                f"got {self.coordinator!r}"
+            )
+        if self.detection_delay is not None and self.detection_delay < 0:
+            raise ValueError("detection_delay must be >= 0")
+        if not isinstance(self.jobs, int):
+            raise ValueError("jobs must be an int")
+        object.__setattr__(self, "sinks", tuple(self.sinks))
+
+    def merged(self, **overrides: Any) -> "RunConfig":
+        """A copy with the non-None ``overrides`` applied — how the
+        deprecation shims fold legacy loose kwargs into a config."""
+        updates = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **updates) if updates else self

@@ -27,6 +27,7 @@ from .efficiency import (
     normalize_speeds,
     weighted_average_efficiency,
 )
+from .streaming import StreamingDecisionState, TopKBadness
 from .policy import (
     AdaptationPolicy,
     AddNodes,
@@ -63,6 +64,8 @@ __all__ = [
     "PolicyConfig",
     "RemoveCluster",
     "RemoveNodes",
+    "StreamingDecisionState",
+    "TopKBadness",
     "cluster_badness",
     "efficiency",
     "node_badness",

@@ -199,10 +199,15 @@ def explain_nodes(
     if fastest <= 0:
         raise ValueError("node speeds must be > 0")
 
+    # Accumulate in the *input* (dict) order, not set order: set iteration
+    # depends on string hashing, which would make the cluster sums' FP
+    # rounding — and thus potentially the worst-cluster choice — vary with
+    # PYTHONHASHSEED. Input order pins the fold to a defined sequence of
+    # additions, which the streaming coordinator replicates per cluster.
     cluster_speed: dict[str, float] = {}
     cluster_ic_sum: dict[str, float] = {}
     cluster_n: dict[str, int] = {}
-    for node in keys:
+    for node in node_speeds:
         c = node_clusters[node]
         cluster_speed[c] = cluster_speed.get(c, 0.0) + node_speeds[node]
         cluster_ic_sum[c] = cluster_ic_sum.get(c, 0.0) + node_ic_overheads[node]
@@ -211,7 +216,7 @@ def explain_nodes(
     worst = worst_cluster(cluster_speed, cluster_ic, coefficients)
 
     scored = []
-    for node in keys:
+    for node in node_speeds:
         terms = badness_terms(
             node_speeds[node] / fastest,
             node_ic_overheads[node],

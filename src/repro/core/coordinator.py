@@ -51,6 +51,7 @@ from .policy import (
     RemoveCluster,
     RemoveNodes,
 )
+from .streaming import StreamingDecisionState
 
 __all__ = ["AdaptationCoordinator", "CoordinatorConfig"]
 
@@ -78,6 +79,13 @@ class CoordinatorConfig:
     #: probing (the paper's implemented behaviour: "currently we add any
     #: nodes the scheduler gives us").
     probe_benchmark_work: float = 0.0
+    #: decision-path implementation: "streaming" folds reports into
+    #: resident arrays as they arrive so a period costs O(changed nodes)
+    #: (see :mod:`repro.core.streaming`); "batch" rebuilds a full
+    #: GridSnapshot per period — the executable spec the streaming path
+    #: matches bit-for-bit. Policies that override ``decide`` (e.g. the
+    #: opportunistic extension) always use the batch path.
+    mode: str = "streaming"
 
     def __post_init__(self) -> None:
         if self.monitoring_period <= 0:
@@ -86,6 +94,10 @@ class CoordinatorConfig:
             raise ValueError("delays must be >= 0")
         if self.probe_benchmark_work < 0:
             raise ValueError("probe_benchmark_work must be >= 0")
+        if self.mode not in ("streaming", "batch"):
+            raise ValueError(
+                f'mode must be "streaming" or "batch", got {self.mode!r}'
+            )
 
 
 class AdaptationCoordinator:
@@ -119,6 +131,15 @@ class AdaptationCoordinator:
         self.obs = runtime.obs
 
         self.latest: dict[str, NodeReport] = {}
+        #: resident streaming decision state (None on the batch path or
+        #: when the policy subclass overrides ``decide`` — the streaming
+        #: fold replicates only the base strategy's arithmetic).
+        self.streaming: Optional[StreamingDecisionState] = (
+            StreamingDecisionState()
+            if self.config.mode == "streaming"
+            and type(self.policy) is AdaptationPolicy
+            else None
+        )
         #: nodes we added whose first report has not arrived yet
         self._awaiting_first_report: set[str] = set()
         self.decisions: list[tuple[float, Decision]] = []
@@ -165,6 +186,8 @@ class AdaptationCoordinator:
                 reports = (message,)
             for report in reports:
                 self.latest[report.worker] = report
+                if self.streaming is not None:
+                    self.streaming.observe(report)
                 self._awaiting_first_report.discard(report.worker)
 
     # ----------------------------------------------------------------- decide
@@ -194,57 +217,112 @@ class AdaptationCoordinator:
         cfg = self.config
         yield self.env.timeout(cfg.monitoring_period + cfg.decision_slack)
         while True:
-            snap = self.snapshot()
-            if snap.nodes:
-                wae = snap.wae()
-                self.trace.record("wae", self.env.now, wae)
-                if self.obs.bus.wants(WaeSample.kind):
-                    comps = wae_components(
-                        [n.speed for n in snap.nodes],
-                        [n.overhead for n in snap.nodes],
-                    )
-                    self.obs.bus.emit(WaeSample(
-                        time=self.env.now, wae=wae, nodes=len(snap.nodes),
-                        spread=float(comps.max() - comps.min()),
-                    ))
-                if self.tuner is not None:
-                    event = self.tuner.on_wae(self.env.now, wae)
-                    if event is not None:
-                        self.trace.log(
-                            self.env.now,
-                            "badness_tuned",
-                            effective=event.effective,
-                            dominant=event.dominant_term,
-                        )
-                    self.policy.config = replace(
-                        self.policy.config, coefficients=self.tuner.current
-                    )
-                if self._acting:
-                    self.trace.log(
-                        self.env.now, "adaptation_skip",
-                        reason="previous action still in flight",
-                    )
-                else:
-                    decision = self.policy.decide(
-                        snap, protected=self._protected_nodes()
-                    )
-                    if self.tuner is not None:
-                        self.tuner.on_decision(self.env.now, decision, snap)
-                    if cfg.adaptation_enabled and not isinstance(decision, NoAction):
-                        self.env.process(
-                            self._act_guarded(decision), name="coord:act"
-                        )
-                    self.decisions.append((self.env.now, decision))
-                    self.decision_snapshots.append(snap)
-                    described = decision.describe()
-                    self.obs.metrics.counter(
-                        "coordinator_decisions", decision=described["decision"]
-                    ).inc()
-                    if self.obs.bus.wants(CoordinatorDecision.kind):
-                        self.obs.bus.emit(CoordinatorDecision(
-                            time=self.env.now, **described
-                        ))
+            if self.streaming is not None:
+                self._decide_streaming_once()
+            else:
+                self._decide_batch_once()
             yield self.env.timeout(cfg.monitoring_period)
+
+    def _decide_batch_once(self) -> None:
+        """One decision period on the batch path: rebuild a full snapshot
+        and hand it to the policy — the executable spec the streaming
+        path must match bit-for-bit."""
+        snap = self.snapshot()
+        if not snap.nodes:
+            return
+        wae = snap.wae()
+        self.trace.record("wae", self.env.now, wae)
+        if self.obs.bus.wants(WaeSample.kind):
+            comps = wae_components(
+                [n.speed for n in snap.nodes],
+                [n.overhead for n in snap.nodes],
+            )
+            self.obs.bus.emit(WaeSample(
+                time=self.env.now, wae=wae, nodes=len(snap.nodes),
+                spread=float(comps.max() - comps.min()),
+            ))
+        self._apply_tuner(wae)
+        if self._acting:
+            self.trace.log(
+                self.env.now, "adaptation_skip",
+                reason="previous action still in flight",
+            )
+            return
+        decision = self.policy.decide(snap, protected=self._protected_nodes())
+        if self.tuner is not None:
+            self.tuner.on_decision(self.env.now, decision, snap)
+        self._commit_decision(decision, snap)
+
+    def _decide_streaming_once(self) -> None:
+        """One decision period on the streaming path: O(changed nodes).
+
+        A full GridSnapshot is materialised only when something actually
+        consumes it — the feedback tuner, or an enabled telemetry stack
+        (the profile explainer replays decisions from the captured
+        snapshots). Plain runs leave ``decision_snapshots`` empty.
+        """
+        stream = self.streaming
+        assert stream is not None
+        stream.sync(
+            self.runtime.membership_version, self.runtime.alive_worker_names
+        )
+        if not stream.size:
+            return
+        wae = stream.weighted_wae()
+        self.trace.record("wae", self.env.now, wae)
+        if self.obs.bus.wants(WaeSample.kind):
+            self.obs.bus.emit(WaeSample(
+                time=self.env.now, wae=wae, nodes=stream.size,
+                spread=stream.component_spread(),
+            ))
+        self._apply_tuner(wae)
+        if self._acting:
+            self.trace.log(
+                self.env.now, "adaptation_skip",
+                reason="previous action still in flight",
+            )
+            return
+        decision = stream.decide(self._protected_nodes(), self.policy.config)
+        snap = (
+            self.snapshot()
+            if self.tuner is not None or self.obs.is_enabled
+            else None
+        )
+        if self.tuner is not None:
+            self.tuner.on_decision(self.env.now, decision, snap)
+        self._commit_decision(decision, snap)
+
+    def _apply_tuner(self, wae: float) -> None:
+        if self.tuner is None:
+            return
+        event = self.tuner.on_wae(self.env.now, wae)
+        if event is not None:
+            self.trace.log(
+                self.env.now,
+                "badness_tuned",
+                effective=event.effective,
+                dominant=event.dominant_term,
+            )
+        self.policy.config = replace(
+            self.policy.config, coefficients=self.tuner.current
+        )
+
+    def _commit_decision(
+        self, decision: Decision, snap: Optional[GridSnapshot]
+    ) -> None:
+        if self.config.adaptation_enabled and not isinstance(decision, NoAction):
+            self.env.process(self._act_guarded(decision), name="coord:act")
+        self.decisions.append((self.env.now, decision))
+        if snap is not None:
+            self.decision_snapshots.append(snap)
+        described = decision.describe()
+        self.obs.metrics.counter(
+            "coordinator_decisions", decision=described["decision"]
+        ).inc()
+        if self.obs.bus.wants(CoordinatorDecision.kind):
+            self.obs.bus.emit(CoordinatorDecision(
+                time=self.env.now, **described
+            ))
 
     def _act_guarded(self, decision: Decision) -> Generator[Event, Any, None]:
         self._acting = True
@@ -368,6 +446,8 @@ class AdaptationCoordinator:
             if self.runtime.worker_alive(node):
                 self.runtime.remove_node(node)
             self.latest.pop(node, None)
+            if self.streaming is not None:
+                self.streaming.forget(node)
         self.pool.release(victims)
 
     def _learn_bandwidth_requirement(self, cluster: str) -> None:

@@ -1,0 +1,472 @@
+"""Streaming decision path: incremental WAE + incremental top-k badness.
+
+The batch coordinator rebuilds a :class:`~repro.core.policy.GridSnapshot`
+from every live worker's latest report each monitoring period and hands it
+to :class:`~repro.core.policy.AdaptationPolicy` — O(grid) python object
+construction per decision, fine for the paper's ~100-node grids, the
+decision-side bottleneck on the ROADMAP's 100k-node north star.
+
+:class:`StreamingDecisionState` keeps the snapshot's contents *resident*
+as flat SoA arrays and updates them as reports arrive, so a decision
+period touches O(changed nodes):
+
+* per-node WAE components live in a float64 array; a changed report
+  updates its slot with the same IEEE-754 scalar operations the batch
+  fold applies elementwise, so the period's ``np.mean`` over the array is
+  **bit-identical** to the batch result;
+* per-cluster speed/ic aggregates are re-folded only for clusters with a
+  changed member, accumulating in member order — exactly the sequence of
+  additions the batch fold performs for that cluster — so cluster means
+  (the RemoveCluster trigger and the worst-cluster γ term) match
+  bit-for-bit;
+* per-node badness feeds :class:`TopKBadness`, a lazy-deletion heap
+  updated only for changed nodes; popping yields the worst-first order
+  :func:`~repro.core.badness.rank_nodes` would produce.
+
+Anything that invalidates the maintained arrays wholesale — a membership
+change (join/leave/crash/evict), a node's *first* report, a change of the
+fastest node's speed, or new badness coefficients (the feedback tuner) —
+triggers a full **re-fold**: an O(grid) rebuild performing the exact batch
+arithmetic. That is the "periodic batch re-fold" that pins the golden
+values; in steady state it never fires and the per-period cost is a
+handful of vector folds plus O(changed) python.
+
+The decision logic itself replicates ``AdaptationPolicy.decide`` term by
+term (same arithmetic on the same floats, same reason strings), and the
+equivalence suite asserts identical decision logs and byte-identical
+run summaries against the batch path, which remains available as the
+executable spec via ``CoordinatorConfig(mode="batch")``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..satin.accounting import NodeReport
+from .badness import BadnessCoefficients, worst_cluster
+from .policy import (
+    AddNodes,
+    Decision,
+    NoAction,
+    PolicyConfig,
+    RemoveCluster,
+    RemoveNodes,
+)
+
+__all__ = ["StreamingDecisionState", "TopKBadness"]
+
+
+class TopKBadness:
+    """Worst-first node ranking as a lazy-deletion min-heap.
+
+    Entries are ``(-badness, name)`` so the heap pops in exactly the
+    order ``rank_nodes`` sorts: badness descending, name ascending.
+    Stale entries (superseded by :meth:`update` or dropped by
+    :meth:`discard`) are skipped on pop by checking against the current
+    value; the heap is compacted when stale entries dominate, keeping
+    memory bounded by O(live nodes).
+    """
+
+    __slots__ = ("_heap", "_badness")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, str]] = []
+        self._badness: dict[str, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._badness)
+
+    def update(self, name: str, badness: float) -> None:
+        """Set ``name``'s badness; the old entry becomes stale."""
+        self._badness[name] = badness
+        heapq.heappush(self._heap, (-badness, name))
+        if len(self._heap) > 64 + 4 * len(self._badness):
+            self._compact()
+
+    def discard(self, name: str) -> None:
+        """Remove ``name`` from the ranking (lazy: its entry goes stale)."""
+        self._badness.pop(name, None)
+
+    def rebuild(self, items: Iterable[tuple[str, float]]) -> None:
+        """Replace the whole ranking in one O(n) heapify."""
+        self._badness = dict(items)
+        self._heap = [(-b, n) for n, b in self._badness.items()]
+        heapq.heapify(self._heap)
+
+    def _compact(self) -> None:
+        self._heap = [(-b, n) for n, b in self._badness.items()]
+        heapq.heapify(self._heap)
+
+    def worst(self, count: int, skip: Sequence[str] = ()) -> list[str]:
+        """The worst ``count`` names, skipping ``skip`` (protected nodes).
+
+        Matches ``[n for n, _ in rank_nodes(...) if n not in skip][:count]``.
+        """
+        skip_set = set(skip)
+        out: list[str] = []
+        popped: list[tuple[float, str]] = []
+        emitted: set[str] = set()
+        heap = self._heap
+        while heap and len(out) < count:
+            entry = heapq.heappop(heap)
+            neg_badness, name = entry
+            if self._badness.get(name) != -neg_badness or name in emitted:
+                continue  # stale or duplicate entry
+            popped.append(entry)
+            emitted.add(name)
+            if name not in skip_set:
+                out.append(name)
+        for entry in popped:
+            heapq.heappush(heap, entry)
+        return out
+
+
+class StreamingDecisionState:
+    """Resident coordinator state updated per report, folded per period.
+
+    Usage (the coordinator's streaming ``_decide_loop`` body)::
+
+        state.observe(report)                 # as each report arrives
+        state.sync(version, alive_names)      # once per decision period
+        if state.size:
+            wae = state.weighted_wae()
+            decision = state.decide(protected, policy.config)
+
+    ``sync`` applies the changed reports; ``decide`` replicates
+    ``AdaptationPolicy.decide`` on the maintained arrays.
+    """
+
+    def __init__(self) -> None:
+        #: name -> (cluster, speed, overhead, ic_overhead) of the latest
+        #: report, including nodes not currently folded (dead or unseen).
+        self._reports: dict[str, tuple[str, float, float, float]] = {}
+        #: snapshot order: alive workers with a report, in runtime order.
+        self._order: list[str] = []
+        self._index: dict[str, int] = {}
+        self._speed = np.empty(0, dtype=float)
+        self._overhead = np.empty(0, dtype=float)
+        self._ic = np.empty(0, dtype=float)
+        self._comp = np.empty(0, dtype=float)
+        self._cluster_of: list[str] = []
+        self._fastest = 0.0
+        #: clusters in first-appearance (snapshot) order + member indices.
+        self._clusters: list[str] = []
+        self._members: dict[str, list[int]] = {}
+        self._cl_speed: dict[str, float] = {}
+        self._cl_ic_sum: dict[str, float] = {}
+        self._cl_count: dict[str, int] = {}
+        self._topk = TopKBadness()
+        self._worst_cluster: Optional[str] = None
+        self._coeffs: Optional[BadnessCoefficients] = None
+        self._dirty: set[str] = set()
+        #: arrays must be rebuilt (first report / forget); membership
+        #: changes are detected via the runtime's version counter.
+        self._structure_dirty = True
+        self._version: Optional[int] = None
+        #: telemetry: how often the O(n) re-fold ran vs O(changed) updates.
+        self.refolds = 0
+        self.incremental_updates = 0
+
+    # ------------------------------------------------------------- ingestion
+    def observe(self, report: NodeReport) -> None:
+        """Fold one report in. O(1): the arrays update at the next sync."""
+        if report.speed <= 0:
+            raise ValueError(f"node {report.worker!r}: speed must be > 0")
+        overhead = report.overhead
+        ic = report.ic_overhead
+        if not 0 <= overhead <= 1 or not 0 <= ic <= 1:
+            raise ValueError(f"node {report.worker!r}: fractions must be in [0, 1]")
+        name = report.worker
+        self._reports[name] = (report.cluster, report.speed, overhead, ic)
+        if name in self._index:
+            self._dirty.add(name)
+        else:
+            self._structure_dirty = True
+
+    def forget(self, name: str) -> None:
+        """Drop a node's report (eviction): it leaves the fold immediately."""
+        if self._reports.pop(name, None) is not None:
+            self._dirty.discard(name)
+            self._structure_dirty = True
+
+    # ------------------------------------------------------------------ sync
+    @property
+    def size(self) -> int:
+        return len(self._order)
+
+    def sync(
+        self, membership_version: int, alive_names: Callable[[], list[str]]
+    ) -> None:
+        """Bring the arrays up to date for this decision period.
+
+        Re-folds everything when membership or the reporting set changed;
+        otherwise applies only the changed slots.
+        """
+        if self._structure_dirty or self._version != membership_version:
+            known = self._reports
+            self._refold([n for n in alive_names() if n in known])
+            self._version = membership_version
+        elif self._dirty:
+            self._apply_dirty()
+
+    def _refold(self, order: list[str]) -> None:
+        """Full O(n) rebuild with the exact batch fold arithmetic."""
+        self.refolds += 1
+        self._order = order
+        self._index = {n: i for i, n in enumerate(order)}
+        self._dirty.clear()
+        self._structure_dirty = False
+        reports = self._reports
+        if not order:
+            self._speed = np.empty(0, dtype=float)
+            self._overhead = np.empty(0, dtype=float)
+            self._ic = np.empty(0, dtype=float)
+            self._comp = np.empty(0, dtype=float)
+            self._cluster_of = []
+            self._clusters = []
+            self._members = {}
+            self._cl_speed = {}
+            self._cl_ic_sum = {}
+            self._cl_count = {}
+            self._fastest = 0.0
+            self._topk.rebuild(())
+            self._worst_cluster = None
+            return
+        self._speed = np.asarray([reports[n][1] for n in order], dtype=float)
+        self._overhead = np.asarray([reports[n][2] for n in order], dtype=float)
+        self._ic = np.asarray([reports[n][3] for n in order], dtype=float)
+        self._cluster_of = [reports[n][0] for n in order]
+        self._fastest = float(self._speed.max())
+        # same elementwise ops as efficiency.wae_components
+        self._comp = (self._speed / self._fastest) * (1.0 - self._overhead)
+        clusters: list[str] = []
+        members: dict[str, list[int]] = {}
+        for i, cluster in enumerate(self._cluster_of):
+            bucket = members.get(cluster)
+            if bucket is None:
+                members[cluster] = [i]
+                clusters.append(cluster)
+            else:
+                bucket.append(i)
+        self._clusters = clusters
+        self._members = members
+        self._cl_speed = {}
+        self._cl_ic_sum = {}
+        self._cl_count = {}
+        for cluster in clusters:
+            self._fold_cluster(cluster)
+        self._coeffs = None  # force a badness rebuild below
+        self._refresh_badness(force=True)
+
+    def _fold_cluster(self, cluster: str) -> None:
+        """Re-fold one cluster's aggregates, accumulating in member order
+        (the batch fold's addition sequence restricted to this cluster)."""
+        speed = self._speed
+        ic = self._ic
+        speed_sum = 0.0
+        ic_sum = 0.0
+        for i in self._members[cluster]:
+            speed_sum += speed[i]
+            ic_sum += ic[i]
+        self._cl_speed[cluster] = float(speed_sum)
+        self._cl_ic_sum[cluster] = float(ic_sum)
+        self._cl_count[cluster] = len(self._members[cluster])
+
+    def _apply_dirty(self) -> None:
+        """O(changed) path: update only the slots whose reports changed."""
+        dirty = [(self._index[n], n) for n in self._dirty]
+        self._dirty.clear()
+        self.incremental_updates += len(dirty)
+        speed = self._speed
+        overhead = self._overhead
+        ic = self._ic
+        reports = self._reports
+        dirty_clusters = set()
+        for i, name in dirty:
+            _, s, o, icv = reports[name]
+            speed[i] = s
+            overhead[i] = o
+            ic[i] = icv
+            dirty_clusters.add(self._cluster_of[i])
+        new_fastest = float(speed.max())
+        if new_fastest != self._fastest:
+            # the normalisation base moved: every component shifts
+            self._fastest = new_fastest
+            self._comp = (speed / new_fastest) * (1.0 - overhead)
+        else:
+            comp = self._comp
+            for i, _ in dirty:
+                comp[i] = (speed[i] / new_fastest) * (1.0 - overhead[i])
+        for cluster in self._clusters:
+            if cluster in dirty_clusters:
+                self._fold_cluster(cluster)
+        self._refresh_badness(dirty=dirty)
+
+    # --------------------------------------------------------------- badness
+    def _cluster_ic_means(self) -> dict[str, float]:
+        ic_sum = self._cl_ic_sum
+        count = self._cl_count
+        return {c: ic_sum[c] / count[c] for c in self._clusters}
+
+    def _node_badness(self, i: int, coeffs: BadnessCoefficients) -> float:
+        """badness_terms summed in key order — bit-identical to the batch
+        ``sum(badness_terms(...).values())``."""
+        total = coeffs.alpha * (1.0 / (self._speed[i] / self._fastest))
+        total = total + coeffs.beta * self._ic[i]
+        total = total + coeffs.gamma * (
+            1.0 if self._cluster_of[i] == self._worst_cluster else 0.0
+        )
+        return float(total)
+
+    def _refresh_badness(
+        self,
+        force: bool = False,
+        dirty: Sequence[tuple[int, str]] = (),
+        coeffs: Optional[BadnessCoefficients] = None,
+    ) -> None:
+        """Keep the top-k structure consistent with the arrays.
+
+        A changed worst cluster or new coefficients shift *every* node's
+        badness — rebuild; otherwise only the dirty slots are re-scored.
+        """
+        if coeffs is None:
+            coeffs = self._coeffs if self._coeffs is not None else BadnessCoefficients()
+        current_worst = (
+            worst_cluster({c: self._cl_speed[c] for c in self._clusters},
+                          self._cluster_ic_means(), coeffs)
+            if self._clusters
+            else None
+        )
+        if force or coeffs != self._coeffs or current_worst != self._worst_cluster:
+            self._worst_cluster = current_worst
+            self._coeffs = coeffs
+            self._topk.rebuild(
+                (name, self._node_badness(i, coeffs))
+                for i, name in enumerate(self._order)
+            )
+        else:
+            for i, name in dirty:
+                self._topk.update(name, self._node_badness(i, coeffs))
+
+    # --------------------------------------------------------------- queries
+    def weighted_wae(self) -> float:
+        """The period's WAE — ``np.mean`` over the maintained components,
+        bit-identical to ``GridSnapshot.wae()``."""
+        if not self._order:
+            raise ValueError("empty snapshot has no WAE")
+        return float(np.mean(self._comp))
+
+    def unweighted_efficiency(self) -> float:
+        if not self._order:
+            raise ValueError("empty snapshot has no efficiency")
+        return float(np.mean(1.0 - self._overhead))
+
+    def component_spread(self) -> float:
+        """max − min of the WAE components (the wae_sample spread field)."""
+        return float(self._comp.max() - self._comp.min())
+
+    def nodes_in_cluster(self, cluster: str) -> list[str]:
+        return sorted(
+            name
+            for i, name in enumerate(self._order)
+            if self._cluster_of[i] == cluster
+        )
+
+    # ---------------------------------------------------------------- decide
+    def decide(self, protected: Sequence[str], config: PolicyConfig) -> Decision:
+        """``AdaptationPolicy.decide`` replicated on the resident arrays.
+
+        Must run after :meth:`sync` for the period. The caller passes the
+        *current* policy config so feedback-tuned coefficients take effect
+        exactly as they do on the batch path (new coefficients trigger a
+        ranking rebuild here).
+        """
+        if not self._order:
+            return NoAction(wae=0.0, reason="no statistics yet")
+        if config.coefficients != self._coeffs:
+            self._refresh_badness(coeffs=config.coefficients)
+        wae = (
+            self.weighted_wae() if config.weighted else self.unweighted_efficiency()
+        )
+        if wae > config.e_max:
+            return self._grow(wae, config)
+        protected_set = set(protected)
+        cluster_eviction = self._exceptional_cluster(wae, protected_set, config)
+        if cluster_eviction is not None:
+            return cluster_eviction
+        if wae < config.e_min:
+            return self._shrink(wae, protected_set, config)
+        return NoAction(wae=wae, reason="within [e_min, e_max] dead band")
+
+    def _grow(self, wae: float, cfg: PolicyConfig) -> Decision:
+        n = len(self._order)
+        count = max(1, math.ceil(n * (wae - cfg.e_max) / (1.0 - cfg.e_max)))
+        if cfg.max_add_per_decision is not None:
+            count = min(count, cfg.max_add_per_decision)
+        if cfg.max_nodes is not None:
+            count = min(count, cfg.max_nodes - n)
+        if count <= 0:
+            return NoAction(wae=wae, reason="at max_nodes")
+        return AddNodes(
+            wae=wae, count=count, reason=f"WAE {wae:.3f} > E_max {cfg.e_max}"
+        )
+
+    def _exceptional_cluster(
+        self, wae: float, protected: set[str], cfg: PolicyConfig
+    ) -> Decision | None:
+        ic_by_cluster = self._cluster_ic_means()
+        if len(ic_by_cluster) <= 1:
+            return None
+        bad = [
+            c
+            for c, ic in ic_by_cluster.items()
+            if ic > cfg.cluster_removal_ic_overhead
+        ]
+        if not bad:
+            return None
+        cluster = max(bad, key=lambda c: (ic_by_cluster[c], c))
+        others = [ic for c, ic in ic_by_cluster.items() if c != cluster]
+        second_worst = max(others) if others else 0.0
+        if (
+            second_worst > 0.0
+            and ic_by_cluster[cluster] < cfg.cluster_outlier_factor * second_worst
+        ):
+            return None
+        nodes = [
+            n for n in self.nodes_in_cluster(cluster) if n not in protected
+        ]
+        remaining = len(self._order) - len(nodes)
+        if not nodes or remaining < cfg.min_nodes:
+            return None
+        return RemoveCluster(
+            wae=wae,
+            cluster=cluster,
+            nodes=tuple(nodes),
+            reason=(
+                f"cluster ic_overhead {ic_by_cluster[cluster]:.3f} > "
+                f"{cfg.cluster_removal_ic_overhead} (insufficient uplink)"
+            ),
+        )
+
+    def _shrink(
+        self, wae: float, protected: set[str], cfg: PolicyConfig
+    ) -> Decision:
+        n = len(self._order)
+        count = max(1, math.ceil(n * (cfg.e_min - wae) / cfg.e_min))
+        if cfg.max_remove_per_decision is not None:
+            count = min(count, cfg.max_remove_per_decision)
+        count = min(count, n - max(cfg.min_nodes, len(protected & self._index.keys())))
+        if count <= 0:
+            return NoAction(wae=wae, reason="at min_nodes")
+        victims = self._topk.worst(count, skip=protected)
+        if not victims:
+            return NoAction(wae=wae, reason="all nodes protected")
+        return RemoveNodes(
+            wae=wae,
+            nodes=tuple(victims),
+            reason=f"WAE {wae:.3f} < E_min {cfg.e_min}",
+        )

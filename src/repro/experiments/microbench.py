@@ -18,7 +18,13 @@ interactive suite all measure the identical code paths:
 * ``scenario_e2e``     — a complete small scenario (grid build, workers,
   monitoring, adaptation coordinator) through
   ``experiments.runner.run_scenario`` — the end-to-end number the
-  substrate workloads exist to improve.
+  substrate workloads exist to improve;
+* ``coordinator_decide``       — the streaming decision path
+  (incremental WAE + top-k badness) over a 10k-node report stream with
+  1% of nodes changing per period;
+* ``coordinator_decide_batch`` — the same stream through the retained
+  batch spec (full snapshot + re-fold every period), the "before" the
+  streaming path is measured against.
 
 Every workload times only its returned callable: input generation and
 octree construction happen in ``prepare`` and are excluded (pinned by
@@ -89,6 +95,7 @@ __all__ = [
     "store_pingpong",
     "worksteal_run",
     "octree_inputs",
+    "coordinator_stream_inputs",
     "scenario_e2e_spec",
     "run_bench",
     "check_against_baseline",
@@ -238,6 +245,114 @@ def scenario_e2e_spec():
     )
 
 
+def coordinator_stream_inputs():
+    """The 10k-node report stream the decision-path workloads consume.
+
+    25 clusters × 400 nodes, 12 decision periods, 100 changed reports
+    (1% of the grid) per period — everything seeded, so both workloads
+    fold the identical stream. Returns ``(names, initial, periods)``:
+    one full first-period report per node, then per-period change lists.
+    """
+    import numpy as np
+
+    from ..satin.accounting import NodeReport
+
+    n_nodes, n_clusters = 10_000, 25
+    n_periods, n_changed = 12, 100
+    rng = np.random.default_rng(7)
+    names = [f"c{i % n_clusters}/n{i}" for i in range(n_nodes)]
+
+    def make_report(i: int, period: int) -> NodeReport:
+        speed = float(rng.uniform(0.5, 4.0))
+        overhead = float(rng.uniform(0.05, 0.6))
+        ic = float(rng.uniform(0.0, min(overhead, 0.3)))
+        return NodeReport(
+            worker=names[i],
+            cluster=names[i].partition("/")[0],
+            period_index=period,
+            sent_at=60.0 * (period + 1),
+            period_seconds=60.0,
+            busy=(1.0 - overhead) * 60.0,
+            idle=(overhead - ic) * 60.0,
+            comm_intra=0.0,
+            comm_inter=ic * 60.0,
+            bench=0.0,
+            speed=speed,
+        )
+
+    initial = [make_report(i, 0) for i in range(n_nodes)]
+    periods = [
+        [
+            make_report(int(i), p + 1)
+            for i in rng.choice(n_nodes, size=n_changed, replace=False)
+        ]
+        for p in range(n_periods)
+    ]
+    return names, initial, periods
+
+
+def _prepare_coordinator_decide() -> Callable[[], object]:
+    from ..core.policy import PolicyConfig
+    from ..core.streaming import StreamingDecisionState
+
+    names, initial, periods = coordinator_stream_inputs()
+    cfg = PolicyConfig()
+    state = StreamingDecisionState()
+    for report in initial:
+        state.observe(report)
+    state.sync(0, lambda: names)  # initial O(n) fold happens untimed
+
+    def run() -> list:
+        decisions = []
+        for batch in periods:
+            for report in batch:
+                state.observe(report)
+            state.sync(0, lambda: names)
+            state.weighted_wae()
+            decisions.append(state.decide((), cfg))
+        return decisions
+
+    return run
+
+
+def _prepare_coordinator_decide_batch() -> Callable[[], object]:
+    from ..core.policy import (
+        AdaptationPolicy,
+        GridSnapshot,
+        NodeView,
+        PolicyConfig,
+    )
+
+    names, initial, periods = coordinator_stream_inputs()
+    policy = AdaptationPolicy(PolicyConfig())
+    latest = {r.worker: r for r in initial}
+
+    def run() -> list:
+        decisions = []
+        for p, batch in enumerate(periods):
+            for report in batch:
+                latest[report.worker] = report
+            # the batch spec's per-period work: materialize the full
+            # snapshot and re-fold everything from scratch
+            views = tuple(
+                NodeView(
+                    name=name,
+                    cluster=r.cluster,
+                    speed=r.speed,
+                    overhead=r.overhead,
+                    ic_overhead=r.ic_overhead,
+                )
+                for name in names
+                for r in (latest[name],)
+            )
+            snap = GridSnapshot(time=60.0 * (p + 1), nodes=views)
+            snap.wae()
+            decisions.append(policy.decide(snap, ()))
+        return decisions
+
+    return run
+
+
 def _prepare_scenario_e2e() -> Callable[[], object]:
     from .runner import run_scenario
 
@@ -359,6 +474,16 @@ WORKLOADS: tuple[Workload, ...] = (
         "leaf_batch",
         "batched leaf-body interaction micro-kernel",
         _prepare_leaf_batch,
+    ),
+    Workload(
+        "coordinator_decide",
+        "streaming decision path, 10k nodes, 12 periods, 1% churn",
+        _prepare_coordinator_decide,
+    ),
+    Workload(
+        "coordinator_decide_batch",
+        "batch-spec decision path on the same 10k-node stream",
+        _prepare_coordinator_decide_batch,
     ),
     Workload(
         "scenario_e2e",

@@ -23,9 +23,10 @@ from __future__ import annotations
 import csv
 import io
 import json
-from dataclasses import dataclass
-from typing import Any, Union
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Union
 
+from ..config import RunConfig
 from ..core.badness import explain_clusters, explain_nodes
 from ..core.policy import Decision, GridSnapshot, PolicyConfig
 from ..obs import (
@@ -126,12 +127,22 @@ def profile_scenario(
     spec: Union[str, ScenarioSpec],
     variant: str = "adapt",
     seed: int = 0,
+    *,
+    config: Optional[RunConfig] = None,
 ) -> ProfileResult:
-    """Run ``spec`` under ``variant`` with full profiling telemetry."""
+    """Run ``spec`` under ``variant`` with full profiling telemetry.
+
+    ``config`` carries any further wiring (scheduler, coordinator mode,
+    worker overrides); its ``obs``/``profile`` fields are superseded by
+    the profiling telemetry stack this function supplies.
+    """
     if isinstance(spec, str):
         spec = scenario(spec)
     obs = Observability.profiling(kinds=PROFILE_EVENT_KINDS)
-    result = run_scenario(spec, variant, seed=seed, obs=obs)
+    base = config if config is not None else RunConfig()
+    result = run_scenario(
+        spec, variant, seed=seed, config=replace(base, obs=obs, profile=True)
+    )
     spans = dict(obs.spans.spans)
     return ProfileResult(
         spec=spec,

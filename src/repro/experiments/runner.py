@@ -17,11 +17,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Sequence, Union
 
 import numpy as np
 
+from ..config import RunConfig
 from ..core.bwestimator import BandwidthEstimator
 from ..core.coordinator import AdaptationCoordinator, CoordinatorConfig
 from ..core.policy import AdaptationPolicy, Decision
@@ -112,28 +114,63 @@ def _worker_config(spec: ScenarioSpec, variant: str) -> WorkerConfig:
 
 def run_scenario(
     spec: ScenarioSpec, variant: str, seed: int = 0,
+    *,
+    config: Optional[RunConfig] = None,
     obs: Optional[Observability] = None,
-    scheduler: str = "calendar",
+    scheduler: Optional[str] = None,
 ) -> RunResult:
     """Execute one scenario under one variant; returns the measurements.
 
-    Pass an enabled :class:`~repro.obs.Observability` to capture the
-    run's full event stream and metrics (``repro trace`` / ``repro
-    metrics`` do); by default telemetry is disabled and costs nothing.
-    ``scheduler`` selects the event queue implementation ("calendar" or
-    the retained "heap" reference); the equivalence tests run the same
-    scenario under both and assert identical results.
+    ``config`` (a :class:`~repro.config.RunConfig`) controls how the
+    stack is wired: pass an enabled :class:`~repro.obs.Observability` via
+    ``RunConfig(obs=...)`` to capture the run's full event stream and
+    metrics (``repro trace`` / ``repro metrics`` do; by default telemetry
+    is disabled and costs nothing), ``RunConfig(scheduler=...)`` to pick
+    the event queue implementation, ``RunConfig(coordinator="batch")``
+    for the batch decision path. Fields the scenario itself determines
+    (worker config, crash detection delay) default from ``spec`` and
+    ``variant`` unless the config overrides them.
+
+    The loose ``obs=``/``scheduler=`` keywords are deprecated shims for
+    the same fields.
     """
     if variant not in VARIANTS:
         raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+    if obs is not None or scheduler is not None:
+        if config is not None:
+            raise TypeError(
+                "pass obs/scheduler inside RunConfig, not as loose keywords"
+            )
+        warnings.warn(
+            "run_scenario(obs=..., scheduler=...) is deprecated; pass "
+            "config=RunConfig(obs=..., scheduler=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        overrides = {}
+        if obs is not None:
+            overrides["obs"] = obs
+        if scheduler is not None:
+            overrides["scheduler"] = scheduler
+        config = RunConfig(**overrides)
+    cfg = config if config is not None else RunConfig()
 
     harness = Harness.build(
         spec.grid,
         seed=seed,
-        config=_worker_config(spec, variant),
-        detection_delay=spec.crash_detection_delay,
-        obs=obs,
-        scheduler=scheduler,
+        config=replace(
+            cfg,
+            worker=(
+                cfg.worker
+                if cfg.worker is not None
+                else _worker_config(spec, variant)
+            ),
+            detection_delay=(
+                cfg.detection_delay
+                if cfg.detection_delay is not None
+                else spec.crash_detection_delay
+            ),
+        ),
     )
     env, network, runtime = harness.env, harness.network, harness.runtime
     trace = harness.trace
@@ -161,6 +198,7 @@ def run_scenario(
                 decision_slack=spec.monitoring_period * 0.15,
                 node_startup_delay=2.0,
                 adaptation_enabled=(variant == "adapt"),
+                mode=cfg.coordinator,
             ),
         )
         estimator = BandwidthEstimator(window_seconds=spec.monitoring_period * 2)
@@ -179,6 +217,11 @@ def run_scenario(
     # Close every ledger recorder's trailing period (no-op when the
     # attribution tier is disabled); departed workers already finalized.
     harness.obs.attribution.finalize(float(env.now))
+
+    # Streaming-export sinks flush at end of run (CsvSink buffers rows
+    # until close to compute its union header).
+    for sink in cfg.sinks:
+        sink.close()
 
     if harness.obs.is_enabled:
         harness.capture_engine_metrics()
@@ -226,18 +269,26 @@ def run_scenario(
     )
 
 
-#: one parallel-runner job: (scenario, variant, seed).
-RunJob = tuple[ScenarioSpec, str, int]
+#: one parallel-runner job: (scenario, variant, seed) — optionally with a
+#: trailing RunConfig as a fourth element.
+RunJob = Union[
+    tuple[ScenarioSpec, str, int],
+    tuple[ScenarioSpec, str, int, RunConfig],
+]
 
 
 def _run_job(job: RunJob) -> RunResult:
     """Module-level worker entry so the pool can pickle it by reference."""
-    spec, variant, seed = job
-    return run_scenario(spec, variant, seed=seed)
+    spec, variant, seed = job[:3]
+    config = job[3] if len(job) > 3 else None
+    return run_scenario(spec, variant, seed=seed, config=config)
 
 
 def run_scenarios_parallel(
-    jobs: Sequence[RunJob], n_jobs: int = 0
+    jobs: Sequence[RunJob],
+    n_jobs: Optional[int] = None,
+    *,
+    config: Optional[RunConfig] = None,
 ) -> list[RunResult]:
     """Fan independent scenario runs across processes.
 
@@ -249,10 +300,21 @@ def run_scenarios_parallel(
     module state as a standalone ``repro run``, so a parallel run's
     per-scenario results are byte-identical to serial ones.
 
-    ``n_jobs <= 0`` means one process per available CPU; ``n_jobs == 1``
-    (or a single job) runs serially in-process with no pool overhead.
+    ``config`` applies one :class:`~repro.config.RunConfig` to every job
+    that does not carry its own (as a fourth tuple element); it must be
+    picklable when runs fan out across processes. When ``n_jobs`` is not
+    given, ``config.jobs`` decides. ``n_jobs <= 0`` means one process per
+    available CPU; ``n_jobs == 1`` (or a single job) runs serially
+    in-process with no pool overhead.
     """
     jobs = list(jobs)
+    if config is not None:
+        jobs = [
+            job if len(job) > 3 else (*job, config)
+            for job in jobs
+        ]
+    if n_jobs is None:
+        n_jobs = config.jobs if config is not None else 0
     if n_jobs <= 0:
         n_jobs = os.cpu_count() or 1
     n_jobs = min(n_jobs, len(jobs))

@@ -11,9 +11,11 @@ inspection.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
+from .config import RunConfig
 from .obs import Observability
 from .registry.registry import Registry
 from .satin.malleability import HandoffStrategy
@@ -64,6 +66,8 @@ class Harness:
     runtime: SatinRuntime
     rng: RngStreams
     obs: Observability
+    #: the resolved configuration this stack was built from.
+    run_config: Optional[RunConfig] = None
 
     @property
     def trace(self) -> Trace:
@@ -82,43 +86,125 @@ class Harness:
         spec: GridSpec,
         seed: int = 0,
         *,
-        config: Optional[WorkerConfig] = None,
+        config: Optional[Union[RunConfig, WorkerConfig]] = None,
         policy: Optional[StealPolicy] = None,
         handoff: Optional[HandoffStrategy] = None,
-        detection_delay: float = 1.0,
+        detection_delay: Optional[float] = None,
         trace: Optional[Trace] = None,
         obs: Optional[Observability] = None,
-        profile: bool = False,
-        scheduler: str = "calendar",
+        profile: Optional[bool] = None,
+        scheduler: Optional[str] = None,
     ) -> "Harness":
         """Assemble a fresh, fully wired stack for ``spec``.
 
         Deterministic given ``seed``; no nodes are added — callers drive
-        membership (``runtime.add_nodes``) themselves. ``profile=True``
-        (when no explicit ``obs`` is passed) turns on the profiling tier —
-        spans + attribution ledger — instead of the disabled default.
-        ``scheduler`` selects the engine's event queue ("calendar" or the
-        retained "heap" reference; both produce byte-identical runs).
+        membership (``runtime.add_nodes``) themselves. How the stack is
+        wired comes from one :class:`~repro.config.RunConfig`::
+
+            Harness.build(spec, seed=1, config=RunConfig(profile=True))
+
+        ``seed`` stays a direct parameter: it identifies the run, not the
+        wiring, so seed sweeps share one config object.
+
+        The remaining keywords are the legacy loose surface, kept working
+        for one release: passing any of them (or a ``WorkerConfig`` as
+        ``config``) emits a :class:`DeprecationWarning` and is folded into
+        an equivalent ``RunConfig``. Mixing a ``RunConfig`` with loose
+        keywords is an error.
         """
-        env = Environment(scheduler=scheduler)
+        run = _resolve_run_config(
+            config,
+            policy=policy,
+            handoff=handoff,
+            detection_delay=detection_delay,
+            trace=trace,
+            obs=obs,
+            profile=profile,
+            scheduler=scheduler,
+        )
+        env = Environment(scheduler=run.scheduler)
         network = Network(env, spec)
-        registry = Registry(env, detection_delay=detection_delay)
+        registry = Registry(
+            env,
+            detection_delay=(
+                run.detection_delay if run.detection_delay is not None else 1.0
+            ),
+        )
         rng = RngStreams(seed)
-        if obs is None:
-            obs = (
-                Observability.profiling() if profile else Observability.disabled()
-            )
-        if obs.attribution.enabled:
-            obs.attribution.watch(env)
+        obs_stack = run.obs
+        if obs_stack is None:
+            if run.profile:
+                obs_stack = Observability.profiling()
+            elif run.sinks:
+                # streaming export needs a live bus
+                obs_stack = Observability.enabled()
+            else:
+                obs_stack = Observability.disabled()
+        for sink in run.sinks:
+            obs_stack.bus.subscribe(sink.write)
+        if obs_stack.attribution.enabled:
+            obs_stack.attribution.watch(env)
         runtime = SatinRuntime(
             env=env,
             network=network,
             registry=registry,
-            config=config if config is not None else WorkerConfig(),
+            config=run.worker if run.worker is not None else WorkerConfig(),
             rng=rng,
-            trace=trace,
-            policy=policy,
-            handoff=handoff,
-            obs=obs,
+            trace=run.trace,
+            policy=run.steal,
+            handoff=run.handoff,
+            obs=obs_stack,
         )
-        return cls(env, spec, network, registry, runtime, rng, obs)
+        return cls(env, spec, network, registry, runtime, rng, obs_stack, run)
+
+
+#: legacy ``Harness.build`` keyword → the ``RunConfig`` field it folds into.
+_LEGACY_FIELDS = {
+    "policy": "steal",
+    "handoff": "handoff",
+    "detection_delay": "detection_delay",
+    "trace": "trace",
+    "obs": "obs",
+    "profile": "profile",
+    "scheduler": "scheduler",
+}
+
+
+def _resolve_run_config(
+    config: Optional[Union[RunConfig, WorkerConfig]], **legacy
+) -> RunConfig:
+    """Fold the deprecated loose-keyword surface into one RunConfig."""
+    loose = {k: v for k, v in legacy.items() if v is not None}
+    if isinstance(config, RunConfig):
+        if loose:
+            raise TypeError(
+                "pass these settings inside RunConfig, not as loose "
+                f"keywords: {', '.join(sorted(loose))}"
+            )
+        return config
+    if isinstance(config, WorkerConfig):
+        warnings.warn(
+            "passing a WorkerConfig as Harness.build(config=...) is "
+            "deprecated; use config=RunConfig(worker=...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        run = RunConfig(worker=config)
+    elif config is None:
+        run = RunConfig()
+    else:
+        raise TypeError(
+            f"config must be a RunConfig (or a deprecated WorkerConfig), "
+            f"got {type(config).__name__}"
+        )
+    if loose:
+        warnings.warn(
+            "loose Harness.build keywords "
+            f"({', '.join(sorted(loose))}) are deprecated; pass a "
+            "RunConfig instead (the 'policy' keyword maps to "
+            "RunConfig.steal)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        run = run.merged(**{_LEGACY_FIELDS[k]: v for k, v in loose.items()})
+    return run

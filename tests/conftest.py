@@ -8,6 +8,7 @@ tests read unchanged.
 
 import pytest
 
+from repro.config import RunConfig
 from repro.harness import Harness, build_grid
 
 
@@ -25,13 +26,17 @@ def make_harness(
     detection_delay=1.0,
     **link_kw,
 ) -> Harness:
-    """Deprecated shim: use :meth:`repro.harness.Harness.build`."""
+    """Historical test signature, routed through :class:`RunConfig`.
+
+    ``config`` here is a :class:`~repro.satin.worker.WorkerConfig` (the
+    old meaning); it becomes ``RunConfig.worker``.
+    """
     return Harness.build(
         build_grid(cluster_sizes, speeds, **link_kw),
         seed=seed,
-        config=config,
-        policy=policy,
-        detection_delay=detection_delay,
+        config=RunConfig(
+            worker=config, steal=policy, detection_delay=detection_delay
+        ),
     )
 
 

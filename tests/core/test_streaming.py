@@ -1,0 +1,325 @@
+"""Unit + property tests for the streaming decision state.
+
+The contract under test: :class:`StreamingDecisionState` must produce the
+*same floats and the same decisions* as the batch path — a fresh
+:class:`GridSnapshot` fed to :class:`AdaptationPolicy` — for any sequence
+of reports, joins, leaves, evictions and protected sets. Exact ``==`` on
+WAE values, exact equality on decision objects; no tolerances anywhere.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.badness import BadnessCoefficients, rank_nodes
+from repro.core.policy import (
+    AdaptationPolicy,
+    GridSnapshot,
+    NodeView,
+    PolicyConfig,
+)
+from repro.core.streaming import StreamingDecisionState, TopKBadness
+from repro.satin.accounting import NodeReport
+
+
+def report(name, cluster, speed=1.0, overhead=0.5, ic=0.0, period=0):
+    """A NodeReport whose derived overhead/ic fractions are exactly the
+    given values (period of 1s; busy = 1 - overhead; comm_inter = ic)."""
+    return NodeReport(
+        worker=name,
+        cluster=cluster,
+        period_index=period,
+        sent_at=float(period),
+        period_seconds=1.0,
+        busy=1.0 - overhead,
+        idle=0.0,
+        comm_intra=0.0,
+        comm_inter=ic,
+        bench=0.0,
+        speed=speed,
+    )
+
+
+def batch_snapshot(reports, alive, time=0.0):
+    views = tuple(
+        NodeView(
+            name=n,
+            cluster=reports[n].cluster,
+            speed=reports[n].speed,
+            overhead=reports[n].overhead,
+            ic_overhead=reports[n].ic_overhead,
+        )
+        for n in alive
+        if n in reports
+    )
+    return GridSnapshot(time=time, nodes=views)
+
+
+# ------------------------------------------------------------- TopKBadness
+def test_topk_orders_like_rank_nodes():
+    topk = TopKBadness()
+    values = {"a": 3.0, "b": 7.0, "c": 7.0, "d": 1.0}
+    for name, badness in values.items():
+        topk.update(name, badness)
+    # badness descending, name ascending on ties — rank_nodes order
+    assert topk.worst(4) == ["b", "c", "a", "d"]
+    # queries do not consume the heap
+    assert topk.worst(2) == ["b", "c"]
+
+
+def test_topk_update_supersedes_and_discard_removes():
+    topk = TopKBadness()
+    topk.update("a", 5.0)
+    topk.update("b", 1.0)
+    topk.update("a", 0.5)  # stale entry for a=5.0 remains in the heap
+    assert topk.worst(2) == ["b", "a"]
+    topk.discard("b")
+    assert topk.worst(2) == ["a"]
+    assert len(topk) == 1
+
+
+def test_topk_skip_looks_past_protected():
+    topk = TopKBadness()
+    for name, badness in [("a", 9.0), ("b", 8.0), ("c", 7.0)]:
+        topk.update(name, badness)
+    assert topk.worst(2, skip=("a",)) == ["b", "c"]
+    assert topk.worst(5, skip=("a", "b", "c")) == []
+
+
+def test_topk_compaction_bounds_heap_size():
+    topk = TopKBadness()
+    for round_ in range(200):
+        for i in range(10):
+            topk.update(f"n{i}", float(round_ * 10 + i))
+    assert len(topk._heap) <= 64 + 4 * len(topk)
+    assert topk.worst(1) == ["n9"]
+
+
+def test_topk_rebuild_replaces_everything():
+    topk = TopKBadness()
+    topk.update("old", 99.0)
+    topk.rebuild([("x", 2.0), ("y", 4.0)])
+    assert topk.worst(3) == ["y", "x"]
+
+
+# ------------------------------------------- streaming state, deterministic
+def test_empty_state_decides_no_statistics():
+    state = StreamingDecisionState()
+    state.sync(0, lambda: [])
+    assert state.size == 0
+    decision = state.decide((), PolicyConfig())
+    assert decision.describe()["decision"] == "no_action"
+    assert decision.reason == "no statistics yet"
+
+
+def test_wae_matches_batch_exactly():
+    state = StreamingDecisionState()
+    reports = {}
+    alive = []
+    for i, (speed, overhead) in enumerate([(2.0, 0.3), (1.0, 0.55), (3.7, 0.41)]):
+        name = f"c0/n{i}"
+        reports[name] = report(name, "c0", speed=speed, overhead=overhead)
+        state.observe(reports[name])
+        alive.append(name)
+    state.sync(1, lambda: alive)
+    snap = batch_snapshot(reports, alive)
+    assert state.weighted_wae() == snap.wae()
+    assert state.unweighted_efficiency() == snap.unweighted_efficiency()
+
+
+def test_incremental_update_is_bit_identical_to_refold():
+    state = StreamingDecisionState()
+    reports = {}
+    alive = []
+    for i in range(6):
+        name = f"c{i % 2}/n{i}"
+        reports[name] = report(name, f"c{i % 2}", speed=1.0 + 0.3 * i,
+                               overhead=0.1 * i, ic=0.05 * i)
+        state.observe(reports[name])
+        alive.append(name)
+    state.sync(1, lambda: alive)
+    assert state.refolds == 1
+    # change two nodes (not the fastest) — must take the O(changed) path
+    for name, speed, overhead in [("c0/n0", 1.7, 0.23), ("c1/n3", 0.9, 0.77)]:
+        reports[name] = report(name, name.split("/")[0], speed=speed,
+                               overhead=overhead, ic=0.01, period=1)
+        state.observe(reports[name])
+    state.sync(1, lambda: alive)
+    assert state.refolds == 1  # no structural refold happened
+    assert state.incremental_updates == 2
+    snap = batch_snapshot(reports, alive)
+    assert state.weighted_wae() == snap.wae()
+    assert state.decide((), PolicyConfig()) == AdaptationPolicy().decide(snap)
+
+
+def test_fastest_speed_change_renormalizes_everything():
+    state = StreamingDecisionState()
+    reports = {}
+    alive = []
+    for i in range(4):
+        name = f"c0/n{i}"
+        reports[name] = report(name, "c0", speed=1.0 + i, overhead=0.4)
+        state.observe(reports[name])
+        alive.append(name)
+    state.sync(1, lambda: alive)
+    # a new global maximum shifts every component's normalisation base
+    reports["c0/n1"] = report("c0/n1", "c0", speed=40.0, overhead=0.4, period=1)
+    state.observe(reports["c0/n1"])
+    state.sync(1, lambda: alive)
+    snap = batch_snapshot(reports, alive)
+    assert state.weighted_wae() == snap.wae()
+
+
+def test_membership_change_triggers_exact_removal():
+    state = StreamingDecisionState()
+    reports = {}
+    alive = [f"c0/n{i}" for i in range(5)]
+    for i, name in enumerate(alive):
+        reports[name] = report(name, "c0", speed=1.0 + i, overhead=0.9)
+        state.observe(reports[name])
+    state.sync(1, lambda: alive)
+    before = state.weighted_wae()
+    # the node leaves: its contribution must vanish exactly
+    remaining = [n for n in alive if n != "c0/n4"]
+    state.sync(2, lambda: remaining)
+    assert state.size == 4
+    snap = batch_snapshot(reports, remaining)
+    assert state.weighted_wae() == snap.wae()
+    assert state.weighted_wae() != before
+
+
+def test_forget_drops_report_without_membership_change():
+    state = StreamingDecisionState()
+    alive = ["c0/n0", "c0/n1"]
+    reports = {n: report(n, "c0", speed=1.0, overhead=0.5) for n in alive}
+    for r in reports.values():
+        state.observe(r)
+    state.sync(1, lambda: alive)
+    # eviction pops the report while the worker may linger as alive
+    state.forget("c0/n1")
+    state.sync(1, lambda: alive)
+    assert state.size == 1
+    snap = batch_snapshot({"c0/n0": reports["c0/n0"]}, alive)
+    assert state.weighted_wae() == snap.wae()
+
+
+def test_coefficient_change_rebuilds_ranking():
+    state = StreamingDecisionState()
+    alive = []
+    reports = {}
+    for i in range(4):
+        name = f"c{i % 2}/n{i}"
+        reports[name] = report(name, f"c{i % 2}", speed=1.0 + i,
+                               overhead=0.95, ic=0.02 * i)
+        state.observe(reports[name])
+        alive.append(name)
+    state.sync(1, lambda: alive)
+    for coeffs in (BadnessCoefficients(), BadnessCoefficients(alpha=50.0, beta=1.0)):
+        cfg = PolicyConfig(coefficients=coeffs)
+        snap = batch_snapshot(reports, alive)
+        assert state.decide((), cfg) == AdaptationPolicy(cfg).decide(snap)
+        expected = [n for n, _ in rank_nodes(
+            {n: reports[n].speed for n in alive},
+            {n: reports[n].ic_overhead for n in alive},
+            {n: reports[n].cluster for n in alive},
+            coeffs,
+        )]
+        assert state._topk.worst(len(alive)) == expected
+
+
+def test_rejected_speed_and_fraction_reports():
+    state = StreamingDecisionState()
+    import pytest
+
+    with pytest.raises(ValueError, match="speed must be > 0"):
+        state.observe(report("c0/n0", "c0", speed=0.0))
+
+
+# ------------------------------------------------- hypothesis equivalence
+N_CLUSTERS = 3
+
+node_names = st.integers(min_value=0, max_value=11).map(
+    lambda i: f"c{i % N_CLUSTERS}/n{i}"
+)
+
+report_values = st.tuples(
+    st.floats(min_value=0.01, max_value=50.0, allow_nan=False),  # speed
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),    # overhead
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),    # ic
+)
+
+period_step = st.fixed_dictionaries(
+    {
+        "changes": st.dictionaries(node_names, report_values, max_size=6),
+        "join": st.one_of(st.none(), node_names),
+        "leave": st.one_of(st.none(), node_names),
+        "evict": st.one_of(st.none(), node_names),
+        "protected": st.sets(node_names, max_size=3),
+    }
+)
+
+
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    initial=st.dictionaries(node_names, report_values, min_size=0, max_size=8),
+    steps=st.lists(period_step, min_size=1, max_size=8),
+    e_min=st.floats(min_value=0.05, max_value=0.45),
+    e_max=st.floats(min_value=0.5, max_value=0.95),
+)
+def test_streaming_decisions_identical_to_batch(initial, steps, e_min, e_max):
+    """Randomized report streams with joins/leaves/evictions/protected
+    sets: the streaming decision log equals the batch decision log, and
+    the per-period WAE matches bit-for-bit."""
+    cfg = PolicyConfig(e_min=e_min, e_max=e_max)
+    policy = AdaptationPolicy(cfg)
+    state = StreamingDecisionState()
+
+    alive: list[str] = sorted(initial)
+    version = 0
+    latest: dict[str, NodeReport] = {}
+    period = 0
+    for name, (speed, overhead, ic) in initial.items():
+        latest[name] = report(name, name.split("/")[0], speed, overhead, ic)
+        state.observe(latest[name])
+
+    batch_log = []
+    stream_log = []
+    for step in steps:
+        period += 1
+        for name, (speed, overhead, ic) in step["changes"].items():
+            if name not in alive:
+                continue  # dead nodes do not report
+            latest[name] = report(
+                name, name.split("/")[0], speed, overhead, ic, period=period
+            )
+            state.observe(latest[name])
+        if step["join"] is not None and step["join"] not in alive:
+            alive.append(step["join"])
+            version += 1
+        if step["leave"] is not None and step["leave"] in alive:
+            alive.remove(step["leave"])
+            version += 1
+        if step["evict"] is not None and step["evict"] in alive:
+            # eviction: leaves membership AND drops the stored report
+            alive.remove(step["evict"])
+            latest.pop(step["evict"], None)
+            state.forget(step["evict"])
+            version += 1
+        protected = tuple(sorted(step["protected"]))
+
+        snap = batch_snapshot(latest, alive, time=float(period))
+        batch_decision = policy.decide(snap, protected=protected)
+        batch_log.append((period, batch_decision))
+
+        state.sync(version, lambda: list(alive))
+        if snap.nodes:
+            assert state.size == snap.size
+            assert state.weighted_wae() == snap.wae()
+        else:
+            assert state.size == 0
+        stream_decision = state.decide(protected, cfg)
+        stream_log.append((period, stream_decision))
+
+    assert stream_log == batch_log

@@ -4,6 +4,7 @@ import numpy as np
 from dataclasses import replace
 
 from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.config import RunConfig
 from repro.experiments import run_scenario
 from repro.experiments.scenarios import ScenarioSpec, scaled_das2
 from repro.simgrid.events import CpuLoadEvent
@@ -75,8 +76,12 @@ def test_calendar_and_heap_schedulers_produce_identical_runs():
     spec = tiny_spec(
         events=(CpuLoadEvent(time=20.0, load=5.0, cluster="uva"),),
     )
-    cal = run_scenario(spec, "adapt", seed=5, scheduler="calendar")
-    heap = run_scenario(spec, "adapt", seed=5, scheduler="heap")
+    cal = run_scenario(
+        spec, "adapt", seed=5, config=RunConfig(scheduler="calendar")
+    )
+    heap = run_scenario(
+        spec, "adapt", seed=5, config=RunConfig(scheduler="heap")
+    )
 
     assert cal.completed == heap.completed
     assert cal.runtime_seconds == heap.runtime_seconds

@@ -18,6 +18,7 @@ These are the tentpole's acceptance checks, stated as properties:
 import pytest
 
 from repro.apps.dctree import SyntheticIterativeApp, balanced_tree
+from repro.config import RunConfig
 from repro.experiments import SCENARIOS
 from repro.experiments.profiler import explain_decisions, format_profile, profile_scenario
 from repro.experiments.scenarios import ScenarioSpec, scaled_das2
@@ -140,7 +141,7 @@ def test_profile_bitwise_reproducible_for_fixed_seed():
 def test_span_events_flow_through_unfiltered_profiling_bus():
     # Observability.profiling() without a kind filter carries the
     # high-volume span stream too
-    h = Harness.build(build_grid((2,)), seed=0, profile=True)
+    h = Harness.build(build_grid((2,)), seed=0, config=RunConfig(profile=True))
     h.runtime.add_nodes(h.all_node_names())
     app = SyntheticIterativeApp(
         balanced_tree(depth=3, fanout=2, leaf_work=0.2), n_iterations=1
@@ -157,7 +158,10 @@ def test_span_events_flow_through_unfiltered_profiling_bus():
 def test_crash_recovery_attributed_and_restart_spans_linked():
     """A mid-run crash must surface as aborted + restarted spans and as
     'recovery' seconds in the ledger (the redone subtree, not 'work')."""
-    h = Harness.build(build_grid((2, 2)), seed=0, detection_delay=0.5, profile=True)
+    h = Harness.build(
+        build_grid((2, 2)), seed=0,
+        config=RunConfig(detection_delay=0.5, profile=True),
+    )
     h.runtime.add_nodes(h.all_node_names())
     app = SyntheticIterativeApp(
         balanced_tree(depth=8, fanout=2, leaf_work=1.0), n_iterations=1

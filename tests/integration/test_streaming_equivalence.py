@@ -1,0 +1,138 @@
+"""The streaming decision path is an *exact* replacement for the batch one.
+
+The batch snapshot re-fold is kept as the executable specification
+(``RunConfig(coordinator="batch")``); these tests run miniature versions
+of the paper's scenarios s1–s6 plus a high-churn composite under both
+paths and assert the serialized run summaries — the same JSON payload
+``repro run --json`` writes, which the golden files pin — are
+**byte-identical**. Not "close": identical floats, identical decision
+times, identical reason strings.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.barneshut import BarnesHutConfig, BarnesHutSimulation
+from repro.cli import _result_to_dict
+from repro.config import RunConfig
+from repro.experiments import run_scenario
+from repro.experiments.scenarios import DEFAULT_POLICY, ScenarioSpec, scaled_das2
+from repro.simgrid.events import (
+    BandwidthEvent,
+    CpuLoadEvent,
+    CrashEvent,
+    RepairEvent,
+)
+
+GRID = scaled_das2(nodes_per_cluster=4, clusters=4)
+
+
+def mini_spec(sid, layout, events=(), n_iterations=12, **kw):
+    cfg = BarnesHutConfig(
+        n_bodies=256,
+        n_iterations=n_iterations,
+        max_bodies_per_leaf_task=28,
+        work_per_interaction=7e-4,
+        seed=42,
+    )
+    defaults = dict(
+        id=sid,
+        paper_ref="mini",
+        description=f"miniature {sid} (equivalence)",
+        grid=GRID,
+        initial_layout=tuple(layout),
+        events=tuple(events),
+        app_factory=lambda: BarnesHutSimulation(cfg),
+        monitoring_period=15.0,
+        policy=replace(DEFAULT_POLICY, max_nodes=16),
+        crash_detection_delay=1.0,
+        max_sim_time=1800.0,
+    )
+    defaults.update(kw)
+    return ScenarioSpec(**defaults)
+
+
+# One miniature analogue per paper scenario family, plus a churn storm
+# that exercises joins, crashes, load spikes and blacklisting together —
+# the membership/structure paths where an incremental fold could drift.
+CASES = {
+    "s1": lambda: mini_spec(
+        "eq1", [("vu", 4), ("uva", 4), ("leiden", 4), ("delft", 4)]
+    ),
+    "s2": lambda: mini_spec("eq2", [("vu", 2)], n_iterations=16),
+    "s3": lambda: mini_spec(
+        "eq3",
+        [("vu", 3), ("uva", 3), ("leiden", 3)],
+        events=[CrashEvent(time=20.0, clusters=("uva",))],
+        n_iterations=16,
+    ),
+    "s4": lambda: mini_spec(
+        "eq4",
+        [("vu", 3), ("uva", 3), ("leiden", 3)],
+        events=[BandwidthEvent(time=8.0, cluster="leiden", bandwidth=25e3)],
+        n_iterations=20,
+    ),
+    "s5": lambda: mini_spec(
+        "eq5",
+        [("vu", 3), ("uva", 3), ("leiden", 3)],
+        events=[CpuLoadEvent(time=15.0, load=9.0, cluster="leiden")],
+        n_iterations=20,
+    ),
+    "s6": lambda: mini_spec(
+        "eq6",
+        [("vu", 3), ("uva", 3), ("leiden", 3)],
+        events=[CrashEvent(time=20.0, clusters=("uva", "leiden"))],
+        n_iterations=20,
+    ),
+    "churn": lambda: mini_spec(
+        "eqc",
+        [("vu", 3), ("uva", 3)],
+        events=[
+            CpuLoadEvent(time=25.0, load=8.0, cluster="uva"),
+            CrashEvent(time=45.0, clusters=("leiden",)),
+            RepairEvent(time=90.0, clusters=("leiden",)),
+            BandwidthEvent(time=60.0, cluster="delft", bandwidth=25e3),
+        ],
+        n_iterations=24,
+    ),
+}
+
+
+def canonical(result) -> str:
+    return json.dumps(_result_to_dict(result), indent=2, sort_keys=True)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+@pytest.mark.parametrize("variant", ["adapt", "monitor"])
+def test_streaming_summary_is_byte_identical_to_batch(case, variant):
+    spec = CASES[case]()
+    streaming = run_scenario(
+        spec, variant, seed=0, config=RunConfig(coordinator="streaming")
+    )
+    batch = run_scenario(
+        spec, variant, seed=0, config=RunConfig(coordinator="batch")
+    )
+    assert canonical(streaming) == canonical(batch)
+
+
+def test_decision_logs_identical_across_modes():
+    """Beyond the summary: times, types, reasons and node lists agree."""
+    spec = CASES["churn"]()
+    a = run_scenario(
+        spec, "adapt", seed=0, config=RunConfig(coordinator="streaming")
+    )
+    b = run_scenario(
+        spec, "adapt", seed=0, config=RunConfig(coordinator="batch")
+    )
+    log_a = [
+        (t, type(d).__name__, d.wae, d.reason, tuple(getattr(d, "nodes", ())))
+        for t, d in a.decisions
+    ]
+    log_b = [
+        (t, type(d).__name__, d.wae, d.reason, tuple(getattr(d, "nodes", ())))
+        for t, d in b.decisions
+    ]
+    assert log_a == log_b
+    assert a.wae.values.tolist() == b.wae.values.tolist()

@@ -10,6 +10,7 @@ with the decisions acted on.
 
 import pytest
 
+from repro.config import RunConfig
 from repro.experiments import run_scenario, scenario
 from repro.obs import Observability
 
@@ -20,7 +21,9 @@ def s4_run():
         kinds=["wae_sample", "coordinator_decision", "node_add",
                "node_remove", "monitoring_period"]
     )
-    result = run_scenario(scenario("s4"), "adapt", seed=0, obs=obs)
+    result = run_scenario(
+        scenario("s4"), "adapt", seed=0, config=RunConfig(obs=obs)
+    )
     return result, obs
 
 

@@ -8,6 +8,7 @@ import json
 import pytest
 
 from repro.apps.dctree import balanced_tree
+from repro.config import RunConfig
 from repro.harness import Harness, build_grid
 from repro.obs import (
     EVENT_KINDS,
@@ -87,7 +88,7 @@ def test_keep_false_streams_to_subscribers_only():
 def _churny_run(seed: int) -> list[dict]:
     """A small run with joins, steals and a graceful leave."""
     h = Harness.build(build_grid((2, 2)), seed=seed,
-                      obs=Observability.enabled())
+                      config=RunConfig(obs=Observability.enabled()))
     h.runtime.add_nodes(h.all_node_names())
 
     def leaver(env):

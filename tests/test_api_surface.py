@@ -1,0 +1,57 @@
+"""The public façade is a contract: its surface is snapshotted.
+
+``tests/api_surface.txt`` holds the sorted list of names exported by
+:mod:`repro.api`. CI diffs the live surface against the snapshot, so
+adding or removing a public name is always a reviewed, deliberate change
+(regenerate with
+``PYTHONPATH=src python -c "import repro.api as a; print('\\n'.join(sorted(a.__all__)))" > tests/api_surface.txt``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.api as api
+
+SNAPSHOT = Path(__file__).parent / "api_surface.txt"
+
+
+def test_every_facade_name_resolves():
+    for name in api.__all__:
+        assert getattr(api, name) is not None, name
+
+
+def test_facade_has_no_duplicates():
+    assert len(api.__all__) == len(set(api.__all__))
+
+
+@pytest.mark.parametrize("name", sorted(api.__all__))
+def test_lazy_root_reexport(name):
+    """``from repro import X`` works for every façade name."""
+    assert getattr(repro, name) is getattr(api, name)
+
+
+def test_dir_of_package_root_covers_facade():
+    listed = dir(repro)
+    missing = [n for n in api.__all__ if n not in listed]
+    assert not missing, f"dir(repro) is missing façade names: {missing}"
+
+
+def test_surface_matches_snapshot():
+    live = sorted(api.__all__)
+    snapshot = SNAPSHOT.read_text(encoding="utf-8").split()
+    assert live == snapshot, (
+        "public API surface drifted from tests/api_surface.txt — if the "
+        "change is intentional, regenerate the snapshot (see module "
+        "docstring)"
+    )
+
+
+def test_streaming_types_reachable_from_core():
+    from repro.core import StreamingDecisionState, TopKBadness
+
+    assert StreamingDecisionState is api.StreamingDecisionState
+    assert TopKBadness is api.TopKBadness
