@@ -19,21 +19,26 @@ from __future__ import annotations
 from .apps.flatoctree import FlatOctree, build_flat_octree
 from .config import RunConfig
 from .core.coordinator import AdaptationCoordinator, CoordinatorConfig
+from .core.gridstate import GridFold, GridState, SlotRegistry
 from .core.policy import AdaptationPolicy, PolicyConfig
 from .core.streaming import StreamingDecisionState, TopKBadness
 from .experiments import (
     SCENARIOS,
+    SUBSTRATES,
     VARIANTS,
+    LargeGridSpec,
     ProfileResult,
     RunResult,
     ScenarioSpec,
     explain_decisions,
     format_profile,
     profile_scenario,
+    run_large_grid,
     run_scenario,
     run_scenarios_parallel,
     scaled_das2,
     scenario,
+    substrate,
 )
 from .harness import Harness, build_grid
 from .obs import (
@@ -51,14 +56,14 @@ from .obs import (
 )
 from .registry.registry import Registry
 from .satin.app import AppDriver, Iteration
-from .satin.benchmarking import BenchmarkConfig
+from .satin.benchmarking import BenchmarkConfig, measured_speeds
 from .satin.runtime import SatinRuntime
 from .satin.stealing import ClusterAwareRandomStealing, RandomStealing
 from .satin.task import TaskNode
 from .satin.worker import WorkerConfig
 from .simgrid.engine import Environment
-from .simgrid.network import Network
-from .simgrid.resources import ClusterSpec, GridSpec, NodeSpec
+from .simgrid.network import Network, conservative_lookahead
+from .simgrid.resources import ClusterSpec, GridSpec, NodeSpec, synthetic_grid
 from .simgrid.rng import RngStreams
 from .zorilla.scheduler import ResourcePool
 
@@ -71,6 +76,8 @@ __all__ = [
     "NodeSpec",
     "RngStreams",
     "build_grid",
+    "synthetic_grid",
+    "conservative_lookahead",
     # runtime + registry
     "Harness",
     "SatinRuntime",
@@ -80,6 +87,7 @@ __all__ = [
     "Iteration",
     "TaskNode",
     "BenchmarkConfig",
+    "measured_speeds",
     "RandomStealing",
     "ClusterAwareRandomStealing",
     "ResourcePool",
@@ -90,6 +98,9 @@ __all__ = [
     "PolicyConfig",
     "StreamingDecisionState",
     "TopKBadness",
+    "GridState",
+    "GridFold",
+    "SlotRegistry",
     # applications
     "FlatOctree",
     "build_flat_octree",
@@ -103,6 +114,11 @@ __all__ = [
     "VARIANTS",
     "RunResult",
     "ScenarioSpec",
+    # substrate scenarios (sharded large-grid stress runs)
+    "SUBSTRATES",
+    "substrate",
+    "LargeGridSpec",
+    "run_large_grid",
     # profiling
     "ProfileResult",
     "profile_scenario",

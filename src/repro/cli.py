@@ -34,19 +34,22 @@ from typing import Optional, Sequence
 from .config import COORDINATOR_MODES, RunConfig
 from .experiments import (
     SCENARIOS,
+    SUBSTRATES,
     VARIANTS,
     RunResult,
     format_fig1,
     format_iteration_series,
+    format_large_grid_summary,
     format_profile,
     format_time_shares,
     improvement,
     profile_scenario,
+    run_large_grid,
     run_scenario,
     run_scenarios_parallel,
     scenario,
 )
-from .obs import EVENT_KINDS, Observability, write_events
+from .obs import EVENT_KINDS, JsonlSink, Observability, write_events
 
 __all__ = ["main", "build_parser"]
 
@@ -88,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="decision path: incremental streaming (default) or the batch "
              "snapshot re-fold spec; both produce identical results",
     )
+    p_run.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition a substrate scenario's clusters across N processes "
+             "(large_grid only); results are byte-identical to --shards 1",
+    )
 
     p_cmp = sub.add_parser(
         "compare", help="run none vs adapt and print the figure series"
@@ -127,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
             "per-steal events, the default), 'all', or a comma-separated "
             f"subset of {', '.join(EVENT_KINDS)}"
         ),
+    )
+    p_trace.add_argument(
+        "--stream", action="store_true",
+        help="stream events to --out as they happen instead of buffering "
+             "the run's full stream in memory (requires --out, jsonl only)",
     )
 
     p_met = sub.add_parser(
@@ -258,16 +271,51 @@ def _cmd_list() -> int:
         spec = SCENARIOS[sid]
         print(f"{sid:<5} [{spec.paper_ref}]")
         print(f"      {spec.description}")
+    print("substrate scenarios (monitoring/adaptation only, shardable):")
+    for sid in sorted(SUBSTRATES):
+        print(f"{sid}")
+        print(f"      {SUBSTRATES[sid].description}")
+    return 0
+
+
+def _cmd_run_substrate(args: argparse.Namespace, sids: list[str]) -> int:
+    """Run substrate scenarios (large_grid): no variants, shardable."""
+    payloads = []
+    for sid in sids:
+        summary = run_large_grid(
+            SUBSTRATES[sid], seed=args.seed, shards=args.shards
+        )
+        print(format_large_grid_summary(summary))
+        payloads.append(summary)
+    if args.json is not None:
+        payload = payloads[0] if len(payloads) == 1 else payloads
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     sids = [s.strip() for s in args.scenario.split(",") if s.strip()]
+    substrate_sids = [sid for sid in sids if sid in SUBSTRATES]
+    if substrate_sids:
+        if len(substrate_sids) != len(sids):
+            raise SystemExit(
+                "substrate scenarios cannot be mixed with classic scenarios "
+                "in one run invocation"
+            )
+        return _cmd_run_substrate(args, substrate_sids)
+    if args.shards != 1:
+        raise SystemExit(
+            "--shards applies to substrate scenarios only "
+            f"(known: {', '.join(sorted(SUBSTRATES))}); classic scenarios "
+            "run the full application simulation in one process"
+        )
     specs = [_scenario(sid) for sid in sids]
     results = run_scenarios_parallel(
         [(spec, args.variant, args.seed) for spec in specs],
         n_jobs=args.jobs,
-        config=RunConfig(coordinator=args.coordinator),
+        config=RunConfig(coordinator=args.coordinator, shards=args.shards),
     )
     for result in results:
         _print_run_summary(result)
@@ -339,7 +387,33 @@ def _parse_event_kinds(spec: str) -> Optional[list[str]]:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     spec = _scenario(args.scenario)
-    obs = Observability.enabled(kinds=_parse_event_kinds(args.events))
+    kinds = _parse_event_kinds(args.events)
+    if args.stream:
+        # bounded-memory path: events go straight to the sink, nothing
+        # accumulates in the bus (the 100k-node / long-horizon mode).
+        if args.out is None:
+            print(
+                "repro trace: error: --stream requires --out FILE",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        if (args.format or "jsonl") != "jsonl" or args.out.endswith(".csv"):
+            print(
+                "repro trace: error: --stream writes jsonl only",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        sink = JsonlSink(args.out)
+        try:
+            obs = Observability.streaming(sink=sink, kinds=kinds)
+            run_scenario(
+                spec, args.variant, seed=args.seed, config=RunConfig(obs=obs)
+            )
+        finally:
+            sink.close()
+        print(f"streamed {obs.bus.emitted} events to {args.out}")
+        return 0
+    obs = Observability.enabled(kinds=kinds)
     run_scenario(spec, args.variant, seed=args.seed, config=RunConfig(obs=obs))
     events = obs.bus.events
     if args.out is None:

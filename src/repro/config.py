@@ -72,6 +72,12 @@ class RunConfig:
     #: process count for parallel multi-run entry points (<= 0: one per
     #: CPU; single runs ignore this).
     jobs: int = 1
+    #: shard count for cluster-sharded substrate scenarios (``large_grid``):
+    #: clusters are partitioned across ``shards`` processes exchanging
+    #: inter-cluster traffic at conservative monitoring-period barriers.
+    #: Seeded runs are byte-identical for any shard count. Classic
+    #: scenarios (the work-stealing runs) only accept ``shards=1``.
+    shards: int = 1
     #: per-worker runtime tunables (monitoring period, stats, benchmark).
     worker: Optional["WorkerConfig"] = None
     #: work-stealing victim selection policy.
@@ -105,6 +111,8 @@ class RunConfig:
             raise ValueError("detection_delay must be >= 0")
         if not isinstance(self.jobs, int):
             raise ValueError("jobs must be an int")
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise ValueError("shards must be an int >= 1")
         object.__setattr__(self, "sinks", tuple(self.sinks))
 
     def merged(self, **overrides: Any) -> "RunConfig":

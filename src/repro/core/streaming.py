@@ -48,6 +48,7 @@ import numpy as np
 
 from ..satin.accounting import NodeReport
 from .badness import BadnessCoefficients, worst_cluster
+from .gridstate import GridState
 from .policy import (
     AddNodes,
     Decision,
@@ -71,17 +72,20 @@ class TopKBadness:
     memory bounded by O(live nodes).
     """
 
-    __slots__ = ("_heap", "_badness")
+    __slots__ = ("_heap", "_badness", "_pending")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, str]] = []
         self._badness: dict[str, float] = {}
+        self._pending: Optional[tuple[list[str], np.ndarray]] = None
 
     def __len__(self) -> int:
+        self._materialize()
         return len(self._badness)
 
     def update(self, name: str, badness: float) -> None:
         """Set ``name``'s badness; the old entry becomes stale."""
+        self._materialize()
         self._badness[name] = badness
         heapq.heappush(self._heap, (-badness, name))
         if len(self._heap) > 64 + 4 * len(self._badness):
@@ -89,13 +93,42 @@ class TopKBadness:
 
     def discard(self, name: str) -> None:
         """Remove ``name`` from the ranking (lazy: its entry goes stale)."""
+        self._materialize()
         self._badness.pop(name, None)
 
     def rebuild(self, items: Iterable[tuple[str, float]]) -> None:
         """Replace the whole ranking in one O(n) heapify."""
+        self._pending = None
         self._badness = dict(items)
         self._heap = [(-b, n) for n, b in self._badness.items()]
         heapq.heapify(self._heap)
+
+    def rebuild_deferred(self, names: list[str], badness: np.ndarray) -> None:
+        """Replace the whole ranking from parallel arrays, lazily.
+
+        The heap and dict are only materialized when the ranking is next
+        queried or updated — a decision period that ends in NoAction/
+        AddNodes (no eviction ranking needed) pays nothing beyond holding
+        the arrays. Materialization sorts by ``(-badness, name)`` with one
+        ``np.lexsort`` — a sorted list is a valid heap — instead of n
+        tuple-comparison sift-downs.
+        """
+        self._pending = (names, badness)
+        self._badness = {}
+        self._heap = []
+
+    def _materialize(self) -> None:
+        if self._pending is None:
+            return
+        names, badness = self._pending
+        self._pending = None
+        self._badness = dict(zip(names, badness.tolist()))
+        if names:
+            neg = -badness
+            # secondary key: name ascending (ASCII node names, so numpy's
+            # unicode ordering and Python's str ordering agree)
+            order = np.lexsort((np.asarray(names), neg))
+            self._heap = [(float(neg[i]), names[i]) for i in order]
 
     def _compact(self) -> None:
         self._heap = [(-b, n) for n, b in self._badness.items()]
@@ -106,6 +139,7 @@ class TopKBadness:
 
         Matches ``[n for n, _ in rank_nodes(...) if n not in skip][:count]``.
         """
+        self._materialize()
         skip_set = set(skip)
         out: list[str] = []
         popped: list[tuple[float, str]] = []
@@ -140,10 +174,12 @@ class StreamingDecisionState:
     ``AdaptationPolicy.decide`` on the maintained arrays.
     """
 
-    def __init__(self) -> None:
-        #: name -> (cluster, speed, overhead, ic_overhead) of the latest
-        #: report, including nodes not currently folded (dead or unseen).
-        self._reports: dict[str, tuple[str, float, float, float]] = {}
+    def __init__(self, grid: Optional[GridState] = None) -> None:
+        #: the SoA store of every known node's latest report (including
+        #: nodes not currently folded — dead or not yet alive). Callers
+        #: may share one (the large-grid substrate ingests arrays into it
+        #: directly and the state folds from the same slots).
+        self.grid = grid if grid is not None else GridState()
         #: snapshot order: alive workers with a report, in runtime order.
         self._order: list[str] = []
         self._index: dict[str, int] = {}
@@ -151,16 +187,18 @@ class StreamingDecisionState:
         self._overhead = np.empty(0, dtype=float)
         self._ic = np.empty(0, dtype=float)
         self._comp = np.empty(0, dtype=float)
-        self._cluster_of: list[str] = []
+        #: cluster code per position (codes index ``grid``'s cluster table)
+        self._ccode = np.empty(0, dtype=np.int64)
         self._fastest = 0.0
         #: clusters in first-appearance (snapshot) order + member indices.
         self._clusters: list[str] = []
-        self._members: dict[str, list[int]] = {}
+        self._members: dict[str, np.ndarray] = {}
         self._cl_speed: dict[str, float] = {}
         self._cl_ic_sum: dict[str, float] = {}
         self._cl_count: dict[str, int] = {}
         self._topk = TopKBadness()
         self._worst_cluster: Optional[str] = None
+        self._worst_code = -1
         self._coeffs: Optional[BadnessCoefficients] = None
         self._dirty: set[str] = set()
         #: arrays must be rebuilt (first report / forget); membership
@@ -174,22 +212,21 @@ class StreamingDecisionState:
     # ------------------------------------------------------------- ingestion
     def observe(self, report: NodeReport) -> None:
         """Fold one report in. O(1): the arrays update at the next sync."""
-        if report.speed <= 0:
-            raise ValueError(f"node {report.worker!r}: speed must be > 0")
-        overhead = report.overhead
-        ic = report.ic_overhead
-        if not 0 <= overhead <= 1 or not 0 <= ic <= 1:
-            raise ValueError(f"node {report.worker!r}: fractions must be in [0, 1]")
         name = report.worker
-        self._reports[name] = (report.cluster, report.speed, overhead, ic)
+        self.grid.ingest(report)  # validates speed/fraction ranges
         if name in self._index:
             self._dirty.add(name)
         else:
             self._structure_dirty = True
 
+    def observe_batch(self, reports: Iterable[NodeReport]) -> None:
+        """Fold many reports in (one period's mailbox drain)."""
+        for report in reports:
+            self.observe(report)
+
     def forget(self, name: str) -> None:
         """Drop a node's report (eviction): it leaves the fold immediately."""
-        if self._reports.pop(name, None) is not None:
+        if self.grid.release(name) is not None:
             self._dirty.discard(name)
             self._structure_dirty = True
 
@@ -207,26 +244,31 @@ class StreamingDecisionState:
         otherwise applies only the changed slots.
         """
         if self._structure_dirty or self._version != membership_version:
-            known = self._reports
+            known = self.grid.registry
             self._refold([n for n in alive_names() if n in known])
             self._version = membership_version
         elif self._dirty:
             self._apply_dirty()
 
     def _refold(self, order: list[str]) -> None:
-        """Full O(n) rebuild with the exact batch fold arithmetic."""
+        """Full rebuild from the grid state's SoA arrays.
+
+        One :meth:`GridState.fold` — a handful of vectorized ops producing
+        the exact batch fold arithmetic (elementwise ops are IEEE-identical
+        to the scalar spec; cluster sums use the sequential
+        ``np.add.accumulate`` fold, see :mod:`repro.core.gridstate`).
+        """
         self.refolds += 1
         self._order = order
-        self._index = {n: i for i, n in enumerate(order)}
+        self._index = dict(zip(order, range(len(order))))
         self._dirty.clear()
         self._structure_dirty = False
-        reports = self._reports
         if not order:
             self._speed = np.empty(0, dtype=float)
             self._overhead = np.empty(0, dtype=float)
             self._ic = np.empty(0, dtype=float)
             self._comp = np.empty(0, dtype=float)
-            self._cluster_of = []
+            self._ccode = np.empty(0, dtype=np.int64)
             self._clusters = []
             self._members = {}
             self._cl_speed = {}
@@ -235,46 +277,33 @@ class StreamingDecisionState:
             self._fastest = 0.0
             self._topk.rebuild(())
             self._worst_cluster = None
+            self._worst_code = -1
             return
-        self._speed = np.asarray([reports[n][1] for n in order], dtype=float)
-        self._overhead = np.asarray([reports[n][2] for n in order], dtype=float)
-        self._ic = np.asarray([reports[n][3] for n in order], dtype=float)
-        self._cluster_of = [reports[n][0] for n in order]
-        self._fastest = float(self._speed.max())
-        # same elementwise ops as efficiency.wae_components
-        self._comp = (self._speed / self._fastest) * (1.0 - self._overhead)
-        clusters: list[str] = []
-        members: dict[str, list[int]] = {}
-        for i, cluster in enumerate(self._cluster_of):
-            bucket = members.get(cluster)
-            if bucket is None:
-                members[cluster] = [i]
-                clusters.append(cluster)
-            else:
-                bucket.append(i)
-        self._clusters = clusters
-        self._members = members
-        self._cl_speed = {}
-        self._cl_ic_sum = {}
-        self._cl_count = {}
-        for cluster in clusters:
-            self._fold_cluster(cluster)
+        fold = self.grid.fold(order)
+        self._speed = fold.speed
+        self._overhead = fold.overhead
+        self._ic = fold.ic
+        self._comp = fold.comp
+        self._ccode = fold.codes
+        self._fastest = fold.fastest
+        self._clusters = fold.clusters
+        self._members = fold.members
+        self._cl_speed = fold.cl_speed
+        self._cl_ic_sum = fold.cl_ic_sum
+        self._cl_count = fold.cl_count
         self._coeffs = None  # force a badness rebuild below
         self._refresh_badness(force=True)
 
     def _fold_cluster(self, cluster: str) -> None:
-        """Re-fold one cluster's aggregates, accumulating in member order
-        (the batch fold's addition sequence restricted to this cluster)."""
-        speed = self._speed
-        ic = self._ic
-        speed_sum = 0.0
-        ic_sum = 0.0
-        for i in self._members[cluster]:
-            speed_sum += speed[i]
-            ic_sum += ic[i]
-        self._cl_speed[cluster] = float(speed_sum)
-        self._cl_ic_sum[cluster] = float(ic_sum)
-        self._cl_count[cluster] = len(self._members[cluster])
+        """Re-fold one cluster's aggregates in member order — the batch
+        fold's addition sequence restricted to this cluster, computed with
+        the sequential ``np.add.accumulate`` fold (same bits, C speed)."""
+        members = self._members[cluster]
+        speed = self._speed[members]
+        ic = self._ic[members]
+        self._cl_speed[cluster] = float(np.add.accumulate(speed)[-1])
+        self._cl_ic_sum[cluster] = float(np.add.accumulate(ic)[-1])
+        self._cl_count[cluster] = int(members.size)
 
     def _apply_dirty(self) -> None:
         """O(changed) path: update only the slots whose reports changed."""
@@ -284,16 +313,23 @@ class StreamingDecisionState:
         speed = self._speed
         overhead = self._overhead
         ic = self._ic
-        reports = self._reports
+        grid = self.grid
+        grid_speed = grid.array("speed")
+        grid_overhead = grid.array("overhead")
+        grid_ic = grid.array("ic")
+        slot_of = grid.registry._slot_of
+        cluster_names = grid._cluster_names
+        ccode = self._ccode
         dirty_clusters = set()
         for i, name in dirty:
-            _, s, o, icv = reports[name]
-            speed[i] = s
-            overhead[i] = o
-            ic[i] = icv
-            dirty_clusters.add(self._cluster_of[i])
+            slot = slot_of[name]
+            speed[i] = grid_speed[slot]
+            overhead[i] = grid_overhead[slot]
+            ic[i] = grid_ic[slot]
+            dirty_clusters.add(cluster_names[ccode[i]])
         new_fastest = float(speed.max())
-        if new_fastest != self._fastest:
+        renormalized = new_fastest != self._fastest
+        if renormalized:
             # the normalisation base moved: every component shifts
             self._fastest = new_fastest
             self._comp = (speed / new_fastest) * (1.0 - overhead)
@@ -304,7 +340,10 @@ class StreamingDecisionState:
         for cluster in self._clusters:
             if cluster in dirty_clusters:
                 self._fold_cluster(cluster)
-        self._refresh_badness(dirty=dirty)
+        # A moved normalisation base shifts every node's α badness term
+        # (1/(speed/fastest)), not just the dirty slots' — the ranking
+        # must be rebuilt wholesale or non-dirty entries go stale.
+        self._refresh_badness(force=renormalized, dirty=dirty)
 
     # --------------------------------------------------------------- badness
     def _cluster_ic_means(self) -> dict[str, float]:
@@ -318,7 +357,7 @@ class StreamingDecisionState:
         total = coeffs.alpha * (1.0 / (self._speed[i] / self._fastest))
         total = total + coeffs.beta * self._ic[i]
         total = total + coeffs.gamma * (
-            1.0 if self._cluster_of[i] == self._worst_cluster else 0.0
+            1.0 if self._ccode[i] == self._worst_code else 0.0
         )
         return float(total)
 
@@ -343,11 +382,24 @@ class StreamingDecisionState:
         )
         if force or coeffs != self._coeffs or current_worst != self._worst_cluster:
             self._worst_cluster = current_worst
-            self._coeffs = coeffs
-            self._topk.rebuild(
-                (name, self._node_badness(i, coeffs))
-                for i, name in enumerate(self._order)
+            self._worst_code = (
+                self.grid._code_of[current_worst]
+                if current_worst is not None
+                else -1
             )
+            self._coeffs = coeffs
+            if not self._order:
+                self._topk.rebuild(())
+                return
+            # vectorized badness_terms, summed in the scalar key order:
+            # α/speed_norm, then +β·ic, then +γ·worst-cluster indicator —
+            # each step elementwise IEEE-identical to _node_badness.
+            badness = coeffs.alpha * (1.0 / (self._speed / self._fastest))
+            badness = badness + coeffs.beta * self._ic
+            badness = badness + coeffs.gamma * (
+                self._ccode == self._worst_code
+            ).astype(float)
+            self._topk.rebuild_deferred(self._order, badness)
         else:
             for i, name in dirty:
                 self._topk.update(name, self._node_badness(i, coeffs))
@@ -370,11 +422,11 @@ class StreamingDecisionState:
         return float(self._comp.max() - self._comp.min())
 
     def nodes_in_cluster(self, cluster: str) -> list[str]:
-        return sorted(
-            name
-            for i, name in enumerate(self._order)
-            if self._cluster_of[i] == cluster
-        )
+        code = self.grid._code_of.get(cluster)
+        if code is None:
+            return []
+        order = self._order
+        return sorted(order[i] for i in np.flatnonzero(self._ccode == code))
 
     # ---------------------------------------------------------------- decide
     def decide(self, protected: Sequence[str], config: PolicyConfig) -> Decision:

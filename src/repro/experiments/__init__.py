@@ -15,6 +15,13 @@ from .report import (
     format_time_shares,
     improvement,
 )
+from .largegrid import (
+    SUBSTRATES,
+    LargeGridSpec,
+    format_large_grid_summary,
+    run_large_grid,
+    substrate,
+)
 from .runner import RunResult, VARIANTS, run_scenario, run_scenarios_parallel
 from .scenarios import (
     SCENARIOS,
@@ -26,20 +33,25 @@ from .scenarios import (
 
 __all__ = [
     "BarnesHutFactory",
+    "LargeGridSpec",
     "ProfileResult",
     "RunResult",
     "ascii_series",
     "explain_decisions",
     "format_fig1",
     "format_iteration_series",
+    "format_large_grid_summary",
     "format_profile",
     "format_scenario1_overhead",
     "format_time_shares",
     "improvement",
     "export_runs",
     "profile_scenario",
+    "run_large_grid",
     "SCENARIOS",
     "ScenarioSpec",
+    "SUBSTRATES",
+    "substrate",
     "VARIANTS",
     "run_scenario",
     "run_scenarios_parallel",

@@ -24,7 +24,20 @@ interactive suite all measure the identical code paths:
   1% of nodes changing per period;
 * ``coordinator_decide_batch`` — the same stream through the retained
   batch spec (full snapshot + re-fold every period), the "before" the
-  streaming path is measured against.
+  streaming path is measured against;
+* ``grid_monitoring_period``   — full monitoring periods at 10^4 nodes
+  on the struct-of-arrays path: one ``GridState.ingest_arrays`` per
+  cluster, one vectorized fold, WAE, and a policy decision per period;
+* ``grid_monitoring_period_scalar`` — the identical periods through the
+  retained scalar spec: one ``NodeReport`` ingest per node, the
+  pure-Python ``fold_scalar``, and the batch policy on ``NodeView``
+  tuples — the "before" the SoA path is measured against.
+
+The two members of each before/after pair fold identical streams, so
+``--interleave`` can alternate them call-by-call within one session:
+interleaving removes the session drift (CPU contention, frequency
+scaling) that makes cross-session A/B ratios unreliable, which is how
+the headline speedups in ``BENCH_<n>.json`` are taken.
 
 Every workload times only its returned callable: input generation and
 octree construction happen in ``prepare`` and are excluded (pinned by
@@ -48,6 +61,16 @@ Results JSON schema (also embedded in every file under ``"_schema"``):
       "speedup": float,     # baseline_median_ms / median_ms
       # present when the baseline also recorded a canary:
       "speedup_normalized": float   # speedup x canary drift correction
+    }, ...
+  },
+  # present when --interleave was given: same-session A/B pairs, timed
+  # strictly alternately so machine drift cancels out of the ratio
+  "interleaved": {
+    "<cand>_vs_<base>": {
+      "candidate": str, "baseline": str,
+      "candidate_median_ms": float, "baseline_median_ms": float,
+      "speedup": float,             # baseline / candidate, drift-free
+      "repeats": int
     }, ...
   }
 }
@@ -90,14 +113,17 @@ from typing import Callable, Optional, Sequence
 __all__ = [
     "Workload",
     "WORKLOADS",
+    "INTERLEAVE_PAIRS",
     "canary_run",
     "engine_timeout_churn",
     "store_pingpong",
     "worksteal_run",
     "octree_inputs",
     "coordinator_stream_inputs",
+    "grid_period_inputs",
     "scenario_e2e_spec",
     "run_bench",
+    "run_interleaved",
     "check_against_baseline",
 ]
 
@@ -289,6 +315,153 @@ def coordinator_stream_inputs():
         for p in range(n_periods)
     ]
     return names, initial, periods
+
+
+def grid_period_inputs():
+    """Inputs for the monitoring-period pair: 10^4 nodes, 4 periods.
+
+    100 clusters × 100 nodes of the synthetic grid, with per-period
+    measurement arrays (speed/busy/inter-cluster seconds, all seeded).
+    Returns ``(clusters, periods)`` where ``clusters`` is a list of
+    ``(cluster_name, node_names)`` and ``periods`` a list of per-period
+    ``{cluster_name: (speed, busy, comm_inter)}`` dicts — both workloads
+    fold exactly these numbers.
+    """
+    import numpy as np
+
+    from ..simgrid.resources import synthetic_grid
+
+    n_periods, period = 4, 60.0
+    grid = synthetic_grid(100, 100)
+    clusters = [
+        (c.name, [n.name for n in c.nodes]) for c in grid.clusters
+    ]
+    rng = np.random.default_rng(11)
+    periods = []
+    for p in range(n_periods):
+        busy_mean = 0.8 - 0.1 * p
+        batch = {}
+        for name, nodes in clusters:
+            n = len(nodes)
+            speed = rng.uniform(0.5, 4.0, n)
+            ic = np.clip(rng.normal(0.01, 0.004, n), 0.0, 0.25)
+            busy = np.clip(rng.normal(busy_mean, 0.08, n), 0.02, 0.98)
+            busy = np.minimum(busy, 1.0 - ic)
+            batch[name] = (speed, busy * period, ic * period)
+        periods.append(batch)
+    return clusters, periods
+
+
+def _prepare_grid_monitoring_period() -> Callable[[], object]:
+    """The SoA path: one ``ingest_arrays`` per cluster, one vector fold."""
+    import itertools
+
+    import numpy as np
+
+    from ..core.streaming import StreamingDecisionState
+    from .largegrid import LARGE_GRID_POLICY
+
+    clusters, periods = grid_period_inputs()
+    period_seconds = {
+        name: np.full(len(nodes), 60.0) for name, nodes in clusters
+    }
+    state = StreamingDecisionState()
+    grid = state.grid
+    slots = {
+        name: np.fromiter(
+            (grid.ensure(n, name) for n in nodes),
+            dtype=np.intp,
+            count=len(nodes),
+        )
+        for name, nodes in clusters
+    }
+    order = [n for _, nodes in clusters for n in nodes]
+    version = itertools.count()
+
+    def run() -> list:
+        decisions = []
+        for p, batch in enumerate(periods):
+            for name, (speed, busy, comm_inter) in batch.items():
+                grid.ingest_arrays(
+                    slots[name],
+                    speed=speed,
+                    busy=busy,
+                    comm_inter=comm_inter,
+                    period_seconds=period_seconds[name],
+                    period_index=float(p),
+                )
+            state.sync(next(version), lambda: order)
+            state.weighted_wae()
+            decisions.append(state.decide((), LARGE_GRID_POLICY))
+        return decisions
+
+    return run
+
+
+def _prepare_grid_monitoring_period_scalar() -> Callable[[], object]:
+    """The retained scalar spec folding the identical periods.
+
+    Per node: one ``NodeReport`` ingest (scalar validation + stores),
+    then the pure-Python ``fold_scalar`` and the batch policy over
+    ``NodeView`` tuples — node-at-a-time state, exactly what every
+    monitoring period cost before the struct-of-arrays rebuild.
+    """
+    from ..core.gridstate import GridState
+    from ..core.policy import AdaptationPolicy, GridSnapshot, NodeView
+    from ..satin.accounting import NodeReport
+    from .largegrid import LARGE_GRID_POLICY
+
+    clusters, periods = grid_period_inputs()
+    order = [n for _, nodes in clusters for n in nodes]
+    # reports are pre-built: input generation stays untimed, per the
+    # harness convention (this under-counts the scalar path's true cost)
+    report_periods = []
+    for p, batch in enumerate(periods):
+        reports = []
+        for name, nodes in clusters:
+            speed, busy, comm_inter = batch[name]
+            for i, node in enumerate(nodes):
+                reports.append(
+                    NodeReport(
+                        worker=node,
+                        cluster=name,
+                        period_index=p,
+                        sent_at=60.0 * (p + 1),
+                        period_seconds=60.0,
+                        busy=float(busy[i]),
+                        idle=0.0,
+                        comm_intra=0.0,
+                        comm_inter=float(comm_inter[i]),
+                        bench=0.0,
+                        speed=float(speed[i]),
+                    )
+                )
+        report_periods.append(reports)
+    policy = AdaptationPolicy(LARGE_GRID_POLICY)
+    grid = GridState()
+
+    def run() -> list:
+        decisions = []
+        for p, reports in enumerate(report_periods):
+            for report in reports:
+                grid.ingest(report)
+            fold = grid.fold_scalar(order)
+            views = tuple(
+                NodeView(
+                    name=fold.order[i],
+                    cluster=fold.cluster_of[i],
+                    speed=float(fold.speed[i]),
+                    overhead=float(fold.overhead[i]),
+                    ic_overhead=float(fold.ic[i]),
+                )
+                for i in range(len(fold.order))
+            )
+            snap = GridSnapshot(time=60.0 * (p + 1), nodes=views)
+            snap.wae()
+            decisions.append(policy.decide(snap, ()))
+        return decisions
+
+    return run
 
 
 def _prepare_coordinator_decide() -> Callable[[], object]:
@@ -486,6 +659,16 @@ WORKLOADS: tuple[Workload, ...] = (
         _prepare_coordinator_decide_batch,
     ),
     Workload(
+        "grid_monitoring_period",
+        "SoA monitoring periods: vector ingest + fold + decide, 10k nodes",
+        _prepare_grid_monitoring_period,
+    ),
+    Workload(
+        "grid_monitoring_period_scalar",
+        "scalar-spec monitoring periods on the identical 10k-node stream",
+        _prepare_grid_monitoring_period_scalar,
+    ),
+    Workload(
         "scenario_e2e",
         "full small scenario end-to-end through run_scenario (adapt)",
         _prepare_scenario_e2e,
@@ -493,6 +676,12 @@ WORKLOADS: tuple[Workload, ...] = (
 )
 
 _BY_NAME = {w.name: w for w in WORKLOADS}
+
+#: default --interleave pairs: (candidate, baseline) folding one stream.
+INTERLEAVE_PAIRS: tuple[tuple[str, str], ...] = (
+    ("grid_monitoring_period", "grid_monitoring_period_scalar"),
+    ("coordinator_decide", "coordinator_decide_batch"),
+)
 
 
 def _timed_samples(fn: Callable[[], object], repeats: int) -> list[float]:
@@ -586,6 +775,62 @@ def run_bench(
     }
 
 
+def run_interleaved(
+    pairs: Sequence[tuple[str, str]],
+    repeats: int = 25,
+) -> dict[str, dict]:
+    """A/B pairs timed alternately within one session.
+
+    For each ``(candidate, baseline)`` pair the two callables are timed
+    strictly alternately, sample by sample (cand, base, cand, base, …),
+    so slow machine drift lands symmetrically on both sides and the
+    speedup ratio is unbiased — the measurement the cross-session canary
+    can only approximate. Returns rows keyed ``"<cand>_vs_<base>"``.
+    """
+    rows: dict[str, dict] = {}
+    for cand_name, base_name in pairs:
+        unknown = sorted({cand_name, base_name} - set(_BY_NAME))
+        if unknown:
+            raise KeyError(
+                f"unknown workload(s) {', '.join(unknown)}; "
+                f"known: {', '.join(_BY_NAME)}"
+            )
+        cand_fn = _BY_NAME[cand_name].prepare()
+        base_fn = _BY_NAME[base_name].prepare()
+        cand_fn()  # warm-up both sides before any timed sample
+        base_fn()
+        cand_samples: list[float] = []
+        base_samples: list[float] = []
+        gc_was_enabled = gc.isenabled()
+        try:
+            for _ in range(repeats):
+                for fn, samples in (
+                    (cand_fn, cand_samples),
+                    (base_fn, base_samples),
+                ):
+                    gc.collect()
+                    gc.disable()
+                    t0 = time.perf_counter()
+                    fn()
+                    samples.append((time.perf_counter() - t0) * 1000.0)
+                    if gc_was_enabled:
+                        gc.enable()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        cand_ms = round(median(cand_samples), 4)
+        base_ms = round(median(base_samples), 4)
+        rows[f"{cand_name}_vs_{base_name}"] = {
+            "candidate": cand_name,
+            "baseline": base_name,
+            "candidate_median_ms": cand_ms,
+            "baseline_median_ms": base_ms,
+            "speedup": round(base_ms / cand_ms, 3),
+            "repeats": repeats,
+        }
+    return rows
+
+
 def check_against_baseline(results: dict, gate: float) -> list[str]:
     """Regression check: current median must stay under gate × baseline.
 
@@ -625,6 +870,15 @@ def format_bench(results: dict) -> str:
             f"{name:<{name_w}} {row['median_ms']:>8.2f}ms "
             f"{row['min_ms']:>8.2f}ms  {speed:>7}  {norm:>10}"
         )
+    interleaved = results.get("interleaved")
+    if interleaved:
+        lines.append("interleaved A/B (same-session, drift-free):")
+        for row in interleaved.values():
+            lines.append(
+                f"  {row['candidate']} {row['candidate_median_ms']:.2f}ms"
+                f" vs {row['baseline']} {row['baseline_median_ms']:.2f}ms"
+                f"  -> {row['speedup']:.2f}x"
+            )
     canary = results.get("canary_median_ms")
     if canary is not None:
         lines.append(f"(machine canary: {canary:.2f} ms)")
@@ -652,6 +906,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--gate", type=float, default=None,
                         help="fail (exit 1) if any workload exceeds "
                              "GATE x its baseline median")
+    parser.add_argument(
+        "--interleave", nargs="?", const="default", default=None,
+        metavar="CAND:BASE,...",
+        help="also time A/B pairs alternately within this session "
+             "(drift-free speedups); with no value, runs the default "
+             "pairs: " + ", ".join(f"{c}:{b}" for c, b in INTERLEAVE_PAIRS),
+    )
     args = parser.parse_args(argv)
 
     baseline = None
@@ -662,11 +923,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         [n.strip() for n in args.only.split(",") if n.strip()]
         if args.only else None
     )
+    pairs: Optional[list[tuple[str, str]]] = None
+    if args.interleave is not None:
+        if args.interleave == "default":
+            pairs = list(INTERLEAVE_PAIRS)
+        else:
+            pairs = []
+            for token in args.interleave.split(","):
+                token = token.strip()
+                if not token:
+                    continue
+                cand, sep, base = token.partition(":")
+                if not sep or not cand or not base:
+                    raise SystemExit(
+                        f"repro bench: --interleave pair {token!r} must be "
+                        "CANDIDATE:BASELINE"
+                    )
+                pairs.append((cand, base))
+            if not pairs:
+                raise SystemExit("repro bench: --interleave got no pairs")
+        # validate up front: a typo must not cost a full bench run first
+        unknown = sorted(
+            {name for pair in pairs for name in pair} - set(_BY_NAME)
+        )
+        if unknown:
+            raise SystemExit(
+                f"repro bench: unknown workload(s) {', '.join(unknown)}; "
+                f"known: {', '.join(_BY_NAME)}"
+            )
     try:
         results = run_bench(
             names=names, quick=args.quick, repeats=args.repeats,
             baseline=baseline,
         )
+        if pairs is not None:
+            results["interleaved"] = run_interleaved(
+                pairs, repeats=results["repeats"]
+            )
     except KeyError as exc:
         raise SystemExit(f"repro bench: {exc.args[0]}") from None
     print(format_bench(results))

@@ -125,6 +125,41 @@ class Observability:
         )
 
     @classmethod
+    def streaming(
+        cls,
+        sink=None,
+        kinds: Optional[Iterable[str]] = None,
+        max_events: Optional[int] = 0,
+        histogram_max_samples: Optional[int] = 65536,
+    ) -> "Observability":
+        """Bounded-memory telemetry for long / 100k-node runs.
+
+        Events flow to ``sink`` (e.g. a :class:`JsonlSink`; subscribed
+        synchronously) instead of accumulating in memory: ``max_events=0``
+        (default) keeps no in-memory stream at all, a positive value keeps
+        a ring of the newest events for post-run inspection, ``None``
+        restores the unbounded stream. Histograms keep a capped sample
+        window (exact count/sum, windowed percentiles). The caller still
+        owns the sink's lifetime — pass it via ``RunConfig(sinks=...)`` or
+        close it after the run.
+        """
+        keep = max_events != 0
+        bus = TraceBus(
+            enabled=True,
+            kinds=kinds,
+            keep=keep,
+            max_events=max_events if keep else None,
+        )
+        if sink is not None:
+            bus.subscribe(sink.write)
+        return cls(
+            metrics=MetricsRegistry(
+                enabled=True, histogram_max_samples=histogram_max_samples
+            ),
+            bus=bus,
+        )
+
+    @classmethod
     def disabled(cls) -> "Observability":
         """No-op telemetry: instruments and emissions cost ~nothing."""
         return cls(metrics=MetricsRegistry(enabled=False),

@@ -14,7 +14,8 @@ no allocation.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from collections import deque
+from typing import Callable, Iterable, Optional, Union
 
 from .events import EVENT_KINDS, TraceEvent
 
@@ -29,11 +30,18 @@ class TraceBus:
         enabled: bool = True,
         kinds: Optional[Iterable[str]] = None,
         keep: bool = True,
+        max_events: Optional[int] = None,
     ) -> None:
         """
         ``kinds`` restricts the bus to a subset of event kinds (None =
         everything); ``keep=False`` disables the in-memory stream for
-        sink-only usage (long runs streaming straight to disk).
+        sink-only usage (long runs streaming straight to disk);
+        ``max_events`` caps the in-memory stream as a ring buffer — the
+        newest ``max_events`` events are retained, older ones are dropped
+        (counted in :attr:`dropped_events`) so a 100k-node run cannot
+        accumulate an unbounded event list. ``None`` keeps everything
+        (the historical behaviour). Subscribers always see every event
+        regardless of the cap.
         """
         self.enabled = enabled
         self._kinds: Optional[frozenset[str]] = None
@@ -46,8 +54,15 @@ class TraceBus:
                     f"choose from {list(EVENT_KINDS)}"
                 )
             self._kinds = kinds
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be >= 1 (or None for unbounded)")
         self._keep = keep
-        self._events: list[TraceEvent] = []
+        self.max_events = max_events
+        self._events: Union[list[TraceEvent], deque[TraceEvent]] = (
+            [] if max_events is None else deque(maxlen=max_events)
+        )
+        #: events evicted from the in-memory ring (0 when unbounded).
+        self.dropped_events = 0
         self._subscribers: list[Callable[[TraceEvent], None]] = []
         self._seq = 0
 
@@ -64,6 +79,11 @@ class TraceBus:
         event.seq = self._seq
         self._seq += 1
         if self._keep:
+            if (
+                self.max_events is not None
+                and len(self._events) == self.max_events
+            ):
+                self.dropped_events += 1
             self._events.append(event)
         for fn in self._subscribers:
             fn(event)
@@ -78,6 +98,11 @@ class TraceBus:
             self._subscribers.remove(fn)
 
     # -- the stream --------------------------------------------------------
+    @property
+    def emitted(self) -> int:
+        """Total events published (including any evicted from the ring)."""
+        return self._seq
+
     @property
     def events(self) -> list[TraceEvent]:
         """The in-memory stream, in emission order."""

@@ -13,6 +13,7 @@ returns the same object, so counts accumulate across call sites.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Iterator, Optional, Sequence
 
 import numpy as np
@@ -82,28 +83,52 @@ class Gauge:
 class Histogram:
     """Distribution of observed values with exact percentiles.
 
-    Observations are kept raw (simulation runs produce at most a few
-    hundred thousand samples per instrument); percentiles are computed on
-    demand by linear interpolation over the sorted sample.
+    Observations are kept raw by default (simulation runs produce at most
+    a few hundred thousand samples per instrument); percentiles are
+    computed on demand by linear interpolation over the sorted sample.
+    ``max_samples`` turns the store into a ring buffer keeping the newest
+    observations — the long-run/streaming mode: ``count``/``sum`` stay
+    exact over *all* observations, percentiles and min/max come from the
+    retained window, and :attr:`dropped` counts evicted samples.
     """
 
-    __slots__ = ("name", "labels", "_values")
+    __slots__ = ("name", "labels", "_values", "_count", "_sum", "dropped")
 
-    def __init__(self, name: str, labels: LabelKey) -> None:
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey,
+        max_samples: Optional[int] = None,
+    ) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be >= 1 (or None)")
         self.name = name
         self.labels = labels
-        self._values: list[float] = []
+        self._values: Any = (
+            [] if max_samples is None else deque(maxlen=max_samples)
+        )
+        self._count = 0
+        self._sum = 0.0
+        #: observations evicted from the retention window (0 = unbounded).
+        self.dropped = 0
 
     def observe(self, value: float) -> None:
-        self._values.append(float(value))
+        value = float(value)
+        values = self._values
+        maxlen = getattr(values, "maxlen", None)
+        if maxlen is not None and len(values) == maxlen:
+            self.dropped += 1
+        values.append(value)
+        self._count += 1
+        self._sum += value
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._count
 
     @property
     def sum(self) -> float:
-        return float(np.sum(self._values)) if self._values else 0.0
+        return self._sum
 
     def percentile(self, p: float) -> float:
         """The p-th percentile (p in [0, 100]) of the observations."""
@@ -160,10 +185,20 @@ _NULL = _NullInstrument()
 
 
 class MetricsRegistry:
-    """Factory and store for all instruments of one run."""
+    """Factory and store for all instruments of one run.
 
-    def __init__(self, enabled: bool = True) -> None:
+    ``histogram_max_samples`` applies a retention cap to every histogram
+    created by this registry (see :class:`Histogram`); ``None`` (default)
+    keeps all observations.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        histogram_max_samples: Optional[int] = None,
+    ) -> None:
         self.enabled = enabled
+        self.histogram_max_samples = histogram_max_samples
         self._instruments: dict[tuple[str, LabelKey], Any] = {}
 
     # -- factories ---------------------------------------------------------
@@ -171,7 +206,12 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = cls(name, key[1])
+            if cls is Histogram:
+                instrument = Histogram(
+                    name, key[1], max_samples=self.histogram_max_samples
+                )
+            else:
+                instrument = cls(name, key[1])
             self._instruments[key] = instrument
         elif not isinstance(instrument, cls):
             raise TypeError(

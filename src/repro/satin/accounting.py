@@ -29,9 +29,35 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["TimeAccount", "NodeReport", "CATEGORIES"]
+__all__ = [
+    "TimeAccount",
+    "NodeReport",
+    "CATEGORIES",
+    "overhead_fraction",
+    "ic_overhead_fraction",
+]
 
 CATEGORIES = ("busy", "idle", "comm_intra", "comm_inter", "bench")
+
+
+def overhead_fraction(busy: float, period_seconds: float) -> float:
+    """Overhead fraction of one period: ``clip(1 - busy/period, 0, 1)``.
+
+    The single definition shared by the scalar :class:`NodeReport`
+    properties and the vectorized :class:`~repro.core.gridstate.GridState`
+    fold — both apply exactly this IEEE-754 op sequence per element, which
+    is what keeps the two paths bit-identical.
+    """
+    if period_seconds <= 0:
+        return 0.0
+    return min(1.0, max(0.0, 1.0 - busy / period_seconds))
+
+
+def ic_overhead_fraction(comm_inter: float, period_seconds: float) -> float:
+    """Inter-cluster overhead fraction: ``min(1, comm_inter/period)``."""
+    if period_seconds <= 0:
+        return 0.0
+    return min(1.0, comm_inter / period_seconds)
 
 
 @dataclass(frozen=True)
@@ -67,16 +93,12 @@ class NodeReport:
         communicating; benchmark time is also not useful work, so it
         counts too (it is bounded by the benchmark's overhead budget).
         """
-        if self.period_seconds <= 0:
-            return 0.0
-        return min(1.0, max(0.0, 1.0 - self.busy / self.period_seconds))
+        return overhead_fraction(self.busy, self.period_seconds)
 
     @property
     def ic_overhead(self) -> float:
         """Inter-cluster communication overhead fraction."""
-        if self.period_seconds <= 0:
-            return 0.0
-        return min(1.0, self.comm_inter / self.period_seconds)
+        return ic_overhead_fraction(self.comm_inter, self.period_seconds)
 
     @property
     def intra_overhead(self) -> float:

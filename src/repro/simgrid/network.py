@@ -29,7 +29,28 @@ from .engine import Environment, Event
 from .queues import Resource, Store
 from .resources import GridSpec, Host
 
-__all__ = ["Network"]
+__all__ = ["Network", "conservative_lookahead"]
+
+
+def conservative_lookahead(grid: GridSpec) -> float:
+    """The PDES-safe lookahead window of ``grid``: the minimum time any
+    message needs to cross between two clusters.
+
+    An inter-cluster message pays ``source uplink latency + backbone
+    latency + destination uplink latency`` before its first byte lands,
+    so no cluster can influence another sooner than the smallest such
+    path. A sharded execution that exchanges cross-cluster traffic only
+    at barriers spaced at most this far apart is *conservative*: it can
+    never miss a causal dependency, and seeded runs stay byte-identical
+    to the unsharded schedule. (The ``large_grid`` scenario's barrier is
+    the monitoring period — orders of magnitude wider than this bound —
+    because its clusters interact solely through per-period reports and
+    coordinator commands.)
+    """
+    uplinks = sorted(c.uplink_latency for c in grid.clusters)
+    if len(uplinks) < 2:
+        return float("inf")
+    return uplinks[0] + grid.backbone_latency + uplinks[1]
 
 
 class _Uplink:

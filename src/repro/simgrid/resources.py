@@ -33,6 +33,7 @@ __all__ = [
     "GridSpec",
     "Host",
     "das2_like_grid",
+    "synthetic_grid",
 ]
 
 
@@ -191,6 +192,54 @@ def das2_like_grid(
             )
         )
     return GridSpec(clusters=tuple(clusters))
+
+
+def synthetic_grid(
+    n_clusters: int,
+    nodes_per_cluster: int,
+    *,
+    base_speed: float = 1.0,
+    speed_steps: int = 8,
+    speed_step: float = 0.25,
+    lan_latency: float = 1e-4,
+    lan_bandwidth: float = 12.5e6,
+    uplink_latency: float = 2.5e-3,
+    uplink_bandwidth: float = 12.5e6,
+) -> GridSpec:
+    """A generated many-cluster grid for large-scale substrate scenarios.
+
+    Clusters are named ``g000 … g{n-1}`` and nodes ``g000/n0000 …``; zero
+    padding keeps lexicographic and numeric order identical, which the
+    sharded ``large_grid`` scenario relies on for canonical ordering.
+    Node speeds cycle deterministically through ``speed_steps`` tiers
+    (``base_speed + k·speed_step`` for ``k = (cluster·7 + node) mod
+    steps``) so the grid is heterogeneous without any RNG — the same
+    topology regardless of seed or shard placement.
+    """
+    if n_clusters < 1 or nodes_per_cluster < 1:
+        raise ValueError("need at least one cluster and one node per cluster")
+    cwidth = max(3, len(str(n_clusters - 1)))
+    nwidth = max(4, len(str(nodes_per_cluster - 1)))
+    clusters = tuple(
+        ClusterSpec(
+            name=f"g{ci:0{cwidth}d}",
+            nodes=tuple(
+                NodeSpec(
+                    name=f"g{ci:0{cwidth}d}/n{ni:0{nwidth}d}",
+                    cluster=f"g{ci:0{cwidth}d}",
+                    base_speed=base_speed
+                    + ((ci * 7 + ni) % speed_steps) * speed_step,
+                )
+                for ni in range(nodes_per_cluster)
+            ),
+            lan_latency=lan_latency,
+            lan_bandwidth=lan_bandwidth,
+            uplink_latency=uplink_latency,
+            uplink_bandwidth=uplink_bandwidth,
+        )
+        for ci in range(n_clusters)
+    )
+    return GridSpec(clusters=clusters)
 
 
 class Host:

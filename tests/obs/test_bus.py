@@ -160,3 +160,56 @@ def test_sink_does_not_close_caller_stream():
     sink.write(_add(1.0))
     sink.close()
     assert not buf.closed
+
+
+# -- bounded retention (ring buffer) ----------------------------------------
+def test_max_events_ring_keeps_newest_and_counts_drops():
+    bus = TraceBus(max_events=3)
+    for t in range(5):
+        bus.emit(_add(float(t)))
+    assert bus.emitted == 5
+    assert bus.dropped_events == 2
+    assert len(bus) == 3
+    assert [e.time for e in bus.events] == [2.0, 3.0, 4.0]
+    # seq numbering covers the whole stream, not just the retained tail
+    assert [e.seq for e in bus.events] == [2, 3, 4]
+
+
+def test_ring_subscribers_see_every_event():
+    bus = TraceBus(max_events=2)
+    seen = []
+    bus.subscribe(seen.append)
+    for t in range(6):
+        bus.emit(_add(float(t)))
+    assert len(seen) == 6
+    assert len(bus) == 2
+
+
+def test_max_events_validation():
+    with pytest.raises(ValueError, match="max_events"):
+        TraceBus(max_events=0)
+    assert TraceBus(max_events=None).max_events is None
+
+
+def test_streaming_observability_wires_sink_and_keeps_nothing():
+    events = []
+
+    class Sink:
+        def write(self, event):
+            events.append(event)
+
+    obs = Observability.streaming(sink=Sink())
+    for t in range(4):
+        obs.bus.emit(_add(float(t)))
+    assert len(events) == 4
+    assert len(obs.bus) == 0  # max_events=0: nothing retained
+    assert obs.bus.emitted == 4
+    assert obs.metrics.histogram_max_samples == 65536
+
+
+def test_streaming_observability_optional_ring():
+    obs = Observability.streaming(max_events=2)
+    for t in range(5):
+        obs.bus.emit(_add(float(t)))
+    assert len(obs.bus) == 2
+    assert obs.bus.dropped_events == 3

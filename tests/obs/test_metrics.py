@@ -114,3 +114,36 @@ def test_iteration_and_rows_are_deterministic():
     assert isinstance(reg.counter("z_metric"), Counter)
     assert isinstance(reg.gauge("g"), Gauge)
     assert isinstance(reg.histogram("lat"), Histogram)
+
+
+# -- bounded retention ------------------------------------------------------
+def test_histogram_max_samples_window():
+    h = Histogram("lat", (), max_samples=3)
+    for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+        h.observe(v)
+    # count/sum stay exact over ALL observations
+    assert h.count == 5
+    assert h.sum == 15.0
+    assert h.dropped == 2
+    # percentiles/min/max come from the retained window (newest 3)
+    s = h.summary()
+    assert s["min"] == 3.0 and s["max"] == 5.0
+    assert s["count"] == 5 and s["sum"] == 15.0
+
+
+def test_histogram_max_samples_validation():
+    with pytest.raises(ValueError, match="max_samples"):
+        Histogram("lat", (), max_samples=0)
+
+
+def test_registry_applies_histogram_cap():
+    reg = MetricsRegistry(histogram_max_samples=2)
+    h = reg.histogram("lat")
+    for v in range(4):
+        h.observe(float(v))
+    assert h.count == 4 and h.dropped == 2
+    # unbounded registry keeps everything
+    h2 = MetricsRegistry().histogram("lat")
+    for v in range(4):
+        h2.observe(float(v))
+    assert h2.dropped == 0
