@@ -31,7 +31,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from .config import COORDINATOR_MODES, RunConfig
+from .config import COORDINATOR_MODES, SCHEDULERS, RunConfig
 from .experiments import (
     SCENARIOS,
     SUBSTRATES,
@@ -95,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1, metavar="N",
         help="partition a substrate scenario's clusters across N processes "
              "(large_grid only); results are byte-identical to --shards 1",
+    )
+    p_run.add_argument(
+        "--scheduler", choices=SCHEDULERS, default="array",
+        help="event-queue implementation: the typed-array calendar "
+             "(default), the object-tuple calendar, or the binary-heap "
+             "spec; all three dispatch bit-identically",
     )
 
     p_cmp = sub.add_parser(
@@ -280,6 +286,12 @@ def _cmd_list() -> int:
 
 def _cmd_run_substrate(args: argparse.Namespace, sids: list[str]) -> int:
     """Run substrate scenarios (large_grid): no variants, shardable."""
+    if args.scheduler != "array":
+        raise SystemExit(
+            "--scheduler applies to classic scenarios only: substrate "
+            "scenarios drive the SoA monitoring pipeline directly and "
+            "never enter the discrete-event engine"
+        )
     payloads = []
     for sid in sids:
         summary = run_large_grid(
@@ -315,7 +327,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     results = run_scenarios_parallel(
         [(spec, args.variant, args.seed) for spec in specs],
         n_jobs=args.jobs,
-        config=RunConfig(coordinator=args.coordinator, shards=args.shards),
+        config=RunConfig(
+            coordinator=args.coordinator,
+            scheduler=args.scheduler,
+            shards=args.shards,
+        ),
     )
     for result in results:
         _print_run_summary(result)

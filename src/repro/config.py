@@ -29,8 +29,11 @@ from typing import TYPE_CHECKING, Any, Optional
 
 __all__ = ["RunConfig", "COORDINATOR_MODES", "SCHEDULERS"]
 
-#: engine event-queue implementations (both produce byte-identical runs).
-SCHEDULERS = ("calendar", "heap")
+#: engine event-queue implementations (all produce byte-identical runs):
+#: "array" (default; the calendar queue over typed-array storage),
+#: "calendar" (the object-tuple calendar, second reference) and "heap"
+#: (the binary-heap executable spec).
+SCHEDULERS = ("array", "calendar", "heap")
 #: coordinator decision paths: the incremental streaming pipeline
 #: (production default) and the batch snapshot re-fold retained as the
 #: executable spec; both produce identical decisions and goldens.
@@ -59,8 +62,9 @@ class RunConfig:
     ships it to spawned worker processes.
     """
 
-    #: engine event queue: "calendar" (default) or the "heap" reference.
-    scheduler: str = "calendar"
+    #: engine event queue: "array" (default, typed-array calendar core),
+    #: "calendar" (object-tuple calendar) or the "heap" reference.
+    scheduler: str = "array"
     #: coordinator decision path: "streaming" (incremental WAE + top-k
     #: badness, O(changed) per period) or "batch" (full snapshot re-fold,
     #: the executable spec). Policies that override ``decide`` (e.g. the

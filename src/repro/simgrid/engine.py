@@ -23,7 +23,7 @@ yield-timeout-resume cycle is aggressively optimized while keeping the
 ``(time, priority, seq)`` total order bit-for-bit identical to the
 straightforward implementation:
 
-* **calendar-queue scheduler** (default): the pending-event set lives in an
+* **calendar-queue scheduler**: the pending-event set lives in an
   array of time buckets of self-tuned width, indexed by the virtual bucket
   number ``v = int(time / width)``. Inserts append to a bucket in O(1);
   the run loop walks a cursor over the bucket array and drains each
@@ -33,12 +33,20 @@ straightforward implementation:
   says the current geometry is wrong. See the "Event scheduler" section
   of ``docs/performance.md`` for the sizing rules and the determinism
   argument.
+* **typed-array event core** (default, ``scheduler="array"``): the same
+  calendar algorithm with struct-of-arrays storage
+  (:class:`repro.simgrid.eventcore.ArrayCalendar`): entries are slots in
+  flat ``float64``/``int64`` arrays chained into buckets by intrusive
+  index links, payload chains live in a parallel slot table, and the two
+  pure-Python maintenance costs — dirty-bucket re-sorts and geometry
+  rebuilds — become numpy ``lexsort`` kernels. Dispatch order is
+  bit-exact with both other schedulers; only the storage differs.
 * **lazy cancellation**: :meth:`Timeout.cancel` tombstones the event
   instead of searching the queue; the loops skip (and, for pooled
   timeouts, recycle) tombstoned entries when they surface at pop time.
 * **heap reference**: the original binary-heap loop is retained behind
   ``Environment(scheduler="heap")`` as
-  :meth:`Environment._run_heap_reference`; tests assert both schedulers
+  :meth:`Environment._run_heap_reference`; tests assert all schedulers
   produce identical runs.
 * **single-callback slot**: almost every event has exactly one waiter (the
   process that yielded it), so the first callback lives in a dedicated
@@ -74,6 +82,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from .eventcore import ArrayCalendar
+
 __all__ = [
     "Environment",
     "Event",
@@ -103,6 +113,15 @@ _PENDING = object()
 #: Virtual bucket number for times too large for ``int(t / width)``
 #: (``inf`` schedules); compares after every finite bucket.
 _FAR_FUTURE = 1 << 62
+#: Float twin for the array core's branchless overflow guard (same
+#: constant as ``eventcore._FAR_FUTURE_F``; keep them in lockstep).
+_FAR_FUTURE_F = float(_FAR_FUTURE)
+#: Link-walk cap for inlined sorted inserts (see
+#: ``eventcore._SORTED_INSERT_MAX`` — the reference; keep in lockstep).
+_SORTED_INSERT_MAX = 16
+#: NaN never compares equal: an invalidated array-core insert cache
+#: auto-misses with no validity branch (see ``eventcore._NAN``).
+_NAN = float("nan")
 
 #: Initial calendar geometry. 64 buckets of 1 simulated second hold the
 #: steady monitoring/steal-timer drizzle without a rebuild; both numbers
@@ -291,6 +310,18 @@ class Timeout(Event):
         seq = env._seq
         env._seq = seq + 1
         t = env.now + delay
+        core = env._core
+        if core is not None:
+            # array core (the default): the coalesce-cache hit is inlined
+            # (two scalar compares + a list append, mirroring the
+            # calendar's _ins_entry check below); bucketing and the
+            # rebuild trigger live in ArrayCalendar.push_new.
+            if core.ins_t == t and core.ins_p == NORMAL:
+                core.ins_chain.append(self)
+                core.qsize += 1
+            else:
+                core.push_new(t, NORMAL, seq, self)
+            return
         if env._use_heap:
             q = env._queue
             _heappush(q, (t, NORMAL, seq, self))
@@ -592,16 +623,23 @@ def AllOf(env: "Environment", events: Iterable[Event]) -> Condition:
 class Environment:
     """The simulation environment: clock + event queue + scheduler.
 
-    ``scheduler`` selects the pending-event structure: ``"calendar"``
-    (default, the production scheduler) or ``"heap"`` (the original
-    binary-heap loop, retained as the reference — both produce identical
-    event orders, asserted by the equivalence tests).
+    ``scheduler`` selects the pending-event structure: ``"array"``
+    (default — the calendar queue over typed-array storage,
+    :class:`repro.simgrid.eventcore.ArrayCalendar`), ``"calendar"``
+    (the object-tuple calendar, retained as a second reference) or
+    ``"heap"`` (the original binary-heap loop, the executable spec).
+    All three produce identical event orders, asserted by the
+    equivalence and differential tests.
     """
 
-    def __init__(self, initial_time: float = 0.0, scheduler: str = "calendar") -> None:
-        if scheduler not in ("calendar", "heap"):
-            raise SimulationError(
-                f"scheduler must be 'calendar' or 'heap', got {scheduler!r}"
+    #: valid ``scheduler=`` names, in default-first order.
+    SCHEDULERS = ("array", "calendar", "heap")
+
+    def __init__(self, initial_time: float = 0.0, scheduler: str = "array") -> None:
+        if scheduler not in Environment.SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {Environment.SCHEDULERS}, "
+                f"got {scheduler!r}"
             )
         #: current simulated time. A plain attribute (not a property): it is
         #: read on every wait and accounting call across the stack, and the
@@ -610,7 +648,11 @@ class Environment:
         self.now = float(initial_time)
         self.scheduler = scheduler
         self._use_heap = scheduler == "heap"
+        self._use_array = scheduler == "array"
         self._seq = 0  # next (time, priority, seq) tiebreaker; int, not itertools.count
+        #: calendar geometry recalibrations (occupancy counter; the array
+        #: core keeps its own and heap never rebuilds).
+        self._rebuild_count = 0
         self._active: Optional[Process] = None
         self._event_count = 0
         self._max_queue_len = 0
@@ -627,6 +669,13 @@ class Environment:
         #: whenever :meth:`step` advances the clock. Empty by default so
         #: the hot path pays one truthiness test (profiling layers attach).
         self._clock_listeners: list[Callable[[float, float], None]] = []
+        if self._use_array:
+            # -- typed-array core (see repro.simgrid.eventcore) -- the
+            # hot factories (Timeout.__init__, timeout, sleep) test
+            # _core and inline the coalesce hit against it directly.
+            self._core: Optional[ArrayCalendar] = ArrayCalendar(self)
+            return
+        self._core = None
         if self._use_heap:
             self._queue: list[tuple[float, int, int, Event]] = []
             return
@@ -692,19 +741,46 @@ class Environment:
 
     def stats(self) -> dict[str, float]:
         """Event-loop statistics, captured by the telemetry layer."""
+        if self._use_heap:
+            qlen = len(self._queue)
+            rebuilds = 0
+        elif self._use_array:
+            qlen = self._core.qsize
+            rebuilds = self._core.rebuild_count
+        else:
+            qlen = self._qsize
+            rebuilds = self._rebuild_count
+        pending_tombs = len(self._tombs)
         stats = {
             "events_processed": float(self._event_count),
-            "queue_len": float(
-                len(self._queue) if self._use_heap else self._qsize
-            ),
+            "queue_len": float(qlen),
             "max_queue_len": float(self._max_queue_len),
             "sim_time": self.now,
             "timeout_pool_reuses": float(self._pool_reuses),
             "timeout_pool_size": float(len(self._tpool)),
-            "tombstones_pending": float(len(self._tombs)),
+            "tombstones_pending": float(pending_tombs),
             "cancelled_skipped": float(self._cancelled_skipped),
+            # -- occupancy counters (tombstone-leak observability) --
+            # scheduled: lifetime count of (time, priority, seq) slots
+            # issued; cancelled_tombstones: every cancellation observed
+            # (already skipped at pop + still pending); live: queued
+            # events that will actually dispatch; rebuilds: calendar
+            # geometry recalibrations (0 for the heap). A live count
+            # that keeps trailing queue_len means tombstones are
+            # accumulating faster than pops surface them.
+            "scheduled": float(self._seq),
+            "cancelled_tombstones": float(
+                self._cancelled_skipped + pending_tombs
+            ),
+            "live": float(qlen - pending_tombs),
+            "rebuilds": float(rebuilds),
         }
-        if not self._use_heap:
+        if self._use_array:
+            core = self._core
+            stats["calendar_buckets"] = float(core.mask + 1)
+            stats["calendar_width"] = core.width
+            stats["calendar_entries"] = float(core.entries())
+        elif not self._use_heap:
             stats["calendar_buckets"] = float(self._mask + 1)
             stats["calendar_width"] = self._width
             # Number of chained entries actually sitting in buckets; the
@@ -758,6 +834,107 @@ class Environment:
         seq = self._seq
         self._seq = seq + 1
         when = self.now + delay
+        core = self._core
+        if core is not None:
+            if core.ins_t == when and core.ins_p == NORMAL:
+                core.ins_chain.append(t)
+                core.qsize += 1
+                return t
+            et = core.et
+            ep = core.ep
+            # Inlined ArrayCalendar.push_new (the reference; keep the
+            # two in lockstep) — this is the hottest insert in the
+            # simulator and the call plus argument passing is
+            # measurable, exactly as the object calendar inlines its
+            # whole insert below.
+            free = core.free
+            if not free:
+                core._grow()
+            s = free.pop()
+            tv = when * core.inv_width
+            v = int(tv) if tv < _FAR_FUTURE_F else _FAR_FUTURE
+            i = v & core.mask
+            es = core.es
+            nxt = core.nxt
+            bhead = core.bhead
+            et[s] = when
+            ep[s] = NORMAL
+            es[s] = seq
+            core.ev[s] = v
+            chain = core.chains[s]
+            chain.append(t)
+            core.ins_t = when
+            core.ins_p = NORMAL
+            core.ins_chain = chain
+            h = bhead[i]
+            if h < 0:
+                nxt[s] = -1
+                bhead[i] = s
+                core.btail[i] = s
+            elif core.bdirty[i]:
+                nxt[s] = h
+                bhead[i] = s
+            else:
+                # Tail probe, then bounded sorted insert: keep the
+                # bucket clean so the drain never re-sorts it (see
+                # ArrayCalendar.push_new).
+                btail = core.btail
+                tl = btail[i]
+                ct = et[tl]
+                if ct < when or (
+                    ct == when
+                    and (
+                        ep[tl] < NORMAL
+                        or (ep[tl] == NORMAL and es[tl] < seq)
+                    )
+                ):
+                    nxt[tl] = s
+                    nxt[s] = -1
+                    btail[i] = s
+                else:
+                    prev = -1
+                    cur = h
+                    hops = _SORTED_INSERT_MAX
+                    placed = False
+                    while cur >= 0:
+                        ct = et[cur]
+                        if ct < when or (
+                            ct == when
+                            and (
+                                ep[cur] < NORMAL
+                                or (ep[cur] == NORMAL and es[cur] < seq)
+                            )
+                        ):
+                            hops -= 1
+                            if hops == 0:
+                                nxt[s] = h
+                                bhead[i] = s
+                                core.bdirty[i] = 1
+                                placed = True
+                                break
+                            prev = cur
+                            cur = nxt[cur]
+                        else:
+                            break
+                    if not placed:
+                        nxt[s] = cur
+                        if prev < 0:
+                            bhead[i] = s
+                        else:
+                            nxt[prev] = s
+            if v < core.cur_v:
+                core.cur_v = v
+            qsize = core.qsize + 1
+            core.qsize = qsize
+            if qsize > self._max_queue_len:
+                self._max_queue_len = qsize
+                # Entries-based grow gate (see ArrayCalendar.push_new).
+                if (
+                    qsize > core.grow_at
+                    and core.cap - len(free) > core.grow_at
+                ):
+                    core.need_rebuild = True
+            return t
         if self._use_heap:
             q = self._queue
             _heappush(q, (when, NORMAL, seq, t))
@@ -823,6 +1000,107 @@ class Environment:
         seq = self._seq
         self._seq = seq + 1
         when = self.now + delay
+        core = self._core
+        if core is not None:
+            if core.ins_t == when and core.ins_p == NORMAL:
+                core.ins_chain.append(t)
+                core.qsize += 1
+                return t
+            et = core.et
+            ep = core.ep
+            # Inlined ArrayCalendar.push_new (the reference; keep the
+            # two in lockstep) — this is the hottest insert in the
+            # simulator and the call plus argument passing is
+            # measurable, exactly as the object calendar inlines its
+            # whole insert below.
+            free = core.free
+            if not free:
+                core._grow()
+            s = free.pop()
+            tv = when * core.inv_width
+            v = int(tv) if tv < _FAR_FUTURE_F else _FAR_FUTURE
+            i = v & core.mask
+            es = core.es
+            nxt = core.nxt
+            bhead = core.bhead
+            et[s] = when
+            ep[s] = NORMAL
+            es[s] = seq
+            core.ev[s] = v
+            chain = core.chains[s]
+            chain.append(t)
+            core.ins_t = when
+            core.ins_p = NORMAL
+            core.ins_chain = chain
+            h = bhead[i]
+            if h < 0:
+                nxt[s] = -1
+                bhead[i] = s
+                core.btail[i] = s
+            elif core.bdirty[i]:
+                nxt[s] = h
+                bhead[i] = s
+            else:
+                # Tail probe, then bounded sorted insert: keep the
+                # bucket clean so the drain never re-sorts it (see
+                # ArrayCalendar.push_new).
+                btail = core.btail
+                tl = btail[i]
+                ct = et[tl]
+                if ct < when or (
+                    ct == when
+                    and (
+                        ep[tl] < NORMAL
+                        or (ep[tl] == NORMAL and es[tl] < seq)
+                    )
+                ):
+                    nxt[tl] = s
+                    nxt[s] = -1
+                    btail[i] = s
+                else:
+                    prev = -1
+                    cur = h
+                    hops = _SORTED_INSERT_MAX
+                    placed = False
+                    while cur >= 0:
+                        ct = et[cur]
+                        if ct < when or (
+                            ct == when
+                            and (
+                                ep[cur] < NORMAL
+                                or (ep[cur] == NORMAL and es[cur] < seq)
+                            )
+                        ):
+                            hops -= 1
+                            if hops == 0:
+                                nxt[s] = h
+                                bhead[i] = s
+                                core.bdirty[i] = 1
+                                placed = True
+                                break
+                            prev = cur
+                            cur = nxt[cur]
+                        else:
+                            break
+                    if not placed:
+                        nxt[s] = cur
+                        if prev < 0:
+                            bhead[i] = s
+                        else:
+                            nxt[prev] = s
+            if v < core.cur_v:
+                core.cur_v = v
+            qsize = core.qsize + 1
+            core.qsize = qsize
+            if qsize > self._max_queue_len:
+                self._max_queue_len = qsize
+                # Entries-based grow gate (see ArrayCalendar.push_new).
+                if (
+                    qsize > core.grow_at
+                    and core.cap - len(free) > core.grow_at
+                ):
+                    core.need_rebuild = True
+            return t
         if self._use_heap:
             q = self._queue
             _heappush(q, (when, NORMAL, seq, t))
@@ -869,6 +1147,111 @@ class Environment:
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         seq = self._seq
         self._seq = seq + 1
+        core = self._core
+        if core is not None:
+            t = self.now if delay == 0.0 else self.now + delay
+            if core.ins_t == t and core.ins_p == priority:
+                # Coalesced (instant, priority) chain — and, mirroring
+                # the calendar, no urgent-generation bump: the chain the
+                # cache points at is already ordered after the drain
+                # position, so no preemption is needed.
+                core.ins_chain.append(event)
+                core.qsize += 1
+                return
+            et = core.et
+            ep = core.ep
+            if delay != 0.0:
+                core.push_new(t, priority, seq, event)
+                return
+            # Inlined ArrayCalendar.push_at_now_new (the reference; keep
+            # the two in lockstep) — almost every remaining _schedule
+            # call targets the current instant, whose bucket number is
+            # cached, and lands in the bucket the run loop is draining:
+            # link at the sorted position instead of dirty-marking.
+            es = core.es
+            nxt = core.nxt
+            v = core.now_v
+            i = v & core.mask
+            if priority == URGENT:
+                # The run loop's chain drain watches this counter: an
+                # urgent insert at the current instant must preempt the
+                # NORMAL chain being drained.
+                core.u0 += 1
+            free = core.free
+            if not free:
+                core._grow()
+            s = free.pop()
+            et[s] = t
+            ep[s] = priority
+            es[s] = seq
+            core.ev[s] = v
+            chain = core.chains[s]
+            chain.append(event)
+            core.ins_t = t
+            core.ins_p = priority
+            core.ins_chain = chain
+            bhead = core.bhead
+            h = bhead[i]
+            if h < 0:
+                nxt[s] = -1
+                bhead[i] = s
+                core.btail[i] = s
+            elif core.bdirty[i]:
+                nxt[s] = h
+                bhead[i] = s
+            else:
+                # Tail probe (the largest seq of this instant belongs
+                # at the tail unless something later-timed is queued),
+                # else a sorted walk from the head past every entry
+                # ordered before (t, priority, seq) — in lockstep with
+                # ArrayCalendar.push_at_now_new, the reference.
+                btail = core.btail
+                tl = btail[i]
+                ct = et[tl]
+                if ct < t or (
+                    ct == t
+                    and (
+                        ep[tl] < priority
+                        or (ep[tl] == priority and es[tl] < seq)
+                    )
+                ):
+                    nxt[tl] = s
+                    nxt[s] = -1
+                    btail[i] = s
+                else:
+                    prev = -1
+                    cur = h
+                    while cur >= 0:
+                        ct = et[cur]
+                        if ct < t or (
+                            ct == t
+                            and (
+                                ep[cur] < priority
+                                or (ep[cur] == priority and es[cur] < seq)
+                            )
+                        ):
+                            prev = cur
+                            cur = nxt[cur]
+                        else:
+                            break
+                    nxt[s] = cur
+                    if prev < 0:
+                        bhead[i] = s
+                    else:
+                        nxt[prev] = s
+            if v < core.cur_v:
+                core.cur_v = v
+            qsize = core.qsize + 1
+            core.qsize = qsize
+            if qsize > self._max_queue_len:
+                self._max_queue_len = qsize
+                # Entries-based grow gate (see ArrayCalendar.push_new).
+                if (
+                    qsize > core.grow_at
+                    and core.cap - len(free) > core.grow_at
+                ):
+                    core.need_rebuild = True
+            return
         if self._use_heap:
             q = self._queue
             _heappush(q, (self.now + delay, priority, seq, event))
@@ -963,6 +1346,7 @@ class Environment:
             entries.extend(b)
         self._need_rebuild = False
         self._last_rebuild_seq = self._seq
+        self._rebuild_count += 1
         n = len(entries)
         nbuckets = _INITIAL_BUCKETS
         while nbuckets < 2 * n and nbuckets < (1 << 16):
@@ -1057,6 +1441,12 @@ class Environment:
                 if ev._pooled:
                     self._tpool.append(ev)
             return q[0][0] if q else float("inf")
+        if self._use_array:
+            core = self._core
+            if core.need_rebuild:
+                core.rebuild()
+            h = core.find_head()
+            return core.et[h] if h >= 0 else float("inf")
         if self._need_rebuild:
             self._rebuild()
         head = self._find_head()
@@ -1085,6 +1475,31 @@ class Environment:
                 event._processed = True
                 if event._pooled:
                     self._tpool.append(event)
+        elif self._use_array:
+            core = self._core
+            if core.need_rebuild:
+                core.rebuild()
+            h = core.find_head()
+            if h < 0:
+                raise SimulationError("step() on an empty event queue")
+            when = core.et[h]
+            hv = core.ev[h]
+            chain = core.chains[h]
+            event = chain[0]
+            if len(chain) == 1:
+                # find_head leaves the minimal slot at its bucket's head.
+                core.bhead[hv & core.mask] = core.nxt[h]
+                chain.clear()
+                core.free.append(h)
+                if core.ins_chain is chain:
+                    core.ins_t = _NAN
+            else:
+                # Later chain members stay queued under the entry's
+                # original seq0 — still a valid tiebreaker, since any
+                # other (time, priority) twin entry holds larger seqs.
+                del chain[0]
+            core.qsize -= 1
+            core.cur_v = hv
         else:
             if self._need_rebuild:
                 self._rebuild()
@@ -1111,7 +1526,9 @@ class Environment:
         if when > self.now:
             old = self.now
             self.now = when
-            if not self._use_heap:
+            if self._use_array:
+                self._core.now_v = hv
+            elif not self._use_heap:
                 self._now_v = hv
             for fn in self._clock_listeners:
                 fn(old, when)
@@ -1144,7 +1561,12 @@ class Environment:
         * an :class:`Event` — run until that event is processed, returning
           its value (or raising its failure).
         """
-        runner = self._run_heap_reference if self._use_heap else self._run_calendar
+        if self._use_array:
+            runner = self._run_array
+        elif self._use_heap:
+            runner = self._run_heap_reference
+        else:
+            runner = self._run_calendar
         if until is None:
             runner(float("inf"))
             return None
@@ -1180,7 +1602,10 @@ class Environment:
             raise SimulationError("run(until=t) with t in the past")
         runner(deadline)
         self.now = deadline
-        if not self._use_heap:
+        if self._use_array:
+            core = self._core
+            core.now_v = core.v_of(deadline)
+        elif not self._use_heap:
             self._now_v = self._v_of(deadline)
         return None
 
@@ -1521,6 +1946,354 @@ class Environment:
                             break
                 finally:
                     self._qsize -= npop
+        finally:
+            self._event_count += processed
+
+    def _run_array(self, deadline: float) -> None:
+        """The default hot event loop, over the typed-array core.
+
+        In lockstep with :meth:`_run_calendar` — same cursor sweep,
+        bucket drain, urgent-preempt and requeue rules, so the dispatch
+        order is identical by construction. Only the storage operations
+        differ: entries are slots in :class:`ArrayCalendar`'s flat
+        arrays, bucket membership is an intrusive index chain
+        (``bhead``/``nxt``) instead of a Python list, and a drained
+        slot returns to the free list instead of the garbage collector.
+        Capacity growth extends the arrays in place, so the local
+        bindings below stay valid across callbacks; only a rebuild
+        replaces ``bhead``/``bdirty``/``mask`` (rebound at the loop
+        top, where rebuilds run).
+        """
+        core = self._core
+        et = core.et
+        ep = core.ep
+        ev = core.ev
+        nxt = core.nxt
+        chains = core.chains
+        free = core.free
+        bhead = core.bhead
+        bdirty = core.bdirty
+        mask = core.mask
+        tombs = self._tombs
+        tpool = self._tpool
+        listeners = self._clock_listeners
+        processed = 0
+        scans = 0
+        try:
+            while core.qsize:
+                if core.need_rebuild:
+                    core.rebuild()
+                    bhead = core.bhead
+                    bdirty = core.bdirty
+                    mask = core.mask
+                cur_v = core.cur_v
+                i = cur_v & mask
+                h = bhead[i]
+                if h >= 0:
+                    if bdirty[i]:
+                        blen = core.sort_bucket(i)
+                        h = bhead[i]
+                        if (
+                            blen >= _DEGENERATE_BUCKET
+                            and self._seq - core.last_rebuild_seq > 256
+                        ):
+                            core.need_rebuild = True
+                            continue
+                    hv = ev[h]
+                else:
+                    hv = -1
+                if hv != cur_v:
+                    if h >= 0 and hv < cur_v:  # pragma: no cover - cursor invariant
+                        core.cur_v = hv
+                        continue
+                    # Nothing for the cursor's year: advance, or after a
+                    # full fruitless sweep jump straight to the minimum.
+                    scans += 1
+                    if scans > mask:
+                        h = core.find_head()
+                        if h < 0:
+                            return  # only tombstones remained
+                        core.cur_v = ev[h]
+                        scans = 0
+                    else:
+                        if mask > 63 and core.qsize < (mask + 1) >> 3:
+                            core.need_rebuild = True
+                        core.cur_v = cur_v + 1
+                    continue
+                # Drain the bucket (see _run_calendar for the full
+                # commentary; hv == cur_v for every entry drained here).
+                scans = 0
+                npop = 0
+                try:
+                    while True:
+                        when = et[h]
+                        if when > deadline:
+                            return
+                        bhead[i] = nxt[h]
+                        chain = chains[h]
+                        if core.ins_chain is chain:
+                            # Never coalesce into a popped entry; the
+                            # cache survives pops of *other* slots (it
+                            # only ever moves forward to newer entries).
+                            core.ins_t = _NAN
+                        if tombs:
+                            clock_pending = True
+                        else:
+                            clock_pending = False
+                            now = self.now
+                            if when > now:
+                                self.now = when
+                                core.now_v = cur_v
+                                if listeners:
+                                    for fn in listeners:
+                                        fn(now, when)
+                        n = len(chain)
+                        npop += n
+                        if n == 1:
+                            # Solo entry: the slot is dead the moment its
+                            # sole event is off the chain — recycle it
+                            # before dispatch so a callback's insert can
+                            # reuse it immediately.
+                            event = chain[0]
+                            chain.clear()
+                            free.append(h)
+                            if tombs and event in tombs:
+                                tombs.discard(event)
+                                self._cancelled_skipped += 1
+                                event._cb1 = None
+                                event._cbs = None
+                                event._processed = True
+                                if event._pooled:
+                                    tpool.append(event)
+                            else:
+                                if clock_pending:
+                                    clock_pending = False
+                                    now = self.now
+                                    if when > now:
+                                        self.now = when
+                                        core.now_v = cur_v
+                                        if listeners:
+                                            for fn in listeners:
+                                                fn(now, when)
+                                processed += 1
+                                cb1 = event._cb1
+                                cbs = event._cbs
+                                event._cb1 = None
+                                event._cbs = None
+                                event._processed = True
+                                if cb1 is None:
+                                    pass
+                                elif cb1.__class__ is not Process:
+                                    cb1(event)
+                                    if cbs:
+                                        for fn in cbs:
+                                            fn(event)
+                                else:
+                                    # Inlined Process._resume fast path
+                                    # (lockstep with _resume and the
+                                    # chain walk below).
+                                    if cb1._value is _PENDING:
+                                        target = cb1._target
+                                        if (
+                                            target is not None
+                                            and target is not event
+                                        ):
+                                            target.remove_callback(cb1)
+                                        cb1._target = None
+                                        self._active = cb1
+                                        try:
+                                            if event._ok:
+                                                nxt_ev = cb1._send(event._value)
+                                            else:
+                                                event._defused = True
+                                                nxt_ev = cb1._throw(event._value)
+                                        except StopIteration as stop:
+                                            self._active = None
+                                            cb1._ok = True
+                                            cb1._value = stop.value
+                                            self._schedule(cb1, NORMAL)
+                                        except BaseException as exc:
+                                            self._active = None
+                                            cb1.fail(exc)
+                                        else:
+                                            self._active = None
+                                            if (
+                                                (
+                                                    nxt_ev.__class__ is Timeout
+                                                    or isinstance(nxt_ev, Event)
+                                                )
+                                                and nxt_ev.env is self
+                                                and not nxt_ev._processed
+                                                and nxt_ev._cb1 is None
+                                            ):
+                                                nxt_ev._cb1 = cb1
+                                                cb1._target = nxt_ev
+                                            else:
+                                                cb1._finish_resume(nxt_ev)
+                                    if cbs:
+                                        for fn in cbs:
+                                            fn(event)
+                                if not event._ok and not event._defused:
+                                    exc = event._value
+                                    raise exc if isinstance(
+                                        exc, BaseException
+                                    ) else SimulationError(str(exc))
+                                if event._pooled:
+                                    tpool.append(event)
+                            h = bhead[i]
+                            if h < 0:
+                                break
+                            if (
+                                bdirty[i]
+                                or core.cur_v != cur_v
+                                or core.need_rebuild
+                            ):
+                                break
+                            if ev[h] != cur_v:
+                                break
+                            continue
+                        prio = ep[h]
+                        u0 = core.u0
+                        idx = 0
+                        requeued = False
+                        try:
+                            while idx < n:
+                                event = chain[idx]
+                                idx += 1
+                                if tombs and event in tombs:
+                                    tombs.discard(event)
+                                    self._cancelled_skipped += 1
+                                    event._cb1 = None
+                                    event._cbs = None
+                                    event._processed = True
+                                    if event._pooled:
+                                        tpool.append(event)
+                                    continue
+                                if clock_pending:
+                                    clock_pending = False
+                                    now = self.now
+                                    if when > now:
+                                        self.now = when
+                                        core.now_v = cur_v
+                                        if listeners:
+                                            for fn in listeners:
+                                                fn(now, when)
+                                processed += 1
+                                cb1 = event._cb1
+                                cbs = event._cbs
+                                event._cb1 = None
+                                event._cbs = None
+                                event._processed = True
+                                if cb1 is None:
+                                    pass
+                                elif cb1.__class__ is not Process:
+                                    cb1(event)
+                                    if cbs:
+                                        for fn in cbs:
+                                            fn(event)
+                                else:
+                                    # Inlined Process._resume fast path —
+                                    # _resume stays the reference; keep
+                                    # the two in lockstep.
+                                    if cb1._value is _PENDING:
+                                        target = cb1._target
+                                        if (
+                                            target is not None
+                                            and target is not event
+                                        ):
+                                            target.remove_callback(cb1)
+                                        cb1._target = None
+                                        self._active = cb1
+                                        try:
+                                            if event._ok:
+                                                nxt_ev = cb1._send(event._value)
+                                            else:
+                                                event._defused = True
+                                                nxt_ev = cb1._throw(event._value)
+                                        except StopIteration as stop:
+                                            self._active = None
+                                            cb1._ok = True
+                                            cb1._value = stop.value
+                                            self._schedule(cb1, NORMAL)
+                                        except BaseException as exc:
+                                            self._active = None
+                                            cb1.fail(exc)
+                                        else:
+                                            self._active = None
+                                            if (
+                                                (
+                                                    nxt_ev.__class__ is Timeout
+                                                    or isinstance(nxt_ev, Event)
+                                                )
+                                                and nxt_ev.env is self
+                                                and not nxt_ev._processed
+                                                and nxt_ev._cb1 is None
+                                            ):
+                                                nxt_ev._cb1 = cb1
+                                                cb1._target = nxt_ev
+                                            else:
+                                                cb1._finish_resume(nxt_ev)
+                                    if cbs:
+                                        for fn in cbs:
+                                            fn(event)
+                                if not event._ok and not event._defused:
+                                    exc = event._value
+                                    raise exc if isinstance(
+                                        exc, BaseException
+                                    ) else SimulationError(str(exc))
+                                if event._pooled:
+                                    tpool.append(event)
+                                if prio and core.u0 != u0:
+                                    # An urgent insert for this instant
+                                    # must preempt the rest of a NORMAL
+                                    # chain: requeue the remainder in
+                                    # place — the slot keeps its
+                                    # original seq0 (still the smallest
+                                    # seq for this (time, priority)) —
+                                    # and let the outer loop re-sort.
+                                    if idx < n:
+                                        del chain[:idx]
+                                        nxt[h] = bhead[i]
+                                        bhead[i] = h
+                                        bdirty[i] = 1
+                                        npop -= n - idx
+                                        requeued = True
+                                    break
+                        except BaseException:
+                            if idx < n:
+                                # A callback raised (StopSimulation, a
+                                # propagated failure, ...) mid-chain:
+                                # requeue the undispatched remainder so
+                                # a later run() resumes exactly where
+                                # the heap reference would.
+                                del chain[:idx]
+                                nxt[h] = bhead[i]
+                                bhead[i] = h
+                                bdirty[i] = 1
+                                npop -= n - idx
+                            else:
+                                chain.clear()
+                                free.append(h)
+                            raise
+                        if not requeued:
+                            chain.clear()
+                            free.append(h)
+                        # Dispatch may have scheduled into this bucket
+                        # (dirty), behind the cursor, or flagged a
+                        # rebuild; any of those invalidates the drain.
+                        h = bhead[i]
+                        if h < 0:
+                            break
+                        if (
+                            bdirty[i]
+                            or core.cur_v != cur_v
+                            or core.need_rebuild
+                        ):
+                            break
+                        if ev[h] != cur_v:
+                            break
+                finally:
+                    core.qsize -= npop
         finally:
             self._event_count += processed
 

@@ -68,33 +68,34 @@ def test_events_replay_identically():
     assert a.adaptation_log == b.adaptation_log
 
 
-def test_calendar_and_heap_schedulers_produce_identical_runs():
+def test_all_schedulers_produce_identical_runs():
     """A full adaptive scenario is *observationally identical* under the
-    calendar queue and the retained binary-heap reference: same event
-    order implies the same stealing, monitoring, and adaptation history,
-    down to the floating-point accounting splits the goldens record."""
+    typed-array core, the object calendar, and the retained binary-heap
+    reference: same event order implies the same stealing, monitoring,
+    and adaptation history, down to the floating-point accounting splits
+    the goldens record."""
     spec = tiny_spec(
         events=(CpuLoadEvent(time=20.0, load=5.0, cluster="uva"),),
-    )
-    cal = run_scenario(
-        spec, "adapt", seed=5, config=RunConfig(scheduler="calendar")
     )
     heap = run_scenario(
         spec, "adapt", seed=5, config=RunConfig(scheduler="heap")
     )
-
-    assert cal.completed == heap.completed
-    assert cal.runtime_seconds == heap.runtime_seconds
-    assert cal.iterations_done == heap.iterations_done
-    assert cal.executed_leaves == heap.executed_leaves
-    assert np.array_equal(cal.iteration_times, heap.iteration_times)
-    assert np.array_equal(cal.iteration_durations, heap.iteration_durations)
-    assert np.array_equal(cal.wae.times, heap.wae.times)
-    assert np.array_equal(cal.wae.values, heap.wae.values)
-    assert np.array_equal(cal.nworkers.values, heap.nworkers.values)
-    assert cal.time_by_category == heap.time_by_category  # bit-exact
-    assert cal.final_workers == heap.final_workers
-    assert cal.adaptation_log == heap.adaptation_log
-    assert [(t, type(d).__name__) for t, d in cal.decisions] == [
-        (t, type(d).__name__) for t, d in heap.decisions
-    ]
+    for scheduler in ("array", "calendar"):
+        cal = run_scenario(
+            spec, "adapt", seed=5, config=RunConfig(scheduler=scheduler)
+        )
+        assert cal.completed == heap.completed
+        assert cal.runtime_seconds == heap.runtime_seconds
+        assert cal.iterations_done == heap.iterations_done
+        assert cal.executed_leaves == heap.executed_leaves
+        assert np.array_equal(cal.iteration_times, heap.iteration_times)
+        assert np.array_equal(cal.iteration_durations, heap.iteration_durations)
+        assert np.array_equal(cal.wae.times, heap.wae.times)
+        assert np.array_equal(cal.wae.values, heap.wae.values)
+        assert np.array_equal(cal.nworkers.values, heap.nworkers.values)
+        assert cal.time_by_category == heap.time_by_category  # bit-exact
+        assert cal.final_workers == heap.final_workers
+        assert cal.adaptation_log == heap.adaptation_log
+        assert [(t, type(d).__name__) for t, d in cal.decisions] == [
+            (t, type(d).__name__) for t, d in heap.decisions
+        ]

@@ -1,14 +1,17 @@
 """Calendar-queue scheduler tests: heap equivalence, lazy cancellation,
 coalesced chains, preemption, and self-resizing.
 
-The calendar queue must be *observationally identical* to the retained
-binary-heap reference (``Environment(scheduler="heap")``): same events in
-the same ``(time, priority, seq)`` total order, same event counts, same
-results — the golden scenario summaries depend on it. These tests drive
-both schedulers through the corners the calendar implementation actually
-has: within-bucket chains of same-deadline events, urgent inserts landing
-mid-chain, tombstoned (cancelled) timeouts surfacing at pop, free-list
-reuse after a cancellation, and the bucket-array rebuild.
+Both calendar implementations — the object-tuple calendar
+(``scheduler="calendar"``) and the typed-array core
+(``scheduler="array"``, the default) — must be *observationally
+identical* to the retained binary-heap reference
+(``Environment(scheduler="heap")``): same events in the same
+``(time, priority, seq)`` total order, same event counts, same results —
+the golden scenario summaries depend on it. These tests drive every
+scheduler through the corners the calendar implementations actually
+have: within-bucket chains of same-deadline events, urgent inserts
+landing mid-chain, tombstoned (cancelled) timeouts surfacing at pop,
+free-list reuse after a cancellation, and the bucket-array rebuild.
 """
 
 import numpy as np
@@ -17,7 +20,9 @@ import pytest
 from repro.simgrid.engine import Environment, Interrupt, SimulationError
 from repro.simgrid.queues import Store
 
-SCHEDULERS = ("heap", "calendar")
+SCHEDULERS = ("heap", "calendar", "array")
+#: the two calendar implementations (share geometry stats keys).
+CALENDARS = ("calendar", "array")
 
 
 # -- trace equivalence --------------------------------------------------------
@@ -67,10 +72,10 @@ def _jittery_trace(scheduler: str) -> tuple[list, int, float]:
     return trace, env.event_count, env.now
 
 
-def test_calendar_matches_heap_reference_trace():
+def test_calendars_match_heap_reference_trace():
     heap = _jittery_trace("heap")
-    calendar = _jittery_trace("calendar")
-    assert calendar == heap
+    assert _jittery_trace("calendar") == heap
+    assert _jittery_trace("array") == heap
 
 
 @pytest.mark.parametrize("scheduler", SCHEDULERS)
@@ -109,6 +114,7 @@ def test_urgent_insert_preempts_same_instant_chain():
     heap = run("heap")
     assert heap == ["starter", "child-start", "other"]
     assert run("calendar") == heap
+    assert run("array") == heap
 
 
 # -- lazy cancellation / free-list interaction -------------------------------
@@ -258,8 +264,9 @@ def test_step_dispatches_in_order(scheduler):
 # -- calendar internals -------------------------------------------------------
 
 
-def test_same_deadline_inserts_coalesce_into_one_entry():
-    env = Environment()
+@pytest.mark.parametrize("scheduler", CALENDARS)
+def test_same_deadline_inserts_coalesce_into_one_entry(scheduler):
+    env = Environment(scheduler=scheduler)
     for _ in range(100):
         env.timeout(5.0)
     stats = env.stats()
@@ -268,8 +275,9 @@ def test_same_deadline_inserts_coalesce_into_one_entry():
     assert stats["calendar_entries"] == 1
 
 
-def test_bucket_array_rebuilds_under_load():
-    env = Environment()
+@pytest.mark.parametrize("scheduler", CALENDARS)
+def test_bucket_array_rebuilds_under_load(scheduler):
+    env = Environment(scheduler=scheduler)
     assert env.stats()["calendar_buckets"] == 64
     rng = np.random.default_rng(3)
     deadlines = sorted(float(rng.uniform(0.0, 100.0)) for _ in range(1000))
@@ -290,8 +298,14 @@ def test_bucket_array_rebuilds_under_load():
     final = env.stats()
     assert final["queue_len"] == 0
     assert final["calendar_buckets"] < 2048
+    assert final["rebuilds"] >= 2  # one grow, at least one shrink
 
 
 def test_scheduler_argument_validation():
-    with pytest.raises(Exception):
+    # Unknown names raise ValueError naming every valid option, so a
+    # typo'd scheduler= is self-diagnosing (mirrors RunConfig).
+    with pytest.raises(ValueError) as exc:
         Environment(scheduler="bogus")
+    for name in SCHEDULERS:
+        assert name in str(exc.value)
+    assert "bogus" in str(exc.value)

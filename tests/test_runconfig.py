@@ -21,12 +21,21 @@ from repro.satin.worker import WorkerConfig
 
 
 # -- validation -------------------------------------------------------------
-def test_defaults_are_streaming_calendar():
+def test_defaults_are_streaming_array():
     cfg = RunConfig()
     assert cfg.coordinator == "streaming"
-    assert cfg.scheduler == "calendar"
+    assert cfg.scheduler == "array"
     assert cfg.jobs == 1
     assert cfg.sinks == ()
+
+
+def test_bad_scheduler_error_lists_valid_options():
+    # The ValueError must name every valid scheduler so a typo'd config
+    # is self-diagnosing (same contract as Environment, below).
+    with pytest.raises(ValueError) as exc:
+        RunConfig(scheduler="fifo")
+    for name in SCHEDULERS:
+        assert name in str(exc.value)
 
 
 @pytest.mark.parametrize("scheduler", SCHEDULERS)
