@@ -56,6 +56,15 @@ from .obs import (
 )
 from .registry.registry import Registry
 from .satin.app import AppDriver, Iteration
+from .serving import (
+    ResultCache,
+    ServedResult,
+    SimulationService,
+    SweepJob,
+    WarmPool,
+    cache_key,
+    code_fingerprint,
+)
 from .satin.benchmarking import BenchmarkConfig, measured_speeds
 from .satin.runtime import SatinRuntime
 from .satin.stealing import ClusterAwareRandomStealing, RandomStealing
@@ -127,6 +136,14 @@ __all__ = [
     "SpanTracker",
     "AttributionLedger",
     "critical_path",
+    # serving (warm pool + content-addressed result cache)
+    "SimulationService",
+    "SweepJob",
+    "ServedResult",
+    "WarmPool",
+    "ResultCache",
+    "cache_key",
+    "code_fingerprint",
     # telemetry
     "Observability",
     "MetricsRegistry",

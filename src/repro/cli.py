@@ -12,6 +12,8 @@ Usage (after installing the package)::
     python -m repro metrics s1
     python -m repro profile s4 --explain-decisions
     python -m repro bench --quick --baseline BENCH_3.json --gate 2.0
+    python -m repro sweep s1,s4 --variants none,adapt --seeds 0-4 --cache
+    python -m repro serve --workers 2 --cache-dir .repro-cache
 
 ``run`` executes one scenario under one variant and prints the run
 summary (plus the full measurement record as JSON if requested);
@@ -22,6 +24,12 @@ timeline as typed events (JSONL/CSV); ``metrics`` prints a run's
 counters, gauges and histogram summaries; ``profile`` runs with the
 full profiling tier and prints the per-node/per-period attribution
 table, the critical path, and (on request) per-decision explanations.
+
+``sweep`` runs a scenario × variant × seed grid through the serving
+layer: a warm worker pool plus the content-addressed result cache, so
+re-running a sweep returns cached summaries (byte-identical to fresh
+runs) without simulating; ``serve`` keeps that service alive as a
+long-running process speaking JSONL on stdin/stdout.
 """
 
 from __future__ import annotations
@@ -44,12 +52,20 @@ from .experiments import (
     format_time_shares,
     improvement,
     profile_scenario,
+    result_to_dict,
     run_large_grid,
     run_scenario,
     run_scenarios_parallel,
     scenario,
 )
-from .obs import EVENT_KINDS, JsonlSink, Observability, write_events
+from .obs import (
+    EVENT_KINDS,
+    JsonlSink,
+    MetricsRegistry,
+    Observability,
+    TraceBus,
+    write_events,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -158,6 +174,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", default=None,
         help="also write the metric rows as JSON",
     )
+    p_met.add_argument(
+        "--max-events", type=int, default=None, metavar="N",
+        help="cap the in-memory event stream at the newest N events "
+             "(the bounded-memory mode; evictions are reported on the "
+             "'bus:' line instead of passing silently)",
+    )
+    p_met.add_argument(
+        "--histogram-window", type=int, default=None, metavar="N",
+        help="cap each histogram's retained sample window at N "
+             "observations (count/sum stay exact; percentiles come from "
+             "the window and rows gain window=/dropped= columns)",
+    )
 
     p_prof = sub.add_parser(
         "profile",
@@ -197,6 +225,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("--out", default="results", help="output directory")
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a scenario × variant × seed grid through the caching "
+             "simulation service",
+    )
+    p_sweep.add_argument(
+        "scenarios",
+        help="comma-separated scenario ids (classic and/or substrate)",
+    )
+    p_sweep.add_argument(
+        "--variants", default="adapt",
+        help="comma-separated variants for classic scenarios "
+             "(default adapt; substrate scenarios have no variants)",
+    )
+    p_sweep.add_argument(
+        "--seeds", default="0", metavar="SPEC",
+        help="seeds: comma list and/or A-B ranges, e.g. '0,2,5-7' "
+             "(default 0)",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="warm-pool worker processes; 0 runs jobs inline in this "
+             "process (no spawn cost — right for mostly-cached sweeps)",
+    )
+    p_sweep.add_argument(
+        "--cache", dest="cache", action="store_true", default=True,
+        help="serve repeated jobs from the content-addressed result "
+             "cache (the default)",
+    )
+    p_sweep.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="compute every job fresh, bypassing the cache entirely",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="disk cache directory (default .repro-cache); entries "
+             "persist across invocations",
+    )
+    p_sweep.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write per-job records (summary, cache_hit, elapsed_ms) "
+             "as a JSON list",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running simulation service: JSONL requests on stdin, "
+             "results on stdout",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="warm-pool worker processes (default 1; 0 = inline)",
+    )
+    p_serve.add_argument(
+        "--cache", dest="cache", action="store_true", default=True,
+        help="serve repeated requests from the result cache (default)",
+    )
+    p_serve.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="disable the result cache",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="disk cache directory (default .repro-cache)",
+    )
+    p_serve.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="stream one serving_job trace event per settled request "
+             "to FILE as JSONL",
+    )
+
     p_bench = sub.add_parser(
         "bench",
         help="time the simulator's hot paths (micro-benchmarks)",
@@ -206,39 +305,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _result_to_dict(result: RunResult) -> dict:
-    return {
-        "scenario": result.scenario_id,
-        "variant": result.variant,
-        "seed": result.seed,
-        "completed": result.completed,
-        "runtime_seconds": result.runtime_seconds,
-        "iterations_done": result.iterations_done,
-        "iteration_times": result.iteration_times.tolist(),
-        "iteration_durations": result.iteration_durations.tolist(),
-        "wae": {
-            "times": result.wae.times.tolist(),
-            "values": result.wae.values.tolist(),
-        },
-        "nworkers": {
-            "times": result.nworkers.times.tolist(),
-            "values": result.nworkers.values.tolist(),
-        },
-        "decisions": [
-            {"time": t, "kind": type(d).__name__, "wae": d.wae,
-             "reason": d.reason,
-             "nodes": list(getattr(d, "nodes", ())),
-             "count": getattr(d, "count", None),
-             "cluster": getattr(d, "cluster", None)}
-            for t, d in result.decisions
-        ],
-        "final_workers": result.final_workers,
-        "executed_leaves": result.executed_leaves,
-        "time_by_category": result.time_by_category,
-        "blacklisted_nodes": sorted(result.blacklisted_nodes),
-        "blacklisted_clusters": sorted(result.blacklisted_clusters),
-        "learned_min_bandwidth": result.learned_min_bandwidth,
-    }
+# historical alias: the canonical summarizer lives in experiments.report
+# (the serving layer's worker processes use it without importing the CLI)
+_result_to_dict = result_to_dict
 
 
 def _print_run_summary(result: RunResult) -> None:
@@ -443,7 +512,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     spec = _scenario(args.scenario)
-    obs = Observability.enabled()
+    if args.max_events is not None or args.histogram_window is not None:
+        # capped mode: bounded event ring and/or histogram windows, with
+        # the evictions surfaced below instead of silently discarded
+        obs = Observability(
+            metrics=MetricsRegistry(
+                enabled=True, histogram_max_samples=args.histogram_window
+            ),
+            bus=TraceBus(enabled=True, max_events=args.max_events),
+        )
+    else:
+        obs = Observability.enabled()
     run_scenario(spec, args.variant, seed=args.seed, config=RunConfig(obs=obs))
     rows = obs.metrics.to_rows()
     if not rows:
@@ -454,10 +533,17 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     for row in rows:
         stats = " ".join(
             f"{k}={row[k]:.6g}"
-            for k in ("value", "count", "sum", "min", "max", "p50", "p90", "p99")
+            for k in ("value", "count", "sum", "min", "max", "p50", "p90",
+                      "p99", "window", "dropped")
             if k in row
         )
         print(f"{row['name']:<{name_w}}  {row['labels']:<{label_w}}  {stats}")
+    # the bus accounting line: how many events the run emitted, how many
+    # the in-memory stream retained, and how many the ring evicted —
+    # dropped events must be visible, not silent
+    bus = obs.bus
+    print(f"bus: emitted={bus.emitted} kept={len(bus)} "
+          f"dropped={bus.dropped_events}")
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(rows, fh, indent=2)
@@ -501,6 +587,216 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_seeds(spec: str) -> list[int]:
+    """``"0,2,5-7"`` → ``[0, 2, 5, 6, 7]`` (order kept, duplicates too)."""
+    seeds: list[int] = []
+    for part in (p.strip() for p in spec.split(",")):
+        if not part:
+            continue
+        lo, dash, hi = part.partition("-")
+        try:
+            if dash:
+                first, last = int(lo), int(hi)
+                if last < first:
+                    raise ValueError
+                seeds.extend(range(first, last + 1))
+            else:
+                seeds.append(int(part))
+        except ValueError:
+            raise SystemExit(
+                f"repro sweep: error: bad --seeds element {part!r} "
+                "(expected an integer or an A-B range)"
+            ) from None
+    if not seeds:
+        raise SystemExit("repro sweep: error: --seeds selected no seeds")
+    return seeds
+
+
+def _sweep_jobs(args: argparse.Namespace) -> list:
+    """The sweep's job list: scenarios × variants × seeds, input order."""
+    from .serving import SweepJob
+
+    sids = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    variants = [v.strip() for v in args.variants.split(",") if v.strip()]
+    for v in variants:
+        if v not in VARIANTS:
+            raise SystemExit(
+                f"repro sweep: error: unknown variant {v!r}; "
+                f"choose from {VARIANTS}"
+            )
+    unknown = [s for s in sids if s not in SCENARIOS and s not in SUBSTRATES]
+    if unknown or not sids:
+        raise SystemExit(
+            f"repro sweep: error: unknown scenario(s) "
+            f"{', '.join(unknown) or '(none given)'}; known: "
+            f"{', '.join(sorted(SCENARIOS) + sorted(SUBSTRATES))}"
+        )
+    seeds = _parse_seeds(args.seeds)
+    jobs = []
+    for sid in sids:
+        if sid in SUBSTRATES:
+            # substrate scenarios have no application variants: one job
+            # per seed, however many --variants were asked for
+            jobs.extend(SweepJob(sid, seed=seed) for seed in seeds)
+        else:
+            jobs.extend(
+                SweepJob(sid, variant, seed)
+                for variant in variants
+                for seed in seeds
+            )
+    return jobs
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .serving import ResultCache, SimulationService
+
+    jobs = _sweep_jobs(args)
+    cache = ResultCache(directory=args.cache_dir) if args.cache else None
+    # no context manager: entering would spawn the pool eagerly, and a
+    # fully-cached sweep should answer without paying any spawn cost
+    service = SimulationService(args.workers, cache=cache)
+    try:
+        results = service.sweep(jobs)
+    finally:
+        service.close()
+    errors = 0
+    for served in results:
+        if served.ok:
+            source = "cached  " if served.cache_hit else "computed"
+            runtime = served.summary.get("runtime_seconds")
+            tail = f" runtime={runtime:.1f}s" if runtime is not None else ""
+            print(
+                f"{served.scenario}/{served.variant} seed {served.seed}: "
+                f"{source} ({served.elapsed_ms:.1f} ms){tail}"
+            )
+        else:
+            errors += 1
+            print(
+                f"{served.scenario}/{served.variant} seed {served.seed}: "
+                f"ERROR {served.error.error_type}: {served.error.message}"
+            )
+    hits = sum(1 for r in results if r.cache_hit)
+    print(
+        f"sweep: {len(results)} jobs, {hits} cached, "
+        f"{len(results) - hits - errors} computed, {errors} errors"
+    )
+    if args.json is not None:
+        payload = [
+            {
+                "scenario": r.scenario,
+                "variant": r.variant,
+                "seed": r.seed,
+                "ok": r.ok,
+                "cache_hit": r.cache_hit,
+                "elapsed_ms": r.elapsed_ms,
+                "summary": r.summary,
+                "error": (
+                    None
+                    if r.ok
+                    else {
+                        "stage": r.error.stage,
+                        "type": r.error.error_type,
+                        "message": r.error.message,
+                    }
+                ),
+            }
+            for r in results
+        ]
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 1 if errors else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The service loop: JSONL requests on stdin, JSONL results on stdout.
+
+    One request per line: ``{"scenario": "s1", "variant": "adapt",
+    "seed": 0}`` (variant/seed optional). Responses carry the request's
+    ``ticket`` so they remain attributable when computations finish out
+    of order; malformed requests get an error response with no ticket.
+    Stats go to stderr at EOF so stdout stays a pure result stream.
+    """
+    import queue as queue_mod
+
+    from .serving import ResultCache, SimulationService, SweepJob
+
+    cache = ResultCache(directory=args.cache_dir) if args.cache else None
+    sink = JsonlSink(args.events) if args.events is not None else None
+    obs = Observability.streaming(sink=sink, kinds=["serving_job"])
+
+    def respond(ticket: int, served) -> None:
+        payload = {
+            "ticket": ticket,
+            "scenario": served.scenario,
+            "variant": served.variant,
+            "seed": served.seed,
+            "ok": served.ok,
+            "cache_hit": served.cache_hit,
+            "elapsed_ms": round(served.elapsed_ms, 3),
+        }
+        if served.ok:
+            payload["summary"] = served.summary
+        else:
+            payload["error"] = {
+                "stage": served.error.stage,
+                "type": served.error.error_type,
+                "message": served.error.message,
+            }
+        print(json.dumps(payload, sort_keys=True), flush=True)
+
+    served_count = 0
+    try:
+        with SimulationService(args.workers, cache=cache, obs=obs) as service:
+            for line in sys.stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    ticket = service.submit(
+                        SweepJob(
+                            scenario=request["scenario"],
+                            variant=request.get("variant", "adapt"),
+                            seed=int(request.get("seed", 0)),
+                        )
+                    )
+                except Exception as exc:  # noqa: BLE001 - protocol boundary
+                    print(
+                        json.dumps(
+                            {"ok": False, "error": {"stage": "request",
+                             "type": type(exc).__name__,
+                             "message": str(exc)}},
+                            sort_keys=True,
+                        ),
+                        flush=True,
+                    )
+                    continue
+                # drain whatever has settled (cache hits settle at once);
+                # in-flight computations keep overlapping with stdin reads
+                while service.ready:
+                    respond(*service.poll())
+                    served_count += 1
+                if service.outstanding:
+                    try:
+                        respond(*service.poll(timeout=0))
+                        served_count += 1
+                    except queue_mod.Empty:
+                        pass
+            while service.outstanding:
+                respond(*service.poll())
+                served_count += 1
+            stats = service.stats()
+    finally:
+        if sink is not None:
+            sink.close()
+    print(
+        f"repro serve: {served_count} requests served; {json.dumps(stats)}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     arglist = list(sys.argv[1:] if argv is None else argv)
@@ -528,6 +824,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "export":
         return _cmd_export(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "bench":
         from .experiments.microbench import main as bench_main
 

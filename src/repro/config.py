@@ -24,10 +24,19 @@ cannot regress onto them.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Optional
 
-__all__ = ["RunConfig", "COORDINATOR_MODES", "SCHEDULERS"]
+__all__ = [
+    "RunConfig",
+    "COORDINATOR_MODES",
+    "SCHEDULERS",
+    "canonical_data",
+    "canonical_json",
+]
 
 #: engine event-queue implementations (all produce byte-identical runs):
 #: "array" (default; the calendar queue over typed-array storage),
@@ -38,6 +47,92 @@ SCHEDULERS = ("array", "calendar", "heap")
 #: (production default) and the batch snapshot re-fold retained as the
 #: executable spec; both produce identical decisions and goldens.
 COORDINATOR_MODES = ("streaming", "batch")
+
+def canonical_data(obj: Any) -> Any:
+    """A process-stable, JSON-able form of ``obj`` for cache keying.
+
+    The serving layer's content-addressed result cache
+    (:mod:`repro.serving.cache`) keys entries on the *content* of the
+    inputs — scenario spec, seed, :class:`RunConfig` — so two processes
+    (or two days) that ask the same question must derive the same key.
+    ``pickle`` bytes are not that: set iteration order depends on the
+    per-process string hash seed. This encoder is:
+
+    * **total** — every value a :class:`RunConfig` or
+      :class:`~repro.experiments.scenarios.ScenarioSpec` can hold maps
+      to something, falling back to the type's qualified name;
+    * **stable across processes** — dicts are sorted by key, sets by
+      their encoded form, functions encode as (module, qualname,
+      bytecode digest, defaults, closure values) rather than identity;
+    * **content-sensitive** — mutating any field, however nested,
+      changes the output (pinned by ``tests/serving/test_cache_key.py``).
+
+    Floats keep full precision through ``repr`` (what :mod:`json` uses),
+    so distinct floats never collide.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)
+    if isinstance(obj, bytes):
+        return {"__bytes__": obj.hex()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_data(item) for item in obj]
+    if isinstance(obj, dict):
+        return {
+            "__dict__": sorted(
+                ([canonical_data(k), canonical_data(v)] for k, v in obj.items()),
+                key=lambda kv: json.dumps(kv[0], sort_keys=True),
+            )
+        }
+    if isinstance(obj, (set, frozenset)):
+        return {
+            "__set__": sorted(
+                (canonical_data(item) for item in obj),
+                key=lambda item: json.dumps(item, sort_keys=True),
+            )
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": _type_name(type(obj)),
+            "fields": [
+                [f.name, canonical_data(getattr(obj, f.name))]
+                for f in dataclasses.fields(obj)
+            ],
+        }
+    code = getattr(obj, "__code__", None)
+    if code is not None:  # function / lambda / bound method
+        closure = getattr(obj, "__closure__", None) or ()
+        return {
+            "__function__": _type_name(obj),
+            "code": hashlib.sha256(code.co_code).hexdigest(),
+            "defaults": canonical_data(getattr(obj, "__defaults__", None)),
+            "closure": [canonical_data(cell.cell_contents) for cell in closure],
+        }
+    if hasattr(obj, "tolist"):  # numpy arrays and scalars
+        return {"__array__": canonical_data(obj.tolist())}
+    state = getattr(obj, "__dict__", None)
+    if isinstance(state, dict) and state:
+        # best effort for plain objects: public attribute contents
+        return {
+            "__object__": _type_name(type(obj)),
+            "attrs": canonical_data(
+                {k: v for k, v in state.items() if not k.startswith("_")}
+            ),
+        }
+    return {"__type__": _type_name(type(obj))}
+
+
+def _type_name(obj: Any) -> str:
+    return f"{getattr(obj, '__module__', '?')}.{getattr(obj, '__qualname__', obj)}"
+
+
+def canonical_json(obj: Any) -> str:
+    """``canonical_data`` rendered as compact, key-sorted JSON text."""
+    return json.dumps(
+        canonical_data(obj), sort_keys=True, separators=(",", ":")
+    )
+
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .obs import Observability
@@ -118,6 +213,30 @@ class RunConfig:
         if not isinstance(self.shards, int) or self.shards < 1:
             raise ValueError("shards must be an int >= 1")
         object.__setattr__(self, "sinks", tuple(self.sinks))
+
+    def cache_key_data(self) -> dict[str, Any]:
+        """Canonical serialization of **every** field, for cache keying.
+
+        The serving layer's result cache derives its content address
+        from this (plus scenario, seed, and the code fingerprint), so
+        the contract is: *any* two configs that could produce different
+        observable runs — or different telemetry wiring — serialize
+        differently, and the same config serializes identically in every
+        process. Fields are enumerated via :func:`dataclasses.fields`,
+        so a newly added knob participates automatically;
+        ``tests/serving/test_cache_key.py`` asserts each field's
+        participation by mutation.
+
+        Payload objects without value semantics (``obs``, ``trace``,
+        sinks) contribute their type and public attribute contents; a
+        cache hit returns the stored summary without re-simulating, so
+        per-run telemetry side effects only happen on misses (see
+        ``docs/serving.md``).
+        """
+        return {
+            f.name: canonical_data(getattr(self, f.name))
+            for f in dataclasses.fields(self)
+        }
 
     def merged(self, **overrides: Any) -> "RunConfig":
         """A copy with the non-None ``overrides`` applied — how the

@@ -14,6 +14,7 @@ from .report import (
     format_scenario1_overhead,
     format_time_shares,
     improvement,
+    result_to_dict,
 )
 from .largegrid import (
     SUBSTRATES,
@@ -47,6 +48,7 @@ __all__ = [
     "improvement",
     "export_runs",
     "profile_scenario",
+    "result_to_dict",
     "run_large_grid",
     "SCENARIOS",
     "ScenarioSpec",

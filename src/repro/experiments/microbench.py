@@ -40,7 +40,19 @@ interactive suite all measure the identical code paths:
   drained to empty — no processes, so the queue is the entire cost;
 * ``event_core_drain_calendar`` — the identical timeout stream through
   the retained object-tuple calendar (``scheduler="calendar"``), the
-  "before" the array core is measured against.
+  "before" the array core is measured against;
+* ``sweep_warm_pool``   — a 32-job sweep of tiny scenarios through an
+  already-warm :class:`~repro.serving.pool.WarmPool` (2 workers): only
+  job dispatch, simulation, and result IPC are on the timed path;
+* ``sweep_cold_spawn``  — the identical 32-job sweep paying the full
+  worker spawn + interpreter + import cost per batch, the "before" the
+  serving layer's persistent pool removes;
+* ``cache_requery``     — 6 scenario jobs re-queried through the
+  simulation service with a warmed content-addressed result cache:
+  the timed path is key derivation + lookup, no simulation;
+* ``cache_requery_uncached`` — the identical 6 jobs through a service
+  with the cache disabled, i.e. simulated from scratch every call —
+  the "before" a cache hit is measured against.
 
 The two members of each before/after pair fold identical streams, so
 ``--interleave`` can alternate them call-by-call within one session:
@@ -132,6 +144,8 @@ __all__ = [
     "coordinator_stream_inputs",
     "grid_period_inputs",
     "scenario_e2e_spec",
+    "sweep_job_inputs",
+    "cache_requery_inputs",
     "run_bench",
     "run_interleaved",
     "check_against_baseline",
@@ -612,6 +626,154 @@ def _prepare_scenario_e2e() -> Callable[[], object]:
     return lambda: run_scenario(spec, "adapt", seed=0)
 
 
+class _TinySweepFactory:
+    """Picklable app factory for the sweep pair's tiny jobs.
+
+    A module-level class (not a lambda) because the warm/cold pool
+    workloads ship the spec to spawn workers, and pickling resolves the
+    factory by reference.
+    """
+
+    def __call__(self):
+        from ..apps.dctree import SyntheticIterativeApp, balanced_tree
+
+        return SyntheticIterativeApp(
+            balanced_tree(depth=4, fanout=2, leaf_work=0.05), n_iterations=2
+        )
+
+
+class _MiniCacheFactory:
+    """Picklable app factory for the cache pair's mid-size jobs."""
+
+    def __call__(self):
+        from ..apps.dctree import SyntheticIterativeApp, balanced_tree
+
+        return SyntheticIterativeApp(
+            balanced_tree(depth=6, fanout=2, leaf_work=0.15), n_iterations=5
+        )
+
+
+def sweep_job_inputs() -> list:
+    """The 32-job batch both sweep workloads run: tiny scenarios.
+
+    One ~2 ms scenario (two clusters × two nodes, 16-leaf tree, two
+    iterations) across 32 seeds: small enough that per-batch pool spawn
+    dominates the cold path — exactly the regime the warm pool exists
+    for (many short jobs amortizing one spawn).
+    """
+    from .scenarios import ScenarioSpec, scaled_das2
+
+    spec = ScenarioSpec(
+        id="bench_sweep",
+        paper_ref="microbench",
+        description="tiny sweep job for the warm/cold pool pair",
+        grid=scaled_das2(nodes_per_cluster=2, clusters=2),
+        initial_layout=(("vu", 2),),
+        app_factory=_TinySweepFactory(),
+        monitoring_period=10.0,
+        max_sim_time=600.0,
+    )
+    return [(spec, "none", seed) for seed in range(32)]
+
+
+def cache_requery_inputs() -> list:
+    """The 6 jobs the cache pair re-queries: ~45 ms full scenarios.
+
+    The same shape as ``scenario_e2e`` (three clusters, adaptation on)
+    across six seeds, so the uncached side weighs every subsystem like
+    a real run while the cached side answers from key + lookup alone.
+    """
+    from ..serving.service import SweepJob
+    from .scenarios import ScenarioSpec, scaled_das2
+
+    spec = ScenarioSpec(
+        id="bench_cache",
+        paper_ref="microbench",
+        description="mid-size job for the cache re-query pair",
+        grid=scaled_das2(nodes_per_cluster=4, clusters=3),
+        initial_layout=(("vu", 4), ("uva", 4)),
+        app_factory=_MiniCacheFactory(),
+        monitoring_period=10.0,
+        max_sim_time=1200.0,
+    )
+    return [SweepJob(spec, "adapt", seed) for seed in range(6)]
+
+
+def _prepare_sweep_warm_pool() -> Callable[[], object]:
+    """32 tiny jobs through an already-warm 2-worker pool.
+
+    The pool spawns (and pays its interpreter/import cost) in prepare,
+    untimed, plus one warm-up batch so worker-side module imports are
+    done; the timed call is dispatch + simulate + collect only.
+    """
+    from ..serving.pool import WarmPool
+    from .runner import _RUN_JOB_PATH
+
+    jobs = sweep_job_inputs()
+    pool = WarmPool(2).start()
+    pool.map(_RUN_JOB_PATH, jobs[:2])  # worker-side imports, untimed
+
+    def run() -> int:
+        return len(pool.map(_RUN_JOB_PATH, jobs))
+
+    return run
+
+
+def _prepare_sweep_cold_spawn() -> Callable[[], object]:
+    """The identical 32 jobs with a fresh pool spawned per batch.
+
+    What every batch cost before the serving layer: two process spawns,
+    two interpreter starts, two full package imports — then the same
+    simulations. The pair's ratio is the warm pool's amortization win.
+    """
+    from ..serving.pool import WarmPool
+    from .runner import _RUN_JOB_PATH
+
+    jobs = sweep_job_inputs()
+
+    def run() -> int:
+        with WarmPool(2) as pool:
+            return len(pool.map(_RUN_JOB_PATH, jobs))
+
+    return run
+
+
+def _prepare_cache_requery() -> Callable[[], object]:
+    """6 jobs re-queried from a warmed content-addressed cache.
+
+    The service runs inline (no pool) with an in-memory cache filled in
+    prepare; every timed query derives the content key and returns the
+    stored summary — the serving layer's hot path for repeated sweeps.
+    """
+    from ..serving.cache import ResultCache
+    from ..serving.service import SimulationService
+
+    jobs = cache_requery_inputs()
+    service = SimulationService(n_workers=0, cache=ResultCache())
+    service.sweep(jobs)  # fill the cache, untimed
+
+    def run() -> int:
+        results = service.sweep(jobs)
+        if not all(r.cache_hit for r in results):  # pragma: no cover
+            raise RuntimeError("cache_requery expected all hits")
+        return len(results)
+
+    return run
+
+
+def _prepare_cache_requery_uncached() -> Callable[[], object]:
+    """The identical 6 jobs simulated from scratch (cache disabled)."""
+    from ..serving.service import SimulationService
+
+    jobs = cache_requery_inputs()
+    service = SimulationService(n_workers=0, cache=None)
+
+    def run() -> int:
+        return len(service.sweep(jobs))
+
+    return run
+
+
 def _prepare_engine() -> Callable[[], object]:
     return engine_timeout_churn
 
@@ -758,6 +920,26 @@ WORKLOADS: tuple[Workload, ...] = (
         _prepare_event_core_drain_calendar,
     ),
     Workload(
+        "sweep_warm_pool",
+        "32-job tiny-scenario sweep through an already-warm 2-worker pool",
+        _prepare_sweep_warm_pool,
+    ),
+    Workload(
+        "sweep_cold_spawn",
+        "the identical 32-job sweep spawning a fresh pool per batch",
+        _prepare_sweep_cold_spawn,
+    ),
+    Workload(
+        "cache_requery",
+        "6 jobs re-queried from a warm content-addressed result cache",
+        _prepare_cache_requery,
+    ),
+    Workload(
+        "cache_requery_uncached",
+        "the identical 6 jobs simulated fresh with the cache disabled",
+        _prepare_cache_requery_uncached,
+    ),
+    Workload(
         "scenario_e2e",
         "full small scenario end-to-end through run_scenario (adapt)",
         _prepare_scenario_e2e,
@@ -771,6 +953,8 @@ INTERLEAVE_PAIRS: tuple[tuple[str, str], ...] = (
     ("event_core_drain", "event_core_drain_calendar"),
     ("grid_monitoring_period", "grid_monitoring_period_scalar"),
     ("coordinator_decide", "coordinator_decide_batch"),
+    ("sweep_warm_pool", "sweep_cold_spawn"),
+    ("cache_requery", "cache_requery_uncached"),
 )
 
 

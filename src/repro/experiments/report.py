@@ -31,7 +31,50 @@ __all__ = [
     "format_time_shares",
     "ascii_series",
     "improvement",
+    "result_to_dict",
 ]
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """The canonical JSON-able summary of one run.
+
+    This is the payload ``repro run --json`` writes, the byte form the
+    golden files pin, and the value the serving layer caches: every
+    consumer of "a run's summary" goes through this one function so
+    byte-identity is a single contract.
+    """
+    return {
+        "scenario": result.scenario_id,
+        "variant": result.variant,
+        "seed": result.seed,
+        "completed": result.completed,
+        "runtime_seconds": result.runtime_seconds,
+        "iterations_done": result.iterations_done,
+        "iteration_times": result.iteration_times.tolist(),
+        "iteration_durations": result.iteration_durations.tolist(),
+        "wae": {
+            "times": result.wae.times.tolist(),
+            "values": result.wae.values.tolist(),
+        },
+        "nworkers": {
+            "times": result.nworkers.times.tolist(),
+            "values": result.nworkers.values.tolist(),
+        },
+        "decisions": [
+            {"time": t, "kind": type(d).__name__, "wae": d.wae,
+             "reason": d.reason,
+             "nodes": list(getattr(d, "nodes", ())),
+             "count": getattr(d, "count", None),
+             "cluster": getattr(d, "cluster", None)}
+            for t, d in result.decisions
+        ],
+        "final_workers": result.final_workers,
+        "executed_leaves": result.executed_leaves,
+        "time_by_category": result.time_by_category,
+        "blacklisted_nodes": sorted(result.blacklisted_nodes),
+        "blacklisted_clusters": sorted(result.blacklisted_clusters),
+        "learned_min_bandwidth": result.learned_min_bandwidth,
+    }
 
 
 def improvement(baseline: float, improved: float) -> float:

@@ -15,8 +15,8 @@ registry, runtime, application) and deterministic given the seed.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+import traceback
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional, Sequence, Union
@@ -284,12 +284,18 @@ def _run_job(job: RunJob) -> RunResult:
     return run_scenario(spec, variant, seed=seed, config=config)
 
 
+#: the pool-protocol path of :func:`_run_job` (``module:qualname``).
+_RUN_JOB_PATH = "repro.experiments.runner:_run_job"
+
+
 def run_scenarios_parallel(
     jobs: Sequence[RunJob],
     n_jobs: Optional[int] = None,
     *,
     config: Optional[RunConfig] = None,
-) -> list[RunResult]:
+    pool: Optional[Any] = None,
+    on_error: str = "raise",
+) -> list[Any]:
     """Fan independent scenario runs across processes.
 
     Every run is already self-contained and deterministic given its seed
@@ -306,6 +312,19 @@ def run_scenarios_parallel(
     given, ``config.jobs`` decides. ``n_jobs <= 0`` means one process per
     available CPU; ``n_jobs == 1`` (or a single job) runs serially
     in-process with no pool overhead.
+
+    ``pool`` reuses an already-warm :class:`~repro.serving.pool.WarmPool`
+    (spawned once, shared across batches — the serving layer's mode)
+    instead of spawning a throwaway one for this batch.
+
+    A worker process dying mid-job no longer loses the batch: the job is
+    retried once on a fresh worker, and if that also dies its slot
+    resolves to a :class:`~repro.serving.pool.JobError`. With the default
+    ``on_error="raise"`` any failed job (exception or double
+    worker-death) raises ``RuntimeError`` *after* all jobs settle;
+    ``on_error="return"`` instead leaves the structured ``JobError`` in
+    that job's result slot, so callers can tell exactly which runs failed
+    and why while keeping every other result.
     """
     jobs = list(jobs)
     if config is not None:
@@ -318,8 +337,33 @@ def run_scenarios_parallel(
     if n_jobs <= 0:
         n_jobs = os.cpu_count() or 1
     n_jobs = min(n_jobs, len(jobs))
-    if n_jobs <= 1:
-        return [_run_job(job) for job in jobs]
-    ctx = multiprocessing.get_context("spawn")
-    with ctx.Pool(processes=n_jobs) as pool:
-        return pool.map(_run_job, jobs)
+    if on_error not in ("raise", "return"):
+        raise ValueError(
+            f'on_error must be "raise" or "return", got {on_error!r}'
+        )
+    if pool is None and n_jobs <= 1:
+        if on_error == "raise":
+            return [_run_job(job) for job in jobs]
+        from ..serving.pool import JobError
+
+        results: list[Any] = []
+        for i, job in enumerate(jobs):
+            try:
+                results.append(_run_job(job))
+            except Exception as exc:  # structured, like the pool path
+                results.append(
+                    JobError(
+                        job_id=i,
+                        stage="run",
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback=traceback.format_exc(),
+                    )
+                )
+        return results
+    if pool is not None:
+        return pool.map(_RUN_JOB_PATH, jobs, on_error=on_error)
+    from ..serving.pool import WarmPool
+
+    with WarmPool(n_jobs) as own_pool:
+        return own_pool.map(_RUN_JOB_PATH, jobs, on_error=on_error)

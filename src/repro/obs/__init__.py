@@ -44,6 +44,7 @@ from .events import (
     NodeAdd,
     NodeRemove,
     RecoveryRestart,
+    ServingJob,
     SpanTransition,
     StealAttempt,
     TraceEvent,
@@ -75,6 +76,7 @@ __all__ = [
     "RecoveryRestart",
     "MonitoringPeriod",
     "CoordinatorDecision",
+    "ServingJob",
     "SpanTransition",
     "EVENT_KINDS",
     "JsonlSink",

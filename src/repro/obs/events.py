@@ -29,6 +29,7 @@ __all__ = [
     "MonitoringPeriod",
     "CoordinatorDecision",
     "SpanTransition",
+    "ServingJob",
     "EVENT_KINDS",
 ]
 
@@ -181,6 +182,31 @@ class SpanTransition(TraceEvent):
     parent: str = ""
 
 
+@dataclass(slots=True)
+class ServingJob(TraceEvent):
+    """One serving-layer job settled (simulation service, not a run).
+
+    Emitted by :class:`repro.serving.service.SimulationService` — one
+    event per job with its outcome: ``"hit"`` (served from the result
+    cache without simulating), ``"computed"`` (simulated, then stored),
+    or ``"error"``. Unlike every other kind, ``time`` is *wall-clock*
+    seconds since the service started: the serving layer lives outside
+    any single simulation's clock.
+    """
+
+    kind: ClassVar[str] = "serving_job"
+
+    #: "hit", "computed" or "error"
+    outcome: str
+    scenario: str
+    variant: str
+    seed: int
+    #: wall-clock milliseconds from submission to completion
+    elapsed_ms: float
+    #: error summary ("" on success)
+    error: str = ""
+
+
 #: all event kinds, in taxonomy order
 EVENT_KINDS: tuple[str, ...] = (
     StealAttempt.kind,
@@ -192,4 +218,5 @@ EVENT_KINDS: tuple[str, ...] = (
     MonitoringPeriod.kind,
     CoordinatorDecision.kind,
     SpanTransition.kind,
+    ServingJob.kind,
 )

@@ -139,17 +139,31 @@ class Histogram:
         return float(np.percentile(self._values, p))
 
     def summary(self) -> dict[str, float]:
+        """Summary statistics; windowed histograms also report the window.
+
+        When ``max_samples`` bounds the store, ``window`` (the retention
+        cap) and ``dropped`` (evicted observations) are included so a
+        reader can tell percentiles computed over a truncated window
+        from exact ones — silently identical-looking output would hide
+        the truncation.
+        """
+        maxlen = getattr(self._values, "maxlen", None)
         if not self._values:
-            return {"count": 0, "sum": 0.0}
-        return {
-            "count": self.count,
-            "sum": self.sum,
-            "min": float(np.min(self._values)),
-            "max": float(np.max(self._values)),
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
-        }
+            out: dict[str, float] = {"count": 0, "sum": 0.0}
+        else:
+            out = {
+                "count": self.count,
+                "sum": self.sum,
+                "min": float(np.min(self._values)),
+                "max": float(np.max(self._values)),
+                "p50": self.percentile(50),
+                "p90": self.percentile(90),
+                "p99": self.percentile(99),
+            }
+        if maxlen is not None:
+            out["window"] = maxlen
+            out["dropped"] = self.dropped
+        return out
 
 
 class _NullInstrument:

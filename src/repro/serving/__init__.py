@@ -1,0 +1,61 @@
+"""Simulation-as-a-service: warm worker pool + content-addressed cache.
+
+Three modules:
+
+* :mod:`repro.serving.pool` — :class:`WarmPool`, a persistent
+  spawn-process pool with per-job crash retry and structured errors;
+* :mod:`repro.serving.cache` — :class:`ResultCache` and
+  :func:`cache_key`, the content-addressed result store;
+* :mod:`repro.serving.service` — :class:`SimulationService`, the front
+  end combining both behind submit/poll/sweep.
+
+Attribute access is lazy (PEP 562): ``repro.experiments.runner`` imports
+the pool while ``repro.serving.service`` imports the runner, so eagerly
+importing both here would create a cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "JobError",
+    "JobResult",
+    "ResultCache",
+    "ServedResult",
+    "SimulationService",
+    "SweepJob",
+    "WarmPool",
+    "cache_key",
+    "code_fingerprint",
+]
+
+_EXPORTS = {
+    "WarmPool": "pool",
+    "JobError": "pool",
+    "JobResult": "pool",
+    "CACHE_SCHEMA": "cache",
+    "CacheStats": "cache",
+    "ResultCache": "cache",
+    "cache_key": "cache",
+    "code_fingerprint": "cache",
+    "ServedResult": "service",
+    "SimulationService": "service",
+    "SweepJob": "service",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

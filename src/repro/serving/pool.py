@@ -1,0 +1,412 @@
+"""The warm worker pool: spawn once, run many jobs, survive crashes.
+
+``multiprocessing.Pool`` pays the full spawn-plus-import cost on every
+batch and tears the whole batch down when one worker dies. This pool is
+the serving layer's replacement:
+
+* **Warm**: workers are spawned once (``spawn`` start method, so each
+  sees the same fresh-interpreter module state as a standalone run) and
+  reused across any number of :meth:`WarmPool.submit` / :meth:`WarmPool.map`
+  calls — the per-batch spawn/import overhead the sweep benchmarks
+  measure disappears after the first batch.
+* **Crash-isolated**: each worker owns a private task queue and runs one
+  job at a time, so a dead worker process implicates exactly one job.
+  The pool respawns the worker and retries that job once on the fresh
+  process; a job whose worker dies twice resolves to a structured
+  :class:`JobError` instead of an exception tearing down the batch.
+* **Structured errors**: exceptions raised *by* a job are caught in the
+  worker and travel back as ``(type, message, traceback)``; callers
+  choose between fail-fast (``on_error="raise"``) and per-job error
+  records in the result list (``on_error="return"``).
+
+The job protocol is deliberately tiny: a job is ``(func_path, payload)``
+where ``func_path`` is an importable ``"module:qualname"`` string and
+``payload`` one picklable argument. Results come back in completion
+order via :meth:`next_result` or in input order via :meth:`map`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import itertools
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+__all__ = ["JobError", "JobResult", "WarmPool"]
+
+
+@dataclass(frozen=True)
+class JobError:
+    """Structured record of one job that could not produce a result.
+
+    ``stage`` is ``"run"`` when the job's function raised (the traceback
+    is the worker-side one) and ``"worker-death"`` when the worker
+    process died while holding the job (after the retry).
+    """
+
+    job_id: int
+    stage: str
+    error_type: str
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"job {self.job_id} failed ({self.stage}, "
+            f"{self.attempts} attempt(s)): {self.error_type}: {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """One completed job: either ``value`` or ``error`` is set."""
+
+    job_id: int
+    value: Any = None
+    error: Optional[JobError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _resolve(func_path: str):
+    """``"module:qualname"`` → the callable (worker side)."""
+    module_name, _, qualname = func_path.partition(":")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _worker_main(task_queue, result_queue) -> None:
+    """Worker process loop: run jobs until the ``None`` sentinel.
+
+    Job exceptions are converted to structured error tuples here, in the
+    worker, so one bad job never kills the process; only a hard death
+    (segfault, ``os._exit``, OOM kill) takes the worker down, and the
+    parent detects that through process liveness.
+
+    Results are pickled *eagerly* (inside the try) rather than left to
+    the queue's feeder thread: a feeder-thread pickling error would be
+    invisible to the parent and hang the job forever, whereas here it
+    becomes an ordinary structured error.
+    """
+    while True:
+        message = task_queue.get()
+        if message is None:
+            return
+        job_id, func_path, payload_blob = message
+        try:
+            value = _resolve(func_path)(pickle.loads(payload_blob))
+            reply = (
+                job_id, True,
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        except BaseException as exc:  # noqa: BLE001 - the whole point
+            reply = (
+                job_id,
+                False,
+                (type(exc).__name__, str(exc), traceback.format_exc()),
+            )
+        result_queue.put(reply)
+
+
+@dataclass
+class _Worker:
+    """One pool slot: a process, its private task queue, its job."""
+
+    process: multiprocessing.process.BaseProcess
+    task_queue: Any
+    #: the (job_id, func_path, payload, attempts) in flight, or None
+    current: Optional[tuple] = None
+
+
+@dataclass
+class _PendingJob:
+    job_id: int
+    func_path: str
+    payload: Any
+    attempts: int = 0
+
+
+class WarmPool:
+    """A persistent pool of spawn workers with per-job crash recovery.
+
+    Usable as a context manager; :meth:`close` is idempotent. The pool
+    is single-threaded on the parent side: submissions and result
+    collection happen in the calling thread (the serving layer's event
+    loop), so no locks are needed.
+    """
+
+    #: seconds between liveness checks while waiting on results.
+    _POLL_SECONDS = 0.05
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        *,
+        start_method: str = "spawn",
+        max_retries: int = 1,
+    ) -> None:
+        if n_workers is None or n_workers <= 0:
+            n_workers = os.cpu_count() or 1
+        self.n_workers = n_workers
+        self.max_retries = max_retries
+        self._ctx = multiprocessing.get_context(start_method)
+        self._result_queue: Any = None
+        self._workers: list[_Worker] = []
+        self._pending: list[_PendingJob] = []
+        self._in_flight: dict[int, _Worker] = {}
+        self._ids = itertools.count()
+        #: jobs that exhausted their retries, awaiting collection
+        self._failed: list[JobResult] = []
+        self._closed = False
+        #: lifetime statistics (worker respawns are the interesting one)
+        self.stats = {"submitted": 0, "completed": 0, "retries": 0,
+                      "respawns": 0, "spawned": 0}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return bool(self._workers)
+
+    def start(self) -> "WarmPool":
+        """Spawn the workers now (otherwise the first submit does)."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if not self._workers:
+            self._result_queue = self._ctx.Queue()
+            self._workers = [self._spawn() for _ in range(self.n_workers)]
+        return self
+
+    def _spawn(self) -> _Worker:
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(task_queue, self._result_queue),
+            daemon=True,
+        )
+        process.start()
+        self.stats["spawned"] += 1
+        return _Worker(process=process, task_queue=task_queue)
+
+    def close(self) -> None:
+        """Shut the pool down; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if worker.process.is_alive():
+                try:
+                    worker.task_queue.put(None)
+                except Exception:
+                    pass
+        for worker in self._workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+        for worker in self._workers:
+            worker.task_queue.close()
+        if self._result_queue is not None:
+            self._result_queue.close()
+        self._workers = []
+        self._in_flight = {}
+        self._pending = []
+
+    def __enter__(self) -> "WarmPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, func_path: str, payload: Any) -> int:
+        """Queue one job; returns its id (used in :class:`JobResult`)."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self.start()
+        job_id = next(self._ids)
+        # pickle here, synchronously: the queue's feeder thread swallows
+        # pickling errors, which would strand the job as in-flight forever
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self._pending.append(_PendingJob(job_id, func_path, blob))
+        self.stats["submitted"] += 1
+        self._dispatch()
+        return job_id
+
+    def _dispatch(self) -> None:
+        """Hand pending jobs to idle workers (one in flight per worker,
+        so a dead process implicates exactly one job)."""
+        if not self._pending:
+            return
+        for worker in self._workers:
+            if worker.current is None and self._pending:
+                job = self._pending.pop(0)
+                worker.current = (
+                    job.job_id, job.func_path, job.payload, job.attempts
+                )
+                self._in_flight[job.job_id] = worker
+                worker.task_queue.put(
+                    (job.job_id, job.func_path, job.payload)
+                )
+                if not self._pending:
+                    return
+
+    @property
+    def outstanding(self) -> int:
+        """Jobs submitted but not yet returned by :meth:`next_result`."""
+        return len(self._pending) + len(self._in_flight) + len(self._failed)
+
+    # -- collection --------------------------------------------------------
+
+    def next_result(self, timeout: Optional[float] = None) -> JobResult:
+        """Block until any outstanding job completes; completion order.
+
+        Raises ``queue.Empty`` on timeout and ``RuntimeError`` when
+        nothing is outstanding. Worker deaths are handled here: the dead
+        worker's job is retried on a fresh process (up to
+        ``max_retries`` times) and only surfaces as a
+        :class:`JobError` once the retries are spent.
+        """
+        if not self.outstanding:
+            raise RuntimeError("no outstanding jobs")
+        deadline = None if timeout is None else _now() + timeout
+        while True:
+            if self._failed:
+                return self._failed.pop(0)
+            try:
+                job_id, ok, value = self._result_queue.get(
+                    timeout=self._POLL_SECONDS
+                )
+            except queue_mod.Empty:
+                self._reap_dead_workers()
+                if self._failed:
+                    return self._failed.pop(0)
+                if deadline is not None and _now() >= deadline:
+                    raise
+                continue
+            worker = self._in_flight.pop(job_id, None)
+            if worker is not None:
+                worker.current = None
+            self._dispatch()
+            self.stats["completed"] += 1
+            if ok:
+                return JobResult(job_id=job_id, value=pickle.loads(value))
+            error_type, message, tb = value
+            return JobResult(
+                job_id=job_id,
+                error=JobError(
+                    job_id=job_id,
+                    stage="run",
+                    error_type=error_type,
+                    message=message,
+                    traceback=tb,
+                ),
+            )
+
+    def _reap_dead_workers(self) -> None:
+        """Respawn dead workers; retry or fail their in-flight jobs.
+
+        A job whose worker died is retried at the head of the queue on a
+        fresh process; once its retries are spent it lands in
+        ``self._failed`` for :meth:`next_result` to hand back.
+        """
+        for i, worker in enumerate(self._workers):
+            if worker.process.is_alive():
+                continue
+            worker.process.join()
+            self._workers[i] = self._spawn()
+            self.stats["respawns"] += 1
+            held = worker.current
+            if held is None:
+                continue
+            job_id, func_path, payload, attempts = held
+            self._in_flight.pop(job_id, None)
+            if attempts < self.max_retries:
+                self.stats["retries"] += 1
+                self._pending.insert(
+                    0,
+                    _PendingJob(job_id, func_path, payload,
+                                attempts=attempts + 1),
+                )
+            else:
+                self.stats["completed"] += 1
+                self._failed.append(JobResult(
+                    job_id=job_id,
+                    error=JobError(
+                        job_id=job_id,
+                        stage="worker-death",
+                        error_type="WorkerDied",
+                        message=(
+                            f"worker process died while running job "
+                            f"{job_id} (exit code "
+                            f"{worker.process.exitcode})"
+                        ),
+                        attempts=attempts + 1,
+                    ),
+                ))
+        self._dispatch()
+
+    # -- batch convenience -------------------------------------------------
+
+    def map(
+        self,
+        func_path: str,
+        payloads: Sequence[Any],
+        *,
+        on_error: str = "raise",
+    ) -> list[Any]:
+        """Run ``func(payload)`` for every payload; input-order results.
+
+        ``on_error="raise"`` re-raises the first failure as a
+        ``RuntimeError`` carrying the worker-side traceback (after all
+        jobs have settled, so the pool stays warm and consistent);
+        ``on_error="return"`` puts the :class:`JobError` in that slot.
+        """
+        if on_error not in ("raise", "return"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'return', got {on_error!r}"
+            )
+        ids = [self.submit(func_path, payload) for payload in payloads]
+        slots = {job_id: i for i, job_id in enumerate(ids)}
+        results: list[Any] = [None] * len(ids)
+        errors: list[JobError] = []
+        remaining = len(ids)
+        while remaining:
+            result = self.next_result()
+            if result.job_id not in slots:
+                continue  # a stale duplicate; cannot normally happen
+            remaining -= 1
+            if result.ok:
+                results[slots[result.job_id]] = result.value
+            else:
+                errors.append(result.error)
+                results[slots[result.job_id]] = result.error
+        if errors and on_error == "raise":
+            first = min(errors, key=lambda e: slots[e.job_id])
+            raise RuntimeError(
+                f"{len(errors)} of {len(ids)} jobs failed; first: "
+                f"{first.error_type}: {first.message}\n{first.traceback}"
+            )
+        return results
+
+
+def _now() -> float:
+    return time.monotonic()

@@ -101,3 +101,66 @@ def test_different_seeds_differ():
     b = run_scenario(spec, "adapt", seed=8)
     # Steal victims are seed-dependent; some measurable must move.
     assert _summary(a) != _summary(b)
+
+
+# ------------------------------------------------- warm pool + job errors
+def _bad_spec():
+    """A spec that fails inside run_scenario (unknown cluster name)."""
+    return tiny_spec("par-bad", initial_layout=(("no-such-cluster", 3),))
+
+
+def test_reused_warm_pool_matches_serial():
+    """An externally-owned pool produces byte-identical results and is
+    reused across batches instead of respawning per call."""
+    from repro.serving import WarmPool
+
+    jobs = [(tiny_spec("par-w"), "none", 0), (tiny_spec("par-w"), "adapt", 1)]
+    serial = run_scenarios_parallel(jobs, n_jobs=1)
+    with WarmPool(2) as pool:
+        first = run_scenarios_parallel(jobs, pool=pool)
+        spawned = pool.stats["spawned"]
+        second = run_scenarios_parallel(jobs, pool=pool)
+        assert pool.stats["spawned"] == spawned  # no respawn per batch
+    for s, p, q in zip(serial, first, second):
+        assert _summary(s) == _summary(p) == _summary(q)
+
+
+def test_on_error_return_leaves_structured_error_in_slot():
+    """A failing job must not poison the batch: its slot holds a
+    JobError; sibling results are intact and in order."""
+    from repro.serving import JobError
+
+    jobs = [
+        (tiny_spec("par-ok1"), "none", 0),
+        (_bad_spec(), "none", 0),
+        (tiny_spec("par-ok2"), "none", 1),
+    ]
+    results = run_scenarios_parallel(jobs, n_jobs=2, on_error="return")
+    ok1, bad, ok2 = results
+    assert ok1.scenario_id == "par-ok1" and ok1.completed
+    assert isinstance(bad, JobError)
+    assert bad.stage == "run"
+    assert bad.error_type
+    assert ok2.scenario_id == "par-ok2" and ok2.completed
+
+
+def test_on_error_return_serial_path_matches_pool_semantics():
+    from repro.serving import JobError
+
+    jobs = [(tiny_spec("par-ok"), "none", 0), (_bad_spec(), "none", 0)]
+    results = run_scenarios_parallel(jobs, n_jobs=1, on_error="return")
+    assert results[0].completed
+    assert isinstance(results[1], JobError)
+    assert results[1].stage == "run"
+
+
+def test_on_error_raise_raises_for_failing_job():
+    with pytest.raises(Exception):
+        run_scenarios_parallel([(_bad_spec(), "none", 0)], n_jobs=1)
+
+
+def test_bad_on_error_value_rejected():
+    with pytest.raises(ValueError, match="on_error"):
+        run_scenarios_parallel(
+            [(tiny_spec(), "none", 0)], n_jobs=1, on_error="ignore"
+        )

@@ -1,0 +1,147 @@
+"""WarmPool tests: reuse, ordering, structured errors, crash recovery.
+
+The worker-death tests use a module-level helper that ``os._exit``\\ s the
+worker on its first invocation (tracked by a sentinel file), so the
+retry lands on a fresh process and succeeds — the exact recovery path
+satellite work in this PR adds to ``run_scenarios_parallel``.
+"""
+
+import os
+
+import pytest
+
+from repro.serving import JobError, WarmPool
+
+HERE = "tests.serving.test_pool"
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"bad payload {x}")
+
+
+def _die_once(sentinel_path):
+    """Kill the worker process hard on the first call, succeed after."""
+    if not os.path.exists(sentinel_path):
+        with open(sentinel_path, "w", encoding="utf-8") as fh:
+            fh.write("died\n")
+        os._exit(42)
+    return "survived"
+
+
+def _die_always(_payload):
+    os._exit(43)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One warm pool shared by the whole module: spawning is the
+    expensive part, and reuse across tests is precisely the feature."""
+    with WarmPool(2) as p:
+        yield p
+
+
+def test_map_returns_input_order(pool):
+    out = pool.map(f"{HERE}:_square", [3, 1, 2, 10])
+    assert out == [9, 1, 4, 100]
+
+
+def test_pool_is_reused_across_batches(pool):
+    spawned_before = pool.stats["spawned"]
+    for _ in range(3):
+        assert pool.map(f"{HERE}:_square", [2]) == [4]
+    assert pool.stats["spawned"] == spawned_before  # no respawn per batch
+
+
+def test_job_exception_is_structured_not_fatal(pool):
+    results = pool.map(
+        f"{HERE}:_boom", ["x"], on_error="return"
+    )
+    [error] = results
+    assert isinstance(error, JobError)
+    assert error.stage == "run"
+    assert error.error_type == "ValueError"
+    assert "bad payload x" in error.message
+    assert "ValueError" in error.traceback
+    # the pool survives the failed job
+    assert pool.map(f"{HERE}:_square", [5]) == [25]
+
+
+def test_on_error_raise_carries_worker_traceback(pool):
+    with pytest.raises(RuntimeError) as excinfo:
+        pool.map(f"{HERE}:_boom", ["y"])
+    assert "ValueError" in str(excinfo.value)
+    assert "bad payload y" in str(excinfo.value)
+
+
+def test_mixed_batch_returns_errors_in_slot(pool):
+    results = pool.map(
+        f"{HERE}:_square", [1, 2], on_error="return"
+    ) + pool.map(f"{HERE}:_boom", ["z"], on_error="return")
+    assert results[0] == 1 and results[1] == 4
+    assert isinstance(results[2], JobError)
+
+
+def test_worker_death_retried_on_fresh_worker(pool, tmp_path):
+    sentinel = str(tmp_path / "died-once")
+    respawns_before = pool.stats["respawns"]
+    [out] = pool.map(f"{HERE}:_die_once", [sentinel])
+    assert out == "survived"
+    assert pool.stats["respawns"] == respawns_before + 1
+    assert pool.stats["retries"] >= 1
+    # batch continues normally afterwards
+    assert pool.map(f"{HERE}:_square", [6]) == [36]
+
+
+def test_worker_death_twice_is_a_structured_error(pool):
+    [error] = pool.map(f"{HERE}:_die_always", [None], on_error="return")
+    assert isinstance(error, JobError)
+    assert error.stage == "worker-death"
+    assert error.error_type == "WorkerDied"
+    assert error.attempts == 2
+    # and the pool still works
+    assert pool.map(f"{HERE}:_square", [7]) == [49]
+
+
+def test_worker_death_does_not_lose_batch_siblings(pool, tmp_path):
+    """The original bug: one dead worker lost the whole batch."""
+    sentinel = str(tmp_path / "died-mid-batch")
+    payloads = [1, 2, 3, 4]
+    ids = [pool.submit(f"{HERE}:_square", p) for p in payloads]
+    kill_id = pool.submit(f"{HERE}:_die_once", sentinel)
+    by_id = {}
+    while pool.outstanding:
+        result = pool.next_result()
+        by_id[result.job_id] = result
+    assert [by_id[i].value for i in ids] == [1, 4, 9, 16]
+    assert by_id[kill_id].ok and by_id[kill_id].value == "survived"
+
+
+def test_unpicklable_payload_fails_at_submit(pool):
+    with pytest.raises(Exception):
+        pool.submit(f"{HERE}:_square", lambda: None)
+    # the failed submit must not leave a phantom outstanding job
+    assert pool.outstanding == 0
+
+
+def test_next_result_timeout_raises_empty(pool):
+    import queue
+
+    pool.submit("time:sleep", 1.0)
+    with pytest.raises(queue.Empty):
+        pool.next_result(timeout=0.01)
+    # drain the sleeper so the shared pool is clean for the next test
+    while pool.outstanding:
+        pool.next_result()
+
+
+def test_closed_pool_rejects_submissions():
+    p = WarmPool(1)
+    p.start()
+    p.close()
+    with pytest.raises(RuntimeError):
+        p.submit(f"{HERE}:_square", 1)
+    p.close()  # idempotent

@@ -167,3 +167,99 @@ def test_trace_accepts_valid_kind_subset(tiny_scenario, tmp_path, capsys):
     kinds = {json.loads(line)["kind"] for line in path.read_text().splitlines()}
     assert kinds <= {"coordinator_decision", "wae_sample"}
     assert "wae_sample" in kinds
+
+
+# ----------------------------------------------------------- metrics caps
+def test_metrics_surfaces_window_and_bus_drops(tiny_scenario, capsys):
+    assert cli.main([
+        "metrics", "tiny", "--variant", "adapt",
+        "--max-events", "5", "--histogram-window", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    # histogram rows expose their window and truncation count …
+    assert "window=4" in out
+    assert "dropped=" in out
+    # … and the bus line accounts for ring evictions explicitly
+    bus_line = [l for l in out.splitlines() if l.startswith("bus:")]
+    assert len(bus_line) == 1
+    assert "emitted=" in bus_line[0] and "kept=5" in bus_line[0]
+    assert "dropped=" in bus_line[0]
+
+
+# ------------------------------------------------------------------ sweep
+def test_parse_seeds_ranges_and_lists():
+    assert cli._parse_seeds("0,2,5-7") == [0, 2, 5, 6, 7]
+    assert cli._parse_seeds("3") == [3]
+    for bad in ("x", "5-2", " , "):
+        with pytest.raises(SystemExit):
+            cli._parse_seeds(bad)
+
+
+def test_sweep_cold_then_cached(tiny_scenario, tmp_path, capsys):
+    argv = [
+        "sweep", "tiny", "--variants", "none", "--seeds", "0,1",
+        "--workers", "0", "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert cli.main(argv) == 0
+    cold = capsys.readouterr().out
+    assert cold.count(": computed") == 2
+    assert "sweep: 2 jobs, 0 cached, 2 computed, 0 errors" in cold
+    # identical invocation: everything served from the disk cache
+    assert cli.main(argv) == 0
+    warm = capsys.readouterr().out
+    assert warm.count("cached") >= 2
+    assert "sweep: 2 jobs, 2 cached, 0 computed, 0 errors" in warm
+
+
+def test_sweep_json_payload(tiny_scenario, tmp_path, capsys):
+    path = tmp_path / "sweep.json"
+    assert cli.main([
+        "sweep", "tiny", "--variants", "none,adapt", "--seeds", "0",
+        "--workers", "0", "--no-cache", "--json", str(path),
+    ]) == 0
+    payload = json.loads(path.read_text())
+    assert [(r["scenario"], r["variant"]) for r in payload] == [
+        ("tiny", "none"), ("tiny", "adapt"),
+    ]
+    for row in payload:
+        assert row["ok"] and not row["cache_hit"] and row["error"] is None
+        assert row["summary"]["completed"] is True
+
+
+def test_sweep_rejects_unknown_scenario_and_variant():
+    with pytest.raises(SystemExit, match="unknown scenario"):
+        cli.main(["sweep", "nonsense", "--workers", "0"])
+    with pytest.raises(SystemExit, match="unknown variant"):
+        cli.main(["sweep", "s1", "--variants", "bogus", "--workers", "0"])
+
+
+# ------------------------------------------------------------------ serve
+def test_serve_round_trip_with_cache(tiny_scenario, tmp_path, capsys,
+                                     monkeypatch):
+    import io
+
+    requests = "\n".join([
+        json.dumps({"scenario": "tiny", "variant": "none", "seed": 0}),
+        "not json at all",
+        json.dumps({"scenario": "tiny", "variant": "none", "seed": 0}),
+    ]) + "\n"
+    monkeypatch.setattr("sys.stdin", io.StringIO(requests))
+    assert cli.main([
+        "serve", "--workers", "0", "--cache-dir", str(tmp_path / "cache"),
+    ]) == 0
+    captured = capsys.readouterr()
+    lines = [json.loads(l) for l in captured.out.splitlines() if l.strip()]
+    assert len(lines) == 3
+    first, bad, second = lines
+    assert first["ok"] and not first["cache_hit"]
+    assert first["summary"]["scenario"] == "tiny"
+    # malformed request: structured error, no ticket, loop survives
+    assert not bad["ok"] and bad["error"]["stage"] == "request"
+    assert "ticket" not in bad
+    # the repeated request is a cache hit with byte-identical summary
+    assert second["ok"] and second["cache_hit"]
+    assert json.dumps(first["summary"], sort_keys=True) == json.dumps(
+        second["summary"], sort_keys=True
+    )
+    assert first["ticket"] != second["ticket"]
+    assert "repro serve: 2 requests served" in captured.err
